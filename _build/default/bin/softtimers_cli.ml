@@ -1,0 +1,80 @@
+(* Command-line front end: run any of the paper's experiments by id. *)
+
+let experiments =
+  [
+    ("fig1", "Figure 1: soft-timer firing-window bounds", Exp_fig1.run);
+    ("fig2-3", "Figures 2/3: hardware-timer base overhead", Exp_hw_overhead.run);
+    ("soft-base", "Section 5.2: soft-timer base overhead", Exp_soft_base.run);
+    ("table1", "Table 1 / Figure 4: trigger-interval distributions", Exp_trigger_dist.run);
+    ("fig5", "Figure 5: windowed trigger-interval medians", Exp_trigger_windows.run);
+    ("table2", "Table 2 / Figure 6: trigger sources", Exp_trigger_sources.run);
+    ("table3", "Table 3: rate-based clocking overhead", Exp_rbc_overhead.run);
+    ("table4-5", "Tables 4/5: rate-clocked transmission process", Exp_rbc_process.run);
+    ("table6-7", "Tables 6/7: WAN transfer performance", Exp_rbc_wan.run);
+    ("table8", "Table 8: network polling throughput", Exp_polling.run);
+    ( "livelock",
+      "Extension: receiver livelock (interrupts vs MR hybrid vs soft polling)",
+      Exp_livelock.run );
+    ( "sensitivity",
+      "Extension: sensitivity of the headline results to the cost model",
+      Exp_sensitivity.run );
+  ]
+
+let run_one cfg id =
+  match List.find_opt (fun (name, _, _) -> name = id) experiments with
+  | Some (_, _, f) ->
+    print_string (f cfg);
+    `Ok ()
+  | None ->
+    `Error
+      ( false,
+        Printf.sprintf "unknown experiment %S; known: %s" id
+          (String.concat ", " (List.map (fun (n, _, _) -> n) experiments)) )
+
+let run_all cfg =
+  List.iter
+    (fun (_, _, f) ->
+      print_string (f cfg);
+      print_newline ())
+    experiments;
+  `Ok ()
+
+open Cmdliner
+
+let quick =
+  let doc = "Short runs (noisier, ~10x faster)." in
+  Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let seed =
+  let doc = "Simulation seed (runs are deterministic per seed)." in
+  Arg.(value & opt int 7 & info [ "seed"; "s" ] ~doc ~docv:"SEED")
+
+let id =
+  let doc = "Experiment id, or 'all'." in
+  Arg.(value & pos 0 string "all" & info [] ~doc ~docv:"EXPERIMENT")
+
+let cfg_of quick seed = { Exp_config.quick; seed }
+
+let cmd =
+  let doc = "Reproduce the experiments of 'Soft Timers' (Aron & Druschel, SOSP'99)" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Each experiment regenerates one table or figure of the paper on the simulated \
+         testbed and prints measured values next to the paper's.";
+      `S "EXPERIMENTS";
+    ]
+    @ List.map (fun (n, d, _) -> `P (Printf.sprintf "$(b,%s): %s" n d)) experiments
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun quick seed id ->
+             let cfg = cfg_of quick seed in
+             if id = "all" then run_all cfg else run_one cfg id)
+        $ quick $ seed $ id))
+  in
+  Cmd.v (Cmd.info "softtimers-cli" ~version:"1.0.0" ~doc ~man) term
+
+let () = exit (Cmd.eval cmd)

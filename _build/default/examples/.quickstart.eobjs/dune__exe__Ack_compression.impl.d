@@ -1,0 +1,1 @@
+examples/ack_compression.ml: Engine List Paced_sender Packet Printf Receiver Sender Session Tcp_types Time_ns Wan

@@ -1,0 +1,1 @@
+examples/ack_compression.mli:

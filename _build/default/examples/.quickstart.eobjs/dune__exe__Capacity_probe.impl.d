@@ -1,0 +1,1 @@
+examples/capacity_probe.ml: Capacity Engine Link List Option Packet Printf Session Time_ns Wan

@@ -1,0 +1,1 @@
+examples/paced_transfer.ml: Array Dist Engine Kernel List Machine Paced_sender Printf Prng Session Softtimer Stats Sys Tcp_types Time_ns

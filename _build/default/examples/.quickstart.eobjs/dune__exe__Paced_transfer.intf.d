@@ -1,0 +1,1 @@
+examples/paced_transfer.mli:

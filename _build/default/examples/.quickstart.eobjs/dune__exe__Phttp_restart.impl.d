@@ -1,0 +1,1 @@
+examples/phttp_restart.ml: Capacity Engine Packet Printf Receiver Sender Session Tcp_types Time_ns Wan

@@ -1,0 +1,1 @@
+examples/phttp_restart.mli:

@@ -1,0 +1,1 @@
+examples/polling_server.ml: List Net_poll Printf Time_ns Webserver

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dist Engine Kernel List Machine Printf Prng Softtimer Stats Time_ns

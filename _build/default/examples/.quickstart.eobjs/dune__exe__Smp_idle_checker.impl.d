@@ -1,0 +1,1 @@
+examples/smp_idle_checker.ml: Cpu Engine List Machine Printf Softtimer Stats Time_ns Trigger

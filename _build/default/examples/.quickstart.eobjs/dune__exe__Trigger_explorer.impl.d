@@ -1,0 +1,1 @@
+examples/trigger_explorer.ml: Array Delay_probe Engine Histogram List Machine Printf Stats Sys Time_ns Trigger Webserver Wl_kernel_build Wl_nfs Wl_realaudio

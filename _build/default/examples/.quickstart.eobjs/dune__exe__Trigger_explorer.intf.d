@@ -1,0 +1,1 @@
+examples/trigger_explorer.mli:

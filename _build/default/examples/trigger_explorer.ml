@@ -1,0 +1,61 @@
+(* Explore the trigger-state processes of the paper's workloads.
+
+   Build & run:  dune exec examples/trigger_explorer.exe [workload]
+
+   Workloads: apache | apache-compute | flash | nfs | realaudio |
+   kernel-build.  Prints the interval distribution and an ASCII CDF --
+   the per-workload view behind Table 1 / Figure 4. *)
+
+let usage () =
+  prerr_endline "usage: trigger_explorer [apache|apache-compute|flash|nfs|realaudio|kernel-build]";
+  exit 1
+
+let gaps_of = function
+  | "apache" | "apache-compute" | "flash" ->
+    fun name ->
+      let kind = if name = "flash" then Webserver.Flash else Webserver.Apache in
+      let cfg =
+        {
+          Webserver.default_config with
+          Webserver.kind;
+          background_compute = name = "apache-compute";
+        }
+      in
+      let t = Webserver.create cfg in
+      let rec_ = Delay_probe.Gap_recorder.attach (Webserver.machine t) in
+      Webserver.run t ~warmup:(Time_ns.of_sec 1.0) ~measure:(Time_ns.of_sec 4.0);
+      Printf.printf "throughput: %.0f req/s\n" (Webserver.requests_per_sec t);
+      rec_
+  | "nfs" | "realaudio" | "kernel-build" ->
+    fun name ->
+      let engine = Engine.create () in
+      let machine = Machine.create engine in
+      (match name with
+      | "nfs" -> Wl_nfs.start machine ~seed:7
+      | "realaudio" -> Wl_realaudio.start machine ~seed:7
+      | _ -> Wl_kernel_build.start machine ~seed:7);
+      let rec_ = Delay_probe.Gap_recorder.attach machine in
+      Engine.run_until engine (Time_ns.of_sec 4.0);
+      rec_
+  | _ -> usage ()
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "apache" in
+  let rec_ = gaps_of name name in
+  let s = Delay_probe.Gap_recorder.sample rec_ in
+  Printf.printf
+    "workload %s: %d trigger intervals\n\
+    \  mean %.2f us, median %.2f us, stddev %.2f us, max %.0f us\n\
+    \  >100 us: %.3f%%   >150 us: %.3f%%\n\n"
+    name (Stats.Sample.count s) (Stats.Sample.mean s) (Stats.Sample.median s)
+    (Stats.Sample.stddev s) (Stats.Sample.max s)
+    (100.0 *. Stats.Sample.fraction_above s 100.0)
+    (100.0 *. Stats.Sample.fraction_above s 150.0);
+  Printf.printf "trigger sources:\n";
+  List.iter
+    (fun (k, f) -> Printf.printf "  %-14s %5.1f%%\n" (Trigger.name k) (100.0 *. f))
+    (Delay_probe.Gap_recorder.source_fractions rec_);
+  let h = Histogram.create ~lo:0.0 ~hi:150.0 ~bins:150 in
+  Array.iter (fun g -> Histogram.add h g) (Stats.Sample.values s);
+  print_newline ();
+  print_string (Histogram.render_ascii ~series:[ (name, h) ] ())

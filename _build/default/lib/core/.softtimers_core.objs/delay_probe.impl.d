@@ -1,0 +1,1 @@
+lib/core/delay_probe.ml: Float Int64 List Machine Series Softtimer Stats Time_ns Trigger

@@ -1,0 +1,1 @@
+lib/core/delay_probe.mli: Machine Series Softtimer Stats Trigger

@@ -1,0 +1,1 @@
+lib/core/hw_pacer.ml: Cpu Engine Interrupt Machine Stats Time_ns Trigger

@@ -1,0 +1,1 @@
+lib/core/hw_pacer.mli: Machine Stats Time_ns

@@ -1,0 +1,1 @@
+lib/core/net_poll.ml: Float Softtimer Time_ns

@@ -1,0 +1,1 @@
+lib/core/net_poll.mli: Softtimer Time_ns

@@ -1,0 +1,1 @@
+lib/core/rate_clock.ml: Engine Machine Softtimer Stats Time_ns

@@ -1,0 +1,1 @@
+lib/core/rate_clock.mli: Softtimer Stats Time_ns

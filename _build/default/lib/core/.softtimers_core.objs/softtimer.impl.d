@@ -1,0 +1,1 @@
+lib/core/softtimer.ml: Costs Cpu Engine Float Int64 Machine Stats Time_ns Timing_wheel

@@ -1,0 +1,1 @@
+lib/core/softtimer.mli: Machine Stats Time_ns

@@ -1,0 +1,62 @@
+(** Measurement probes for the paper's instrumentation.
+
+    {!Gap_recorder} measures the time between successive trigger states
+    (Table 1, Figures 4–6); {!Event_delay} measures how late soft-timer
+    events fire relative to their scheduled time (§3's delay variable
+    [d], §5.2's maximal-frequency handler). *)
+
+module Gap_recorder : sig
+  type t
+
+  val attach :
+    ?include_kinds:Trigger.kind list ->
+    ?exclude_kinds:Trigger.kind list ->
+    ?record_series:bool ->
+    Machine.t ->
+    t
+  (** Record inter-trigger gaps.  A trigger kind is counted when it is
+      in [include_kinds] (default: all) and not in [exclude_kinds]
+      (default: none) — Figure 6 removes one source at a time this way.
+      With [record_series] (default false), each gap is also stored with
+      its timestamp for the windowed-median analysis of Figure 5. *)
+
+  val sample : t -> Stats.Sample.t
+  (** Gaps, in microseconds. *)
+
+  val series : t -> Series.t
+  (** Timestamped gaps (empty unless [record_series] was set). *)
+
+  val count : t -> Trigger.kind -> int
+  (** Triggers counted, by kind (after filtering). *)
+
+  val total : t -> int
+
+  val source_fractions : t -> (Trigger.kind * float) list
+  (** Fraction of counted triggers contributed by each of the paper's
+      Table 2 sources, in Table 2's order. *)
+
+  val reset_clock : t -> unit
+  (** Forget the previous trigger so the next one starts a fresh gap
+      (use after a warm-up period). *)
+end
+
+module Event_delay : sig
+  type t
+
+  val start_periodic : Softtimer.t -> ticks:int64 -> t
+  (** Repeatedly schedule a null-handler soft event [ticks] measurement
+      ticks ahead (rescheduled from its own handler) and record each
+      firing delay: actual minus scheduled time, in microseconds.
+      [ticks = 0] reproduces §5.2's "event at every trigger state". *)
+
+  val stop : t -> unit
+
+  val delays : t -> Stats.Sample.t
+  (** Firing delay beyond the scheduled instant, in microseconds. *)
+
+  val inter_firing : t -> Stats.Sample.t
+  (** Gaps between consecutive firings, in microseconds (§5.2 reports a
+      31.5 us mean under the Apache workload for [ticks = 0]). *)
+
+  val fired : t -> int
+end

@@ -1,0 +1,85 @@
+type t = {
+  machine : Machine.t;
+  interval : Time_ns.span;
+  send : Time_ns.t -> bool;
+  dispatch_work_us : float;
+  mutable line : Interrupt.line option;
+  mutable running : bool;
+  mutable dispatch_pending : bool;
+  mutable epoch : int;
+  mutable sends : int;
+  mutable last_send : Time_ns.t option;
+  intervals : Stats.Sample.t;
+}
+
+(* The interrupt handler only wakes the software interrupt; the packet
+   is transmitted from softintr context, like the BSD thread dispatch
+   the paper describes for its hardware-timer experiment (§5.6). *)
+let on_tick t _now =
+  if t.dispatch_pending then ()
+    (* the previous tick's transmission has not run yet: the callout
+       coalesces and this tick's transmission is effectively lost *)
+  else begin
+    t.dispatch_pending <- true;
+    Machine.submit_quantum t.machine ~prio:Cpu.prio_softintr ~work_us:t.dispatch_work_us
+      ~trigger:None (fun now ->
+        t.dispatch_pending <- false;
+        if t.running && t.send now then begin
+        (match t.last_send with
+        | Some prev -> Stats.Sample.add t.intervals (Time_ns.to_us Time_ns.(now - prev))
+        | None -> ());
+          t.last_send <- Some now;
+          t.sends <- t.sends + 1
+        end)
+  end
+
+let create machine ~interval ~send ?(dispatch_work_us = 1.2) () =
+  if Time_ns.(interval <= 0L) then invalid_arg "Hw_pacer.create: interval must be positive";
+  let t =
+    {
+      machine;
+      interval;
+      send;
+      dispatch_work_us;
+      line = None;
+      running = false;
+      dispatch_pending = false;
+      epoch = 0;
+      sends = 0;
+      last_send = None;
+      intervals = Stats.Sample.create ();
+    }
+  in
+  let line =
+    Machine.interrupt_line machine ~name:"pacer-8253" ~source:Trigger.Clock_tick ~latch_depth:1
+      ~spl_blockable:true
+      ~handler:(fun now -> on_tick t now)
+      ()
+  in
+  t.line <- Some line;
+  t
+
+let the_line t = match t.line with Some l -> l | None -> assert false
+
+let rec tick_loop t epoch () =
+  if t.running && t.epoch = epoch then begin
+    ignore (Machine.raise_irq t.machine (the_line t) ~handler_work_us:0.4 () : bool);
+    ignore
+      (Engine.schedule_after (Machine.engine t.machine) t.interval (tick_loop t epoch)
+        : Engine.handle)
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    t.epoch <- t.epoch + 1;
+    ignore
+      (Engine.schedule_after (Machine.engine t.machine) t.interval (tick_loop t t.epoch)
+        : Engine.handle)
+  end
+
+let stop t = t.running <- false
+let sends t = t.sends
+let ticks_raised t = Interrupt.raised (the_line t)
+let ticks_lost t = Interrupt.lost (the_line t)
+let intervals t = t.intervals

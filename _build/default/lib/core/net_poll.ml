@@ -1,0 +1,67 @@
+type t = {
+  st : Softtimer.t;
+  quota : float;
+  poll : Time_ns.t -> int;
+  min_interval : Time_ns.span;
+  max_interval : Time_ns.span;
+  mutable interval : Time_ns.span;
+  mutable ewma_batch : float;
+  mutable running : bool;
+  mutable outstanding : Softtimer.handle option;
+  mutable polls : int;
+  mutable packets : int;
+}
+
+let create st ~quota ~poll ?(min_interval = Time_ns.of_us 10.0)
+    ?(max_interval = Time_ns.of_ms 1.0) ?(initial_interval = Time_ns.of_us 50.0) () =
+  if quota <= 0.0 then invalid_arg "Net_poll.create: quota must be positive";
+  {
+    st;
+    quota;
+    poll;
+    min_interval;
+    max_interval;
+    interval = initial_interval;
+    ewma_batch = quota;
+    running = false;
+    outstanding = None;
+    polls = 0;
+    packets = 0;
+  }
+
+(* Multiplicative adaptation toward the aggregation quota, smoothed by
+   an EWMA of the observed batch size and clamped to 2x per step so a
+   single empty or bursty poll cannot destabilise the interval. *)
+let adapt t found =
+  let alpha = 0.2 in
+  t.ewma_batch <- (alpha *. float_of_int found) +. ((1.0 -. alpha) *. t.ewma_batch);
+  let ratio = t.quota /. Float.max t.ewma_batch 0.125 in
+  let ratio = Float.min 2.0 (Float.max 0.5 ratio) in
+  let next = Time_ns.scale t.interval ratio in
+  t.interval <- Time_ns.min t.max_interval (Time_ns.max t.min_interval next)
+
+let rec on_event t now =
+  t.outstanding <- None;
+  if t.running then begin
+    let found = t.poll now in
+    t.polls <- t.polls + 1;
+    t.packets <- t.packets + found;
+    adapt t found;
+    t.outstanding <- Some (Softtimer.schedule_after t.st t.interval (on_event t))
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    t.outstanding <- Some (Softtimer.schedule_after t.st t.interval (on_event t))
+  end
+
+let stop t =
+  t.running <- false;
+  (match t.outstanding with Some h -> Softtimer.cancel t.st h | None -> ());
+  t.outstanding <- None
+
+let current_interval t = t.interval
+let polls t = t.polls
+let packets t = t.packets
+let mean_batch t = if t.polls = 0 then 0.0 else float_of_int t.packets /. float_of_int t.polls

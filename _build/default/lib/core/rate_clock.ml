@@ -1,0 +1,76 @@
+type t = {
+  st : Softtimer.t;
+  target : Time_ns.span;
+  min_interval : Time_ns.span;
+  send : Time_ns.t -> bool;
+  mutable active : bool;
+  mutable train_start : Time_ns.t;
+  mutable sent_in_train : int;
+  mutable last_send : Time_ns.t;
+  mutable sends : int;
+  mutable outstanding : Softtimer.handle option;
+  intervals : Stats.Sample.t;
+}
+
+let create st ~target_interval ~min_interval ~send () =
+  if Time_ns.(min_interval <= 0L) || Time_ns.(min_interval > target_interval) then
+    invalid_arg "Rate_clock.create: need 0 < min_interval <= target_interval";
+  {
+    st;
+    target = target_interval;
+    min_interval;
+    send;
+    active = false;
+    train_start = Time_ns.zero;
+    sent_in_train = 0;
+    last_send = Time_ns.zero;
+    sends = 0;
+    outstanding = None;
+    intervals = Stats.Sample.create ();
+  }
+
+let rec on_event t now =
+  t.outstanding <- None;
+  if t.active then begin
+    if t.send now then begin
+      if t.sent_in_train > 0 then
+        Stats.Sample.add t.intervals (Time_ns.to_us Time_ns.(now - t.last_send));
+      t.last_send <- now;
+      t.sent_in_train <- t.sent_in_train + 1;
+      t.sends <- t.sends + 1;
+      schedule_next t now
+    end
+    else
+      (* Nothing pending: the train ends; a later [kick] starts a new
+         train with a fresh rate average. *)
+      t.active <- false
+  end
+
+(* The next packet's ideal send time is train_start + n * target; when we
+   are already past it (soft-timer delays accumulated), catch up at the
+   maximal allowable burst rate. *)
+and schedule_next t now =
+  let ideal = Time_ns.(t.train_start + Time_ns.mul t.target t.sent_in_train) in
+  let delay = Time_ns.(ideal - now) in
+  let delay = Time_ns.max delay t.min_interval in
+  t.outstanding <- Some (Softtimer.schedule_after t.st delay (on_event t))
+
+let begin_train t =
+  t.active <- true;
+  let now = Engine.now (Machine.engine (Softtimer.machine t.st)) in
+  t.train_start <- now;
+  t.sent_in_train <- 0;
+  (* First transmission at the first trigger state from now. *)
+  t.outstanding <- Some (Softtimer.schedule_soft_event t.st ~ticks:0L (on_event t))
+
+let start t = if not t.active then begin_train t
+let kick t = if not t.active then begin_train t
+
+let stop t =
+  t.active <- false;
+  (match t.outstanding with Some h -> Softtimer.cancel t.st h | None -> ());
+  t.outstanding <- None
+
+let active t = t.active
+let sends t = t.sends
+let intervals t = t.intervals

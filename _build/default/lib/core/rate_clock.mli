@@ -1,0 +1,45 @@
+(** Adaptive rate-based clocking over soft timers (paper §4.1).
+
+    A rate clock transmits one packet per soft-timer event, aiming at a
+    target inter-transmission interval.  Because soft-timer events fire
+    probabilistically late, scheduling each event a fixed interval ahead
+    would drift below the target rate; the paper's algorithm instead
+    tracks the average transmission rate since the start of the current
+    packet train and, when behind, schedules the next transmission at
+    the maximal allowable burst rate (the [min_interval], e.g. the link
+    speed) until the average catches up.
+
+    Only one transmission event is outstanding at any time, so a long
+    trigger-state gap produces one late packet, not a burst. *)
+
+type t
+
+val create :
+  Softtimer.t ->
+  target_interval:Time_ns.span ->
+  min_interval:Time_ns.span ->
+  send:(Time_ns.t -> bool) ->
+  unit ->
+  t
+(** [send now] must transmit one packet and return [true], or return
+    [false] when nothing is pending — which ends the current train (the
+    clock goes idle until {!kick}).
+    @raise Invalid_argument unless [0 < min_interval <= target_interval]. *)
+
+val start : t -> unit
+(** Begin a train: the first transmission is attempted at the next
+    trigger state. *)
+
+val kick : t -> unit
+(** Restart after the clock went idle (new data queued).  No-op while a
+    train is active. *)
+
+val stop : t -> unit
+(** Go idle; the outstanding event is cancelled. *)
+
+val active : t -> bool
+val sends : t -> int
+
+val intervals : t -> Stats.Sample.t
+(** Inter-transmission gaps within trains, in microseconds — the
+    statistic of the paper's Tables 4 and 5. *)

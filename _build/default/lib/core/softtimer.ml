@@ -1,0 +1,103 @@
+type pending_event = { due : Time_ns.t; handler : Time_ns.t -> unit }
+
+type t = {
+  machine : Machine.t;
+  wheel : pending_event Timing_wheel.t;
+  measure_hz : int64;
+  intr_hz : int64;
+  ns_per_tick : float;
+  mutable fired : int;
+  mutable checks : int;
+  mutable attached : bool;
+  mutable record_delays : bool;
+  delays : Stats.Sample.t;
+}
+
+type handle = Timing_wheel.handle
+
+let machine t = t.machine
+let measure_resolution t = t.measure_hz
+let interrupt_clock_resolution t = t.intr_hz
+let x_ratio t = Int64.div t.measure_hz t.intr_hz
+
+let measure_time t =
+  let now = Engine.now (Machine.engine t.machine) in
+  Int64.of_float (Int64.to_float now /. t.ns_per_tick)
+
+let ns_of_tick t tick =
+  (* Round up: a tick boundary maps to the first instant at or after it. *)
+  Int64.of_float (Float.ceil (Int64.to_float tick *. t.ns_per_tick))
+
+(* The per-trigger-state check: compare the cached earliest deadline with
+   now and fire anything due.  Firing charges the dispatch cost (a
+   procedure call) to the CPU and runs the handler inline. *)
+let check t now =
+  t.checks <- t.checks + 1;
+  match Timing_wheel.next_deadline t.wheel with
+  | Some d when Time_ns.(d <= now) ->
+    let fire_cost = (Machine.profile t.machine).Costs.softtimer_fire_us in
+    ignore
+      (Timing_wheel.fire_due t.wheel ~now (fun due ev ->
+           t.fired <- t.fired + 1;
+           if t.record_delays then
+             Stats.Sample.add t.delays (Time_ns.to_us Time_ns.(now - due));
+           Machine.submit_quantum t.machine ~prio:Cpu.prio_intr ~work_us:fire_cost
+             ~trigger:None (fun _ -> ());
+           ev.handler now)
+        : int)
+  | Some _ | None -> ()
+
+let attach ?(wheel_tick = Time_ns.of_us 10.0) ?(wheel_slots = 512) machine =
+  if Machine.check_hook_attached machine then
+    invalid_arg "Softtimer.attach: a facility is already attached to this machine";
+  let profile = Machine.profile machine in
+  let t =
+    {
+      machine;
+      wheel = Timing_wheel.create ~slots:wheel_slots ~tick:wheel_tick ();
+      measure_hz = Int64.of_float (profile.Costs.cpu_mhz *. 1e6);
+      intr_hz = Int64.of_float profile.Costs.interrupt_clock_hz;
+      ns_per_tick = 1e9 /. (profile.Costs.cpu_mhz *. 1e6);
+      fired = 0;
+      checks = 0;
+      attached = true;
+      record_delays = false;
+      delays = Stats.Sample.create ();
+    }
+  in
+  Machine.set_check_hook machine (Some (check t));
+  Machine.set_idle_deadline_fn machine (Some (fun () -> Timing_wheel.next_deadline t.wheel));
+  Machine.start_interrupt_clock machine;
+  t
+
+let detach t =
+  if t.attached then begin
+    t.attached <- false;
+    Machine.set_check_hook t.machine None;
+    Machine.set_idle_deadline_fn t.machine None
+  end
+
+let schedule_soft_event t ~ticks handler =
+  if Int64.compare ticks 0L < 0 then
+    invalid_arg "Softtimer.schedule_soft_event: negative ticks";
+  let sched = measure_time t in
+  (* Fires once measure_time > sched + ticks, i.e. at tick sched+ticks+1. *)
+  let due = ns_of_tick t (Int64.add sched (Int64.add ticks 1L)) in
+  let h = Timing_wheel.schedule t.wheel ~at:due { due; handler } in
+  (* If this event became the earliest, an idle checking CPU may be
+     armed for a later (or no) deadline: wake it up for this one. *)
+  if t.attached && Timing_wheel.next_deadline t.wheel = Some due then
+    Machine.notify_deadline_changed t.machine;
+  h
+
+let schedule_after t span handler =
+  let span = Time_ns.max span 0L in
+  let ticks = Int64.of_float (Float.ceil (Int64.to_float span /. t.ns_per_tick)) in
+  schedule_soft_event t ~ticks handler
+
+let cancel t h = Timing_wheel.cancel t.wheel h
+let pending t = Timing_wheel.pending t.wheel
+let fired t = t.fired
+let checks t = t.checks
+let set_record_delays t b = t.record_delays <- b
+let delays t = t.delays

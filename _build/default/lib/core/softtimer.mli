@@ -1,0 +1,82 @@
+(** The soft-timer facility (paper §3).
+
+    Soft timers schedule events at microsecond granularity without
+    dedicated hardware timer interrupts: at every {e trigger state} the
+    kernel reaches (system-call return, trap return, interrupt return,
+    network-subsystem loops, idle loop), the facility compares the
+    current time against the earliest pending event and fires due
+    handlers at the cost of a procedure call.  A periodic hardware
+    interrupt — the ordinary system clock — backs the facility up, so an
+    event scheduled [T] ticks ahead fires after more than [T] but less
+    than [T + X + 1] ticks, where
+    [X = measure_resolution / interrupt_clock_resolution] (Figure 1).
+
+    The facility's interface is the paper's, verbatim:
+    {!measure_resolution}, {!measure_time}, {!schedule_soft_event} and
+    {!interrupt_clock_resolution}.  Pending events live in a hashed
+    timing wheel ({!Timing_wheel}); the per-trigger check costs one
+    cached comparison. *)
+
+type t
+
+type handle
+(** A scheduled event; cancellable until it fires. *)
+
+val attach : ?wheel_tick:Time_ns.span -> ?wheel_slots:int -> Machine.t -> t
+(** Install the facility on a machine: hooks the per-trigger-state
+    check, provides the idle loop's next-deadline oracle and starts the
+    machine's periodic interrupt clock (the backup).  At most one
+    facility may be attached to a machine at a time.
+    [wheel_tick] defaults to 10 us, [wheel_slots] to 512. *)
+
+val detach : t -> unit
+(** Unhook the facility.  Pending events never fire afterwards. *)
+
+val machine : t -> Machine.t
+
+(** {2 The paper's four operations} *)
+
+val measure_resolution : t -> int64
+(** Resolution of the measurement clock in Hz — the CPU clock (the
+    paper reads the Pentium cycle counter). *)
+
+val measure_time : t -> int64
+(** Current time in ticks of the measurement clock.  Not synchronised
+    with any standard time base; meant for measuring intervals. *)
+
+val interrupt_clock_resolution : t -> int64
+(** Frequency (Hz) of the periodic timer interrupt that schedules
+    overdue soft-timer events — the facility's worst-case granularity. *)
+
+val schedule_soft_event : t -> ticks:int64 -> (Time_ns.t -> unit) -> handle
+(** [schedule_soft_event t ~ticks handler] arranges for [handler] to be
+    called at least [ticks] measurement-clock ticks in the future: at
+    the first trigger state at which [measure_time] exceeds its
+    schedule-time value by at least [ticks + 1] (the +1 accounts for the
+    schedule instant not coinciding with a tick edge), and in any case
+    by the next backup interrupt after that.
+    @raise Invalid_argument if [ticks < 0]. *)
+
+(** {2 Convenience and introspection} *)
+
+val schedule_after : t -> Time_ns.span -> (Time_ns.t -> unit) -> handle
+(** Like {!schedule_soft_event} with the delay given as a span (rounded
+    up to whole measurement ticks). *)
+
+val x_ratio : t -> int64
+(** [X = measure_resolution / interrupt_clock_resolution]; the width of
+    the firing window in measurement ticks. *)
+
+val cancel : t -> handle -> unit
+val pending : t -> int
+val fired : t -> int
+(** Events fired so far. *)
+
+val checks : t -> int
+(** Trigger-state checks performed so far. *)
+
+val set_record_delays : t -> bool -> unit
+(** When enabled, the firing delay of every event (actual minus
+    scheduled due time, in microseconds) is recorded in {!delays}. *)
+
+val delays : t -> Stats.Sample.t

@@ -1,0 +1,1 @@
+lib/experiments/exp_config.ml: Printf String Time_ns

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig1.ml: Dist Engine Exp_config Int64 Kernel List Machine Prng Softtimer Tablefmt Time_ns

@@ -1,0 +1,1 @@
+lib/experiments/exp_hw_overhead.ml: Costs Exp_config List Printf Tablefmt Webserver

@@ -1,0 +1,1 @@
+lib/experiments/exp_hw_overhead.mli: Exp_config

@@ -1,0 +1,1 @@
+lib/experiments/exp_livelock.ml: Cpu Dist Engine Exec Exp_config Kernel List Machine Net_poll Nic Packet Prng Softtimer Tablefmt Time_ns

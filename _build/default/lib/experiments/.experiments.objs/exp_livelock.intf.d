@@ -1,0 +1,1 @@
+lib/experiments/exp_livelock.mli: Exp_config

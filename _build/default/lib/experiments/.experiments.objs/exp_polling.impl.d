@@ -1,0 +1,1 @@
+lib/experiments/exp_polling.ml: Exp_config List Net_poll Printf Tablefmt Webserver

@@ -1,0 +1,1 @@
+lib/experiments/exp_polling.mli: Exp_config Webserver

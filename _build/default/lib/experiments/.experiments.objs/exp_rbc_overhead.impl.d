@@ -1,0 +1,1 @@
+lib/experiments/exp_rbc_overhead.ml: Exp_config List Stats Tablefmt Time_ns Webserver

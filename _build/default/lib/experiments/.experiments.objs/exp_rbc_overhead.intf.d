@@ -1,0 +1,1 @@
+lib/experiments/exp_rbc_overhead.mli: Exp_config Webserver

@@ -1,0 +1,1 @@
+lib/experiments/exp_rbc_process.ml: Cpu Engine Exp_config Hw_pacer List Machine Printf Rate_clock Stats String Tablefmt Time_ns Trigger Webserver

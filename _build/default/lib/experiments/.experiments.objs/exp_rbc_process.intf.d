@@ -1,0 +1,1 @@
+lib/experiments/exp_rbc_process.mli: Exp_config

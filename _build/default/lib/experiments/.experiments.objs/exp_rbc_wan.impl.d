@@ -1,0 +1,1 @@
+lib/experiments/exp_rbc_wan.ml: Exp_config List Printf Session String Tablefmt Time_ns

@@ -1,0 +1,1 @@
+lib/experiments/exp_rbc_wan.mli: Exp_config

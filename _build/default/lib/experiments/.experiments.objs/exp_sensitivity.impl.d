@@ -1,0 +1,1 @@
+lib/experiments/exp_sensitivity.ml: Cache Costs Exp_config List Printf Tablefmt Time_ns Webserver

@@ -1,0 +1,1 @@
+lib/experiments/exp_soft_base.ml: Delay_probe Exp_config Printf Stats Webserver

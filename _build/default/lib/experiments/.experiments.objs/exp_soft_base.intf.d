@@ -1,0 +1,1 @@
+lib/experiments/exp_soft_base.mli: Exp_config

@@ -1,0 +1,1 @@
+lib/experiments/exp_trigger_dist.ml: Array Costs Delay_probe Engine Exp_config Histogram List Machine Stats Tablefmt Time_ns Webserver Wl_kernel_build Wl_nfs Wl_realaudio

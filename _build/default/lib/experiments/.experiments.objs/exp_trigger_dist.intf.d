@@ -1,0 +1,1 @@
+lib/experiments/exp_trigger_dist.mli: Exp_config Histogram

@@ -1,0 +1,1 @@
+lib/experiments/exp_trigger_sources.ml: Array Delay_probe Exp_config Histogram List Printf Stats Tablefmt Trigger Webserver

@@ -1,0 +1,1 @@
+lib/experiments/exp_trigger_sources.mli: Exp_config Histogram Trigger

@@ -1,0 +1,1 @@
+lib/experiments/exp_trigger_windows.ml: Array Buffer Delay_probe Exp_config List Printf Series Stats Time_ns Webserver

@@ -1,0 +1,1 @@
+lib/experiments/exp_trigger_windows.mli: Exp_config Time_ns

@@ -1,0 +1,13 @@
+type t = { quick : bool; seed : int }
+
+let default = { quick = false; seed = 7 }
+let quick = { quick = true; seed = 7 }
+let warmup t = if t.quick then Time_ns.of_sec 0.3 else Time_ns.of_sec 1.0
+let measure t = if t.quick then Time_ns.of_sec 1.0 else Time_ns.of_sec 5.0
+let dist_window t = if t.quick then Time_ns.of_sec 0.8 else Time_ns.of_sec 5.0
+
+let header title =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.sprintf "%s\n= %s =\n%s\n" bar title bar
+
+let paper_note s = "  [paper] " ^ s ^ "\n"

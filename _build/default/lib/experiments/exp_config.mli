@@ -1,0 +1,28 @@
+(** Common experiment settings.
+
+    Every experiment takes one of these: [quick] shrinks simulated time
+    so the whole suite can run inside the test harness; the default
+    durations match (scaled-down) paper methodology. *)
+
+type t = { quick : bool; seed : int }
+
+val default : t
+(** Full-length runs, seed 7. *)
+
+val quick : t
+(** Short runs for tests (~10x faster, noisier). *)
+
+val warmup : t -> Time_ns.span
+(** Simulated warm-up before measurement begins. *)
+
+val measure : t -> Time_ns.span
+(** Simulated measurement window for throughput experiments. *)
+
+val dist_window : t -> Time_ns.span
+(** Simulated time for trigger-distribution collection. *)
+
+val header : string -> string
+(** Render an experiment banner. *)
+
+val paper_note : string -> string
+(** Render a "paper reports ..." footnote. *)

@@ -1,0 +1,85 @@
+type cell = { quota : float option; tput : float; ratio : float }
+
+type row = {
+  server : Webserver.server_kind;
+  http : Webserver.http_mode;
+  cells : cell list;
+  mean_batch : float;
+}
+
+let quotas (cfg : Exp_config.t) =
+  if cfg.Exp_config.quick then [ 1.0; 15.0 ] else [ 1.0; 2.0; 5.0; 10.0; 15.0 ]
+
+let run_cell (cfg : Exp_config.t) ~kind ~http ~net =
+  let wcfg =
+    { Webserver.default_config with Webserver.kind; http; net; seed = cfg.Exp_config.seed }
+  in
+  let t = Webserver.create wcfg in
+  Webserver.run t ~warmup:(Exp_config.warmup cfg) ~measure:(Exp_config.measure cfg);
+  let batch = match Webserver.poller t with Some p -> Net_poll.mean_batch p | None -> nan in
+  (Webserver.requests_per_sec t, batch)
+
+let compute cfg =
+  let per kind http =
+    let base, _ = run_cell cfg ~kind ~http ~net:Webserver.Interrupts in
+    let last_batch = ref nan in
+    let cells =
+      { quota = None; tput = base; ratio = 1.0 }
+      :: List.map
+           (fun q ->
+             let tput, batch = run_cell cfg ~kind ~http ~net:(Webserver.Soft_polling q) in
+             last_batch := batch;
+             { quota = Some q; tput; ratio = tput /. base })
+           (quotas cfg)
+    in
+    { server = kind; http; cells; mean_batch = !last_batch }
+  in
+  [
+    per Webserver.Apache Webserver.Http;
+    per Webserver.Flash Webserver.Http;
+    per Webserver.Apache (Webserver.Persistent 10);
+    per Webserver.Flash (Webserver.Persistent 10);
+  ]
+
+let row_name r =
+  let s = match r.server with Webserver.Apache -> "Apache" | Webserver.Flash -> "Flash" in
+  let h = match r.http with Webserver.Http -> "HTTP" | Webserver.Persistent _ -> "P-HTTP" in
+  s ^ " " ^ h
+
+let paper_ratios = function
+  | "Apache HTTP" -> [ 1.0; 1.07; 1.09; 1.10; 1.11; 1.11 ]
+  | "Flash HTTP" -> [ 1.0; 1.14; 1.17; 1.23; 1.24; 1.25 ]
+  | "Apache P-HTTP" -> [ 1.0; 1.03; 1.04; 1.06; 1.07; 1.07 ]
+  | "Flash P-HTTP" -> [ 1.0; 1.08; 1.14; 1.19; 1.21; 1.24 ]
+  | _ -> []
+
+let render (cfg : Exp_config.t) rows =
+  let open Tablefmt in
+  let quota_cols = quotas cfg in
+  let t =
+    create ~title:"Table 8 -- network polling throughput on 6 KB requests (req/s, ratio to interrupts)"
+      ~columns:
+        (("server", Left) :: ("interrupts", Right)
+        :: List.map (fun q -> (Printf.sprintf "quota %.0f" q, Right)) quota_cols)
+  in
+  List.iter
+    (fun r ->
+      add_row t
+        (row_name r
+        :: List.map
+             (fun c ->
+               match c.quota with
+               | None -> cell_f ~decimals:0 c.tput
+               | Some _ -> Printf.sprintf "%.0f (%.2f)" c.tput c.ratio)
+             r.cells);
+      let paper = paper_ratios (row_name r) in
+      if paper <> [] && not cfg.Exp_config.quick then
+        add_row t
+          ("  [paper ratio]"
+          :: List.map (fun x -> Printf.sprintf "(%.2f)" x) paper);
+      add_rule t)
+    rows;
+  render t
+  ^ Exp_config.paper_note "improvements of 3%-25%; Flash gains more (better locality to lose)"
+
+let run cfg = Exp_config.header "Table 8: soft-timer network polling" ^ render cfg (compute cfg)

@@ -1,0 +1,24 @@
+(** Tables 6 and 7: rate-based clocking network performance (§5.8).
+
+    HTTP transfers of 5 to 100,000 full-size segments cross the emulated
+    WAN (100 ms RTT; 50 or 100 Mbps bottleneck) with stock slow-start
+    TCP versus rate-based clocking at the bottleneck bandwidth.  The
+    paper's headline: response-time reductions from 2% (huge transfers)
+    to 89% (100-packet transfers). *)
+
+type row = {
+  segments : int;
+  regular_xput_mbps : float;
+  regular_ms : float;
+  paced_xput_mbps : float;
+  paced_ms : float;
+  reduction_pct : float;
+}
+
+type table = { bottleneck_mbps : float; rows : row list }
+
+val compute : Exp_config.t -> table list
+(** Two tables: 50 Mbps (Table 6) and 100 Mbps (Table 7). *)
+
+val render : Exp_config.t -> table list -> string
+val run : Exp_config.t -> string

@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Array Engine Queue Time_ns

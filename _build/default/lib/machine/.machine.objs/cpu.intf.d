@@ -1,0 +1,1 @@
+lib/machine/cpu.mli: Engine Time_ns

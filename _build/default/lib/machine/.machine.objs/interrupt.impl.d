@@ -1,0 +1,1 @@
+lib/machine/interrupt.ml: Array Cache Costs Cpu Dist Engine List Time_ns Trigger

@@ -1,0 +1,1 @@
+lib/machine/interrupt.mli: Cache Costs Cpu Dist Engine Prng Time_ns Trigger

@@ -1,0 +1,1 @@
+lib/machine/kernel.ml: Costs Cpu Engine Machine Trigger

@@ -1,0 +1,1 @@
+lib/machine/kernel.mli: Machine Time_ns Trigger

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Cache Costs Cpu Engine Float Fun Interrupt List Printf Prng Time_ns Trigger

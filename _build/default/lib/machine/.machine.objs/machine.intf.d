@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Cache Costs Cpu Dist Engine Interrupt Time_ns Trigger

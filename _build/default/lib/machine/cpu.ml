@@ -1,0 +1,116 @@
+let prio_intr = 0
+let prio_softintr = 1
+let prio_kernel = 2
+let prio_user = 3
+let prio_background = 4
+let prio_count = 5
+
+(* Priorities 0 and 1 model interrupt handlers and spl-protected
+   software-interrupt processing: once running they are never preempted. *)
+let preemptible prio = prio >= prio_kernel
+
+type task = { prio : int; mutable remaining : Time_ns.span; cb : Time_ns.t -> unit }
+
+type running = {
+  task : task;
+  started : Time_ns.t;
+  handle : Engine.handle;
+}
+
+type t = {
+  engine : Engine.t;
+  fronts : task list ref array;  (* resumed quanta, run before the queue *)
+  queues : task Queue.t array;
+  mutable current : running option;
+  mutable busy : Time_ns.span;
+  busy_by_prio : Time_ns.span array;
+  mutable idle_hook : Time_ns.t -> unit;
+  mutable resume_hook : Time_ns.t -> unit;
+  mutable depth : int;
+}
+
+let create engine =
+  {
+    engine;
+    fronts = Array.init prio_count (fun _ -> ref []);
+    queues = Array.init prio_count (fun _ -> Queue.create ());
+    current = None;
+    busy = 0L;
+    busy_by_prio = Array.make prio_count 0L;
+    idle_hook = (fun _ -> ());
+    resume_hook = (fun _ -> ());
+    depth = 0;
+  }
+
+let is_idle t = t.current = None && t.depth = 0
+let busy_ns t = t.busy
+let busy_ns_at t prio = t.busy_by_prio.(prio)
+let set_idle_hook t f = t.idle_hook <- f
+let set_resume_hook t f = t.resume_hook <- f
+let queue_depth t = t.depth
+
+let take_next t =
+  let rec scan prio =
+    if prio >= prio_count then None
+    else
+      match !(t.fronts.(prio)) with
+      | task :: rest ->
+        t.fronts.(prio) := rest;
+        Some task
+      | [] ->
+        if Queue.is_empty t.queues.(prio) then scan (prio + 1)
+        else Some (Queue.pop t.queues.(prio))
+  in
+  scan 0
+
+let charge t task span =
+  t.busy <- Time_ns.(t.busy + span);
+  t.busy_by_prio.(task.prio) <- Time_ns.(t.busy_by_prio.(task.prio) + span)
+
+let rec dispatch t =
+  match take_next t with
+  | None ->
+    t.current <- None;
+    t.idle_hook (Engine.now t.engine)
+  | Some task ->
+    t.depth <- t.depth - 1;
+    let started = Engine.now t.engine in
+    let handle =
+      Engine.schedule_after t.engine task.remaining (fun () -> complete t task)
+    in
+    t.current <- Some { task; started; handle }
+
+and complete t task =
+  charge t task task.remaining;
+  task.remaining <- 0L;
+  t.current <- None;
+  task.cb (Engine.now t.engine);
+  (* The callback may have submitted work and triggered a dispatch; only
+     dispatch here if the CPU is still unoccupied. *)
+  if t.current = None then dispatch t
+
+let preempt t r =
+  Engine.cancel r.handle;
+  let now = Engine.now t.engine in
+  let elapsed = Time_ns.(now - r.started) in
+  charge t r.task elapsed;
+  r.task.remaining <- Time_ns.(r.task.remaining - elapsed);
+  t.fronts.(r.task.prio) := r.task :: !(t.fronts.(r.task.prio));
+  t.depth <- t.depth + 1;
+  t.current <- None
+
+let submit t ~prio ~work cb =
+  if prio < 0 || prio >= prio_count then invalid_arg "Cpu.submit: bad priority";
+  if Time_ns.(work < 0L) then invalid_arg "Cpu.submit: negative work";
+  let was_idle = is_idle t in
+  let task = { prio; remaining = work; cb } in
+  Queue.add task t.queues.(prio);
+  t.depth <- t.depth + 1;
+  if was_idle then t.resume_hook (Engine.now t.engine);
+  match t.current with
+  | None -> dispatch t
+  | Some r when preemptible r.task.prio && prio < r.task.prio -> begin
+    preempt t r;
+    dispatch t
+  end
+  | Some _ -> ()

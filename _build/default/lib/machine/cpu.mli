@@ -1,0 +1,65 @@
+(** Single simulated CPU with prioritised, partially-preemptible work.
+
+    All computation in the simulated machine — interrupt handlers,
+    software-interrupt protocol processing, system-call bodies and user
+    code — is expressed as {e quanta}: a duration plus a completion
+    callback.  The CPU executes the highest-priority quantum available.
+
+    Priorities (smaller = more urgent) mirror the BSD execution levels
+    the paper discusses:
+
+    - {!prio_intr} (0): hardware interrupt handlers.  Never preempted —
+      interrupts are disabled while one runs.
+    - {!prio_softintr} (1): BSD software interrupts (TCP/IP input
+      processing).  Not preempted either: this stands in for the
+      spl-protected critical sections that delay — and can lose —
+      periodic timer interrupts in FreeBSD (paper §5.7).
+    - {!prio_kernel} (2): system-call and trap bodies.  Preemptible.
+    - {!prio_user} (3): user-mode computation.  Preemptible.
+
+    When a more urgent quantum arrives while a preemptible one runs, the
+    running quantum is suspended with its remaining work and resumed
+    afterwards; its completion callback fires once, at true completion.
+    Arrival during a non-preemptible quantum waits for that quantum to
+    finish — this bounded delay is exactly the trigger-state latency and
+    interrupt-latency mechanism of the paper. *)
+
+type t
+
+val prio_intr : int
+val prio_softintr : int
+val prio_kernel : int
+val prio_user : int
+
+val prio_background : int
+(** Below user: CPU-bound processes whose scheduler priority has decayed
+    (the paper's compute-bound background process, §5.3). *)
+
+val prio_count : int
+
+val create : Engine.t -> t
+
+val submit : t -> prio:int -> work:Time_ns.span -> (Time_ns.t -> unit) -> unit
+(** [submit t ~prio ~work cb] enqueues a quantum; [cb] runs when its
+    cumulative execution reaches [work], receiving the completion time.
+    Zero-work quanta complete as soon as they are dispatched.
+    @raise Invalid_argument for out-of-range priority or negative work. *)
+
+val is_idle : t -> bool
+(** No quantum running and none queued. *)
+
+val busy_ns : t -> Time_ns.span
+(** Cumulative execution time, over all priorities. *)
+
+val busy_ns_at : t -> int -> Time_ns.span
+(** Cumulative execution time of quanta submitted at one priority. *)
+
+val set_idle_hook : t -> (Time_ns.t -> unit) -> unit
+(** Called at every transition to idle (after the last completion
+    callback has run and found nothing to dispatch). *)
+
+val set_resume_hook : t -> (Time_ns.t -> unit) -> unit
+(** Called at every transition out of idle. *)
+
+val queue_depth : t -> int
+(** Quanta queued but not running (diagnostics). *)

@@ -1,0 +1,123 @@
+type line = {
+  name : string;
+  source : Trigger.kind;
+  latch_depth : int;
+  spl_blockable : bool;
+  cpu : int;
+  handler : Time_ns.t -> unit;
+  mutable in_flight : int;  (* delivered-but-unfinished, at most latch_depth *)
+  mutable deferred : bool;  (* a tick is waiting for the spl window to end *)
+  mutable raised : int;
+  mutable lost : int;
+  mutable delivered : int;
+}
+
+type t = {
+  engine : Engine.t;
+  cpus : Cpu.t array;
+  profile : Costs.profile;
+  on_trigger : Trigger.kind -> Time_ns.t -> unit;
+  mutable locality : Cache.locality;
+  mutable spl_until : Time_ns.t;  (* end of the current disabled window *)
+  mutable spl_deferred : (line * Time_ns.span) list;  (* with handler work *)
+}
+
+let create ~engine ~cpus ~profile ~on_trigger () =
+  {
+    engine;
+    cpus;
+    profile;
+    on_trigger;
+    locality = Cache.neutral;
+    spl_until = Time_ns.zero;
+    spl_deferred = [];
+  }
+
+let set_locality t l = t.locality <- l
+
+let line t ~name ~source ?(latch_depth = 2) ?(spl_blockable = false) ?(cpu = 0) ~handler () =
+  ignore t.engine;
+  if latch_depth < 1 then invalid_arg "Interrupt.line: latch_depth must be >= 1";
+  if cpu < 0 || cpu >= Array.length t.cpus then invalid_arg "Interrupt.line: bad cpu";
+  {
+    name;
+    source;
+    latch_depth;
+    spl_blockable;
+    cpu;
+    handler;
+    in_flight = 0;
+    deferred = false;
+    raised = 0;
+    lost = 0;
+    delivered = 0;
+  }
+
+let deliver t ln handler_work =
+  ln.in_flight <- ln.in_flight + 1;
+  let overhead =
+    Time_ns.of_us (Costs.intr_total_us t.profile ~locality:t.locality.Cache.sensitivity)
+  in
+  let work = Time_ns.(overhead + Time_ns.max handler_work 0L) in
+  Cpu.submit t.cpus.(ln.cpu) ~prio:Cpu.prio_intr ~work (fun now ->
+      ln.in_flight <- ln.in_flight - 1;
+      ln.delivered <- ln.delivered + 1;
+      ln.handler now;
+      t.on_trigger ln.source now)
+
+let raise_irq t ln ?(handler_work = 0L) () =
+  ln.raised <- ln.raised + 1;
+  let now = Engine.now t.engine in
+  if ln.spl_blockable && Time_ns.(now < t.spl_until) then begin
+    (* Interrupts disabled: latch one tick; further ticks are gone. *)
+    if ln.deferred then begin
+      ln.lost <- ln.lost + 1;
+      false
+    end
+    else begin
+      ln.deferred <- true;
+      t.spl_deferred <- (ln, handler_work) :: t.spl_deferred;
+      true
+    end
+  end
+  else if ln.in_flight >= ln.latch_depth then begin
+    ln.lost <- ln.lost + 1;
+    false
+  end
+  else begin
+    deliver t ln handler_work;
+    true
+  end
+
+let flush_spl t =
+  let pending = List.rev t.spl_deferred in
+  t.spl_deferred <- [];
+  List.iter
+    (fun (ln, work) ->
+      ln.deferred <- false;
+      if ln.in_flight >= ln.latch_depth then ln.lost <- ln.lost + 1
+      else deliver t ln work)
+    pending
+
+let start_spl_sections t ~rng ?(rate_per_sec = 1_300.0)
+    ?(duration_us = Dist.Uniform (40.0, 180.0)) () =
+  let gap_dist = Dist.Exponential (1e6 /. rate_per_sec) in
+  let rec next_window () =
+    let gap = Dist.span gap_dist rng in
+    ignore
+      (Engine.schedule_after t.engine gap (fun () ->
+           let d = Dist.span duration_us rng in
+           let now = Engine.now t.engine in
+           t.spl_until <- Time_ns.(now + d);
+           ignore
+             (Engine.schedule_after t.engine d (fun () ->
+                  flush_spl t;
+                  next_window ())
+               : Engine.handle))
+        : Engine.handle)
+  in
+  next_window ()
+
+let raised ln = ln.raised
+let lost ln = ln.lost
+let delivered ln = ln.delivered

@@ -1,0 +1,54 @@
+type step = { prio : int; work_us : float; trigger : Trigger.kind option }
+
+let scaled m us = Costs.scale_us (Machine.profile m) us
+
+let syscall m ~work_us cb =
+  let entry = (Machine.profile m).Costs.syscall_entry_us in
+  Machine.submit_quantum m ~prio:Cpu.prio_kernel
+    ~work_us:(entry +. scaled m work_us)
+    ~trigger:(Some Trigger.Syscall) cb
+
+let trap m ~work_us cb =
+  let entry = (Machine.profile m).Costs.trap_entry_us in
+  Machine.submit_quantum m ~prio:Cpu.prio_kernel
+    ~work_us:(entry +. scaled m work_us)
+    ~trigger:(Some Trigger.Trap) cb
+
+let user m ~work_us cb =
+  Machine.submit_quantum m ~prio:Cpu.prio_user ~work_us:(scaled m work_us) ~trigger:None cb
+
+let softintr m ~source ~work_us cb =
+  Machine.submit_quantum m ~prio:Cpu.prio_softintr ~work_us:(scaled m work_us)
+    ~trigger:(Some source) cb
+
+let context_switch m cb =
+  Machine.submit_quantum m ~prio:Cpu.prio_kernel
+    ~work_us:(Machine.profile m).Costs.context_switch_us ~trigger:None cb
+
+let step_syscall ?(work_us = 4.0) m =
+  let entry = (Machine.profile m).Costs.syscall_entry_us in
+  { prio = Cpu.prio_kernel; work_us = entry +. scaled m work_us; trigger = Some Trigger.Syscall }
+
+let step_trap ?(work_us = 12.0) m =
+  let entry = (Machine.profile m).Costs.trap_entry_us in
+  { prio = Cpu.prio_kernel; work_us = entry +. scaled m work_us; trigger = Some Trigger.Trap }
+
+let step_user m ~work_us = { prio = Cpu.prio_user; work_us = scaled m work_us; trigger = None }
+
+let step_ip_output ?(work_us = 7.0) m =
+  { prio = Cpu.prio_kernel; work_us = scaled m work_us; trigger = Some Trigger.Ip_output }
+
+let step_tcp_timer ?(work_us = 1.5) m =
+  { prio = Cpu.prio_softintr; work_us = scaled m work_us; trigger = Some Trigger.Tcpip_other }
+
+let step_ctx_switch m =
+  { prio = Cpu.prio_kernel; work_us = (Machine.profile m).Costs.context_switch_us; trigger = None }
+
+let run_script m steps k =
+  let rec go = function
+    | [] -> k (Engine.now (Machine.engine m))
+    | s :: rest ->
+      Machine.submit_quantum m ~prio:s.prio ~work_us:s.work_us ~trigger:s.trigger (fun _now ->
+          go rest)
+  in
+  go steps

@@ -1,0 +1,228 @@
+let kind_index : Trigger.kind -> int = function
+  | Trigger.Syscall -> 0
+  | Trigger.Trap -> 1
+  | Trigger.Ip_intr -> 2
+  | Trigger.Ip_output -> 3
+  | Trigger.Tcpip_other -> 4
+  | Trigger.Dev_intr -> 5
+  | Trigger.Clock_tick -> 6
+  | Trigger.Idle -> 7
+
+type t = {
+  engine : Engine.t;
+  profile : Costs.profile;
+  cpus : Cpu.t array;
+  idle : bool array;  (* per-CPU idle state *)
+  mutable checker : int option;  (* the one idle CPU checking (§5.2) *)
+  mutable intc : Interrupt.t option;  (* set right after creation *)
+  mutable locality : Cache.locality;
+  mutable check_hook : (Time_ns.t -> unit) option;
+  mutable observers : (Trigger.kind -> Time_ns.t -> unit) list;
+  counts : int array;
+  mutable clock_running : bool;
+  mutable idle_poll : Time_ns.span option;
+  mutable idle_deadline_fn : (unit -> Time_ns.t option) option;
+  mutable idle_epoch : int;  (* bumped on checker changes; invalidates stale pokes *)
+}
+
+let engine t = t.engine
+let cpu t = t.cpus.(0)
+let cpu_count t = Array.length t.cpus
+
+let nth_cpu t i =
+  if i < 0 || i >= Array.length t.cpus then invalid_arg "Machine.nth_cpu: bad index";
+  t.cpus.(i)
+
+let any_cpu_idle t = Array.exists Fun.id t.idle
+
+let total_busy_ns t =
+  Array.fold_left (fun acc c -> Time_ns.(acc + Cpu.busy_ns c)) 0L t.cpus
+
+let checking_cpu t = t.checker
+let profile t = t.profile
+
+let interrupts t =
+  match t.intc with Some i -> i | None -> assert false
+
+let set_locality t l =
+  t.locality <- l;
+  Interrupt.set_locality (interrupts t) l
+
+let locality t = t.locality
+
+let fire_trigger t kind =
+  let now = Engine.now t.engine in
+  t.counts.(kind_index kind) <- t.counts.(kind_index kind) + 1;
+  List.iter (fun f -> f kind now) t.observers;
+  match t.check_hook with Some f -> f now | None -> ()
+
+let add_observer t f = t.observers <- t.observers @ [ f ]
+let set_check_hook t hook = t.check_hook <- hook
+let check_hook_attached t = t.check_hook <> None
+let trigger_count t kind = t.counts.(kind_index kind)
+let trigger_total t = Array.fold_left ( + ) 0 t.counts
+
+let submit_quantum t ?(cpu = 0) ~prio ~work_us ~trigger cb =
+  if cpu < 0 || cpu >= Array.length t.cpus then
+    invalid_arg "Machine.submit_quantum: bad cpu";
+  let work_us =
+    match (trigger, t.check_hook) with
+    | Some _, Some _ -> work_us +. t.profile.Costs.softtimer_check_us
+    | _ -> work_us
+  in
+  let work = Time_ns.of_us (Float.max 0.0 work_us) in
+  Cpu.submit t.cpus.(cpu) ~prio ~work (fun now ->
+      (match trigger with Some kind -> fire_trigger t kind | None -> ());
+      cb now)
+
+let interrupt_line t ~name ~source ?latch_depth ?spl_blockable ?cpu ~handler () =
+  Interrupt.line (interrupts t) ~name ~source ?latch_depth ?spl_blockable ?cpu ~handler ()
+
+let start_spl_sections t ?rate_per_sec ?duration_us ~seed () =
+  Interrupt.start_spl_sections (interrupts t) ~rng:(Prng.create ~seed) ?rate_per_sec
+    ?duration_us ()
+
+let raise_irq t ln ?(handler_work_us = 0.0) () =
+  let handler_work = Time_ns.of_us (Float.max 0.0 handler_work_us) in
+  Interrupt.raise_irq (interrupts t) ln ~handler_work ()
+
+(* Idle-loop machinery.  At most one idle CPU -- the checker (§5.2) --
+   polls for soft-timer events and runs the idle measurement poll; the
+   other idle CPUs halt.  Both the poll and the facility's deadline poke
+   are one-shot events re-armed while that CPU stays the checker; the
+   epoch counter discards events armed before the last checker change. *)
+
+let checker_still t epoch i =
+  t.idle_epoch = epoch && t.checker = Some i && Cpu.is_idle t.cpus.(i)
+
+let rec arm_idle_poll t epoch i =
+  match t.idle_poll with
+  | None -> ()
+  | Some dt ->
+    ignore
+      (Engine.schedule_after t.engine dt (fun () ->
+           if checker_still t epoch i then begin
+             fire_trigger t Trigger.Idle;
+             if checker_still t epoch i then arm_idle_poll t epoch i
+           end)
+        : Engine.handle)
+
+let rec arm_idle_deadline t epoch i =
+  match t.idle_deadline_fn with
+  | None -> ()
+  | Some next_deadline -> begin
+    match next_deadline () with
+    | None -> ()
+    | Some d ->
+      ignore
+        (Engine.schedule_at t.engine d (fun () ->
+             if checker_still t epoch i then begin
+               (* The check hook fires the due event; if the handler
+                  spawned no CPU work we are still idle and must re-arm
+                  for the next deadline ourselves. *)
+               fire_trigger t Trigger.Idle;
+               if checker_still t epoch i then arm_idle_deadline t epoch i
+             end)
+          : Engine.handle)
+  end
+
+(* Elect an idle CPU as the checker.  Bumping the epoch kills any chain
+   armed for a previous election, so re-entry can never double-arm. *)
+let assign_checker t =
+  t.idle_epoch <- t.idle_epoch + 1;
+  let epoch = t.idle_epoch in
+  let rec first_idle i =
+    if i >= Array.length t.idle then None
+    else if t.idle.(i) then Some i
+    else first_idle (i + 1)
+  in
+  t.checker <- first_idle 0;
+  match t.checker with
+  | None -> ()
+  | Some i ->
+    arm_idle_poll t epoch i;
+    arm_idle_deadline t epoch i
+
+let on_idle t i _now =
+  t.idle.(i) <- true;
+  (* A newly idle CPU only matters if nobody is checking yet. *)
+  if t.checker = None then assign_checker t
+
+let on_resume t i _now =
+  t.idle.(i) <- false;
+  if t.checker = Some i then assign_checker t
+
+let create ?(profile = Costs.pentium_ii_300) ?(cpus = 1) engine =
+  if cpus < 1 then invalid_arg "Machine.create: need at least one cpu";
+  let cpu_arr = Array.init cpus (fun _ -> Cpu.create engine) in
+  let t =
+    {
+      engine;
+      profile;
+      cpus = cpu_arr;
+      idle = Array.make cpus true;
+      checker = None;
+      intc = None;
+      locality = Cache.neutral;
+      check_hook = None;
+      observers = [];
+      counts = Array.make 8 0;
+      clock_running = false;
+      idle_poll = None;
+      idle_deadline_fn = None;
+      idle_epoch = 0;
+    }
+  in
+  let intc =
+    Interrupt.create ~engine ~cpus:cpu_arr ~profile
+      ~on_trigger:(fun kind now ->
+        ignore now;
+        fire_trigger t kind)
+      ()
+  in
+  t.intc <- Some intc;
+  Array.iteri
+    (fun i cpu ->
+      Cpu.set_idle_hook cpu (on_idle t i);
+      Cpu.set_resume_hook cpu (on_resume t i))
+    cpu_arr;
+  t
+
+let add_periodic_timer t ~hz ?(handler_work_us = 0.0) handler =
+  if hz <= 0.0 then invalid_arg "Machine.add_periodic_timer: hz must be positive";
+  let period = Time_ns.of_sec (1.0 /. hz) in
+  let handler_work = Time_ns.of_us handler_work_us in
+  let ln =
+    (* A fast-interrupt handler: serviced even inside spl sections, like
+       the paper's null-handler measurement timer (Â§5.1). *)
+    interrupt_line t ~name:(Printf.sprintf "timer-%.0fHz" hz) ~source:Trigger.Clock_tick
+      ~latch_depth:1 ~handler ()
+  in
+  let rec tick () =
+    ignore (Interrupt.raise_irq (interrupts t) ln ~handler_work () : bool);
+    ignore (Engine.schedule_after t.engine period tick : Engine.handle)
+  in
+  ignore (Engine.schedule_after t.engine period tick : Engine.handle);
+  ln
+
+let start_interrupt_clock t =
+  if not t.clock_running then begin
+    t.clock_running <- true;
+    (* hardclock: bump ticks, run due callouts — a small constant cost. *)
+    ignore
+      (add_periodic_timer t ~hz:t.profile.Costs.interrupt_clock_hz ~handler_work_us:0.6
+         (fun _now -> ())
+        : Interrupt.line)
+  end
+
+let interrupt_clock_running t = t.clock_running
+
+let notify_deadline_changed t = if t.checker <> None then assign_checker t
+
+let set_idle_poll t poll =
+  t.idle_poll <- poll;
+  if any_cpu_idle t then assign_checker t
+
+let set_idle_deadline_fn t fn =
+  t.idle_deadline_fn <- fn;
+  if any_cpu_idle t then assign_checker t

@@ -1,0 +1,148 @@
+(** The simulated computer: CPU + interrupt controller + periodic clock
+    + trigger-state plumbing.
+
+    A [Machine.t] assembles the pieces and owns the trigger-state
+    dispatch: every kernel entry point ({!Kernel}), interrupt return
+    ({!Interrupt}) and idle-loop iteration reports a trigger state here,
+    which (a) feeds measurement observers and (b) runs the soft-timer
+    facility's check hook, when one is attached (see {!Softtimer}).
+
+    The machine does not know what a soft timer is; the facility layers
+    on top through {!set_check_hook} and {!set_idle_deadline_fn}. *)
+
+type t
+
+val create : ?profile:Costs.profile -> ?cpus:int -> Engine.t -> t
+(** A machine with [cpus] idle CPUs (default 1) and no periodic clock
+    running.  [profile] defaults to {!Costs.pentium_ii_300}.
+    @raise Invalid_argument if [cpus < 1]. *)
+
+val engine : t -> Engine.t
+
+val cpu : t -> Cpu.t
+(** CPU 0 (the boot CPU — every single-CPU consumer uses this). *)
+
+val cpu_count : t -> int
+
+val nth_cpu : t -> int -> Cpu.t
+(** @raise Invalid_argument for an out-of-range index. *)
+
+val any_cpu_idle : t -> bool
+(** Whether at least one CPU is idle — the condition under which
+    soft-timer network polling reverts to interrupts (§5.9) and the
+    facility can fire events exactly on time (§5.3). *)
+
+val total_busy_ns : t -> Time_ns.span
+(** Busy time summed over all CPUs. *)
+
+val profile : t -> Costs.profile
+val interrupts : t -> Interrupt.t
+
+val set_locality : t -> Cache.locality -> unit
+(** Declare the locality sensitivity of the running workload (scales
+    interrupt pollution costs from now on). *)
+
+val locality : t -> Cache.locality
+
+(** {2 Trigger states} *)
+
+val fire_trigger : t -> Trigger.kind -> unit
+(** Report that a trigger state of the given kind was reached now.
+    Normally called by {!Kernel} and {!Interrupt}; exposed for tests and
+    for synthetic trigger-process generators. *)
+
+val add_observer : t -> (Trigger.kind -> Time_ns.t -> unit) -> unit
+(** Measurement tap: called at every trigger state, before the check
+    hook. *)
+
+val set_check_hook : t -> (Time_ns.t -> unit) option -> unit
+(** The soft-timer facility's per-trigger-state check.  While a hook is
+    attached, every trigger-bearing quantum is lengthened by the
+    profile's [softtimer_check_us] so the check's (tiny) cost is
+    accounted. *)
+
+val check_hook_attached : t -> bool
+
+val trigger_count : t -> Trigger.kind -> int
+(** Trigger states observed so far, by kind. *)
+
+val trigger_total : t -> int
+
+(** {2 Quanta and interrupts} *)
+
+val submit_quantum :
+  t ->
+  ?cpu:int ->
+  prio:int ->
+  work_us:float ->
+  trigger:Trigger.kind option ->
+  (Time_ns.t -> unit) ->
+  unit
+(** Submit CPU work (to CPU 0 unless [cpu] says otherwise); when it
+    completes, fire the given trigger kind (if any) and then run the
+    callback.  The soft-timer check surcharge is added automatically
+    when a hook is attached and [trigger] is [Some _]. *)
+
+val interrupt_line :
+  t ->
+  name:string ->
+  source:Trigger.kind ->
+  ?latch_depth:int ->
+  ?spl_blockable:bool ->
+  ?cpu:int ->
+  handler:(Time_ns.t -> unit) ->
+  unit ->
+  Interrupt.line
+(** Register a device interrupt line (see {!Interrupt.line}). *)
+
+val start_spl_sections : t -> ?rate_per_sec:float -> ?duration_us:Dist.t -> seed:int -> unit -> unit
+(** Generate the kernel's interrupt-disabled critical sections (see
+    {!Interrupt.start_spl_sections}); they defer and occasionally lose
+    ticks of spl-blockable timer lines. *)
+
+val raise_irq : t -> Interrupt.line -> ?handler_work_us:float -> unit -> bool
+(** Assert a line; [false] when the interrupt was lost. *)
+
+(** {2 Clocks} *)
+
+val start_interrupt_clock : t -> unit
+(** Start the periodic system timer at the profile's
+    [interrupt_clock_hz].  Each tick is a real interrupt (cost, trigger
+    state [Clock_tick]); it is the backup that bounds soft-timer delay. *)
+
+val interrupt_clock_running : t -> bool
+
+val add_periodic_timer :
+  t -> hz:float -> ?handler_work_us:float -> (Time_ns.t -> unit) -> Interrupt.line
+(** An additional periodic hardware timer (the paper's §5.1 experiment
+    adds one with a null handler at 0–100 kHz).  Returns the line so
+    callers can read loss statistics.  Ticks raise interrupts
+    unconditionally; latch-full ticks are lost, as on real hardware. *)
+
+(** {2 Idle loop} *)
+
+val set_idle_poll : t -> Time_ns.span option -> unit
+(** When set, an idle CPU reports an [Idle] trigger state every given
+    span — the idle-loop polling visible in the paper's Table 1 (ST-nfs
+    shows ~2 us intervals).  [None] (default) disables idle polling:
+    the CPU halts when idle, and only interrupts produce triggers.
+
+    On a multi-CPU machine, §5.2's arbitration applies: at most one
+    idle CPU polls (the {e checker}); the others halt.  When the
+    checker resumes work, another idle CPU (if any) takes over. *)
+
+val checking_cpu : t -> int option
+(** The idle CPU currently checking for soft-timer events, if any. *)
+
+val notify_deadline_changed : t -> unit
+(** The facility's earliest pending deadline moved earlier (a new event
+    was scheduled ahead of everything armed).  Re-arms the checking
+    CPU's wake-up; a no-op when no CPU is idle. *)
+
+val set_idle_deadline_fn : t -> (unit -> Time_ns.t option) option -> unit
+(** The facility's "earliest pending soft-timer deadline" oracle.  While
+    the CPU is idle, the machine arranges an [Idle] trigger state exactly
+    at that deadline — semantically, the idle loop's continuous check
+    firing the event the instant it is due (paper §3/§5.2: the idle loop
+    checks for pending soft timer events; the CPU halts only when none
+    are due before the next clock tick). *)

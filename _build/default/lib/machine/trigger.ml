@@ -1,0 +1,37 @@
+type kind =
+  | Syscall
+  | Trap
+  | Ip_intr
+  | Ip_output
+  | Tcpip_other
+  | Dev_intr
+  | Clock_tick
+  | Idle
+
+let all = [ Syscall; Trap; Ip_intr; Ip_output; Tcpip_other; Dev_intr; Clock_tick; Idle ]
+
+let name = function
+  | Syscall -> "syscalls"
+  | Trap -> "traps"
+  | Ip_intr -> "ip-intr"
+  | Ip_output -> "ip-output"
+  | Tcpip_other -> "tcpip-others"
+  | Dev_intr -> "dev-intr"
+  | Clock_tick -> "clock-tick"
+  | Idle -> "idle"
+
+let equal a b =
+  match (a, b) with
+  | Syscall, Syscall
+  | Trap, Trap
+  | Ip_intr, Ip_intr
+  | Ip_output, Ip_output
+  | Tcpip_other, Tcpip_other
+  | Dev_intr, Dev_intr
+  | Clock_tick, Clock_tick
+  | Idle, Idle ->
+    true
+  | (Syscall | Trap | Ip_intr | Ip_output | Tcpip_other | Dev_intr | Clock_tick | Idle), _ ->
+    false
+
+let table2_sources = [ Syscall; Ip_output; Ip_intr; Tcpip_other; Trap ]

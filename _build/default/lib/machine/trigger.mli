@@ -1,0 +1,34 @@
+(** Trigger-state kinds.
+
+    A trigger state is a point in kernel execution where invoking a
+    soft-timer handler costs no more than a procedure call (paper §3):
+    the return path of a system call, exception or interrupt handler,
+    selected kernel loops (the TCP/IP output loop and the TCP timer
+    loop, added by the authors in §5.2), and the idle loop.
+
+    The kinds below mirror the event sources of the paper's Table 2,
+    plus the periodic clock tick (which the paper's source accounting
+    omits) and disk interrupts (present in the NFS and kernel-build
+    workloads). *)
+
+type kind =
+  | Syscall  (** return from a system call *)
+  | Trap  (** return from an exception (page fault, arithmetic, ...) *)
+  | Ip_intr  (** return from a network interface interrupt *)
+  | Ip_output  (** IP packet transmission loop *)
+  | Tcpip_other  (** other network-subsystem loops (TCP timers, ...) *)
+  | Dev_intr  (** return from a non-network device interrupt (disk) *)
+  | Clock_tick  (** return from the periodic system timer interrupt *)
+  | Idle  (** one iteration of the kernel idle loop *)
+
+val all : kind list
+(** Every kind, in declaration order. *)
+
+val name : kind -> string
+(** The paper's label for the source ("syscalls", "ip-output", ...). *)
+
+val equal : kind -> kind -> bool
+
+val table2_sources : kind list
+(** The five sources accounted in the paper's Table 2: [Syscall],
+    [Ip_output], [Ip_intr], [Tcpip_other], [Trap]. *)

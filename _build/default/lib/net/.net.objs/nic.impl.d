@@ -1,0 +1,1 @@
+lib/net/nic.ml: Engine Interrupt Link List Machine Packet Queue Time_ns Trigger

@@ -1,0 +1,1 @@
+lib/net/nic.mli: Interrupt Machine Packet Time_ns

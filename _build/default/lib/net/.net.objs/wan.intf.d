@@ -1,0 +1,1 @@
+lib/net/wan.mli: Engine Packet Time_ns

@@ -1,0 +1,28 @@
+type 'a t = {
+  capacity : int;
+  queue : 'a Queue.t;
+  mutable drops : int;
+  mutable accepted : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Droptail.create: capacity must be positive";
+  { capacity; queue = Queue.create (); drops = 0; accepted = 0 }
+
+let push t x =
+  if Queue.length t.queue >= t.capacity then begin
+    t.drops <- t.drops + 1;
+    false
+  end
+  else begin
+    Queue.add x t.queue;
+    t.accepted <- t.accepted + 1;
+    true
+  end
+
+let pop t = Queue.take_opt t.queue
+let length t = Queue.length t.queue
+let is_empty t = Queue.is_empty t.queue
+let capacity t = t.capacity
+let drops t = t.drops
+let accepted t = t.accepted

@@ -1,0 +1,19 @@
+(** Bounded drop-tail packet queue.
+
+    The router buffer of the WAN emulator: packets beyond the capacity
+    are dropped (counted), everything else is FIFO. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val push : 'a t -> 'a -> bool
+(** [push t x] enqueues [x]; [false] (and a recorded drop) when full. *)
+
+val pop : 'a t -> 'a option
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val capacity : 'a t -> int
+val drops : 'a t -> int
+val accepted : 'a t -> int

@@ -1,0 +1,35 @@
+(** Point-to-point link: FIFO serialisation at a fixed bandwidth plus a
+    fixed propagation latency.
+
+    A packet handed to {!send} waits for earlier packets to finish
+    serialising, occupies the wire for [bits / bandwidth], and is
+    delivered [latency] after its serialisation completes.  The queue is
+    unbounded; bound it with {!Droptail} where loss matters. *)
+
+type 'a t
+
+val create :
+  Engine.t ->
+  bandwidth_bps:float ->
+  latency:Time_ns.span ->
+  ?on_sent:(Time_ns.t -> 'a Packet.t -> unit) ->
+  deliver:(Time_ns.t -> 'a Packet.t -> unit) ->
+  unit ->
+  'a t
+(** [on_sent] fires when a packet finishes serialising (before
+    propagation) — the moment a NIC would signal transmit completion.
+    @raise Invalid_argument if [bandwidth_bps <= 0] or [latency < 0]. *)
+
+val send : 'a t -> 'a Packet.t -> unit
+
+val in_flight : 'a t -> int
+(** Packets queued or serialising (not counting those in propagation). *)
+
+val busy : 'a t -> bool
+(** Whether the transmitter is currently serialising. *)
+
+val serialization_time : 'a t -> 'a Packet.t -> Time_ns.span
+(** Time this packet occupies the wire. *)
+
+val sent : 'a t -> int
+(** Packets fully serialised so far. *)

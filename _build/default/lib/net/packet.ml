@@ -1,0 +1,10 @@
+type 'a t = { size_bytes : int; meta : 'a; born : Time_ns.t }
+
+let create ~size_bytes ~meta ~born =
+  if size_bytes < 0 then invalid_arg "Packet.create: negative size";
+  { size_bytes; meta; born }
+
+let bits p = p.size_bytes * 8
+let mtu_payload = 1448
+let frame_overhead = 52
+let ack_size = frame_overhead

@@ -1,0 +1,25 @@
+(** Network packets.
+
+    Packets are generic in their metadata so the same links, queues and
+    NICs serve both the web-server workload models (whose metadata is a
+    connection-level event) and the packet-level TCP simulator (whose
+    metadata is a TCP segment). *)
+
+type 'a t = { size_bytes : int; meta : 'a; born : Time_ns.t }
+
+val create : size_bytes:int -> meta:'a -> born:Time_ns.t -> 'a t
+(** @raise Invalid_argument if [size_bytes < 0]. *)
+
+val bits : 'a t -> int
+(** Size on the wire, in bits. *)
+
+val mtu_payload : int
+(** 1448 bytes: the TCP payload of a 1500-byte Ethernet frame after
+    20 + 20 + 12 bytes of IP/TCP/options headers — the paper's transfer
+    unit (Tables 6 and 7). *)
+
+val frame_overhead : int
+(** 52 bytes of IP + TCP + options headers. *)
+
+val ack_size : int
+(** Size of a bare ACK segment on the wire. *)

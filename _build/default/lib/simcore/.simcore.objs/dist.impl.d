@@ -1,0 +1,1 @@
+lib/simcore/dist.ml: Float List Prng Time_ns

@@ -1,0 +1,1 @@
+lib/simcore/dist.mli: Prng Time_ns

@@ -1,0 +1,1 @@
+lib/simcore/engine.ml: Heap Time_ns

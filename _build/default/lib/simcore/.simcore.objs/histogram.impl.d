@@ -1,0 +1,1 @@
+lib/simcore/histogram.ml: Array Buffer List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/simcore/series.ml: Array Float Int64 List Time_ns

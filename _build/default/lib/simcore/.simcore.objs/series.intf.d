@@ -1,0 +1,1 @@
+lib/simcore/series.mli: Time_ns

@@ -1,0 +1,1 @@
+lib/simcore/tablefmt.ml: Buffer Float List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/simcore/time_ns.ml: Float Format Int64 Stdlib

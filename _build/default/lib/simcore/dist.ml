@@ -1,0 +1,62 @@
+type t =
+  | Constant of float
+  | Uniform of float * float
+  | Exponential of float
+  | Pareto of { scale : float; shape : float }
+  | Lognormal of { mu : float; sigma : float }
+  | Erlang of { k : int; mean : float }
+  | Mixture of (float * t) list
+  | Shifted of float * t
+
+(* Box–Muller; one variate per call keeps the generator state simple. *)
+let normal rng =
+  let u1 = 1.0 -. Prng.float rng in
+  let u2 = Prng.float rng in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let rec draw_raw t rng =
+  match t with
+  | Constant c -> c
+  | Uniform (lo, hi) -> Prng.float_range rng lo hi
+  | Exponential mean ->
+    let u = 1.0 -. Prng.float rng in
+    -.mean *. log u
+  | Pareto { scale; shape } ->
+    let u = 1.0 -. Prng.float rng in
+    scale /. (u ** (1.0 /. shape))
+  | Lognormal { mu; sigma } -> exp (mu +. (sigma *. normal rng))
+  | Erlang { k; mean } ->
+    let rate = float_of_int k /. mean in
+    let acc = ref 0.0 in
+    for _ = 1 to k do
+      let u = 1.0 -. Prng.float rng in
+      acc := !acc -. (log u /. rate)
+    done;
+    !acc
+  | Mixture branches ->
+    let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 branches in
+    let x = Prng.float rng *. total in
+    let rec pick acc = function
+      | [] -> invalid_arg "Dist.draw: empty mixture"
+      | [ (_, d) ] -> draw_raw d rng
+      | (w, d) :: rest -> if x < acc +. w then draw_raw d rng else pick (acc +. w) rest
+    in
+    pick 0.0 branches
+  | Shifted (c, d) -> c +. draw_raw d rng
+
+let draw t rng = Float.max 0.0 (draw_raw t rng)
+
+let rec mean = function
+  | Constant c -> c
+  | Uniform (lo, hi) -> (lo +. hi) /. 2.0
+  | Exponential m -> m
+  | Pareto { scale; shape } ->
+    if shape <= 1.0 then infinity else scale *. shape /. (shape -. 1.0)
+  | Lognormal { mu; sigma } -> exp (mu +. (sigma *. sigma /. 2.0))
+  | Erlang { k = _; mean = m } -> m
+  | Mixture branches ->
+    let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 branches in
+    List.fold_left (fun acc (w, d) -> acc +. (w /. total *. mean d)) 0.0 branches
+  | Shifted (c, d) -> c +. mean d
+
+let span t rng = Time_ns.of_us (draw t rng)

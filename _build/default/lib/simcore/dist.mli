@@ -1,0 +1,37 @@
+(** Random-variate distributions used by the workload models.
+
+    A [t] is a description of a distribution over non-negative durations
+    (or scalars); [draw] samples it using an explicit generator.  The
+    workload models in [Workloads] describe inter-arrival and service
+    processes with these. *)
+
+type t =
+  | Constant of float  (** always the given value *)
+  | Uniform of float * float  (** uniform on [\[lo, hi)] *)
+  | Exponential of float  (** exponential with the given mean *)
+  | Pareto of { scale : float; shape : float }
+      (** Pareto with minimum [scale] and tail index [shape]; heavy-tailed
+          for [shape <= 2].  Used for burstiness in workload models. *)
+  | Lognormal of { mu : float; sigma : float }
+      (** lognormal with parameters of the underlying normal *)
+  | Erlang of { k : int; mean : float }
+      (** sum of [k] exponentials; total mean [mean].  Lower variance
+          than exponential, for service-like stages. *)
+  | Mixture of (float * t) list
+      (** weighted mixture; weights need not sum to one, they are
+          normalised at draw time *)
+  | Shifted of float * t  (** [Shifted (c, d)] draws [c + draw d] *)
+
+val draw : t -> Prng.t -> float
+(** [draw t rng] samples one variate.  Results are clamped below at
+    [0.] for every constructor except [Shifted] with a negative shift,
+    where the clamp applies after shifting. *)
+
+val mean : t -> float
+(** Analytic mean of the distribution (infinite Pareto means for
+    [shape <= 1] are returned as [infinity]). *)
+
+val span : t -> Prng.t -> Time_ns.span
+(** [span t rng] draws a variate interpreted as microseconds and
+    converts it to a {!Time_ns.span}.  All workload-model distributions
+    in this project are parameterised in microseconds. *)

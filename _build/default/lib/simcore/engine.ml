@@ -1,0 +1,86 @@
+type event = {
+  time : Time_ns.t;
+  seq : int;
+  action : unit -> unit;
+  live : int ref;  (* shared with the owning engine's pending counter *)
+  mutable state : [ `Pending | `Cancelled | `Done ];
+}
+
+type handle = event
+
+type t = {
+  mutable clock : Time_ns.t;
+  mutable next_seq : int;
+  live : int ref;
+  heap : event Heap.t;
+}
+
+let compare_event a b =
+  let c = Time_ns.compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () =
+  { clock = Time_ns.zero; next_seq = 0; live = ref 0; heap = Heap.create ~cmp:compare_event }
+
+let now t = t.clock
+let pending t = !(t.live)
+
+let schedule_at t time f =
+  let time = Time_ns.max time t.clock in
+  let ev = { time; seq = t.next_seq; action = f; live = t.live; state = `Pending } in
+  t.next_seq <- t.next_seq + 1;
+  incr t.live;
+  Heap.push t.heap ev;
+  ev
+
+let schedule_after t d f =
+  let d = Time_ns.max d 0L in
+  schedule_at t Time_ns.(t.clock + d) f
+
+let cancel ev =
+  if ev.state = `Pending then begin
+    ev.state <- `Cancelled;
+    decr ev.live
+  end
+
+let is_scheduled ev = ev.state = `Pending
+
+(* Pop the next pending event, discarding cancelled ones lazily. *)
+let rec next_pending t =
+  match Heap.pop t.heap with
+  | None -> None
+  | Some ev when ev.state = `Cancelled -> next_pending t
+  | some -> some
+
+let fire t ev =
+  t.clock <- ev.time;
+  ev.state <- `Done;
+  decr t.live;
+  ev.action ()
+
+let step t =
+  match next_pending t with
+  | None -> false
+  | Some ev ->
+    fire t ev;
+    true
+
+let run_until t limit =
+  let rec loop () =
+    match Heap.peek t.heap with
+    | None -> ()
+    | Some ev when ev.state = `Cancelled ->
+      ignore (Heap.pop t.heap : event option);
+      loop ()
+    | Some ev when Time_ns.(ev.time <= limit) ->
+      (match next_pending t with
+      | Some ev' ->
+        fire t ev';
+        loop ()
+      | None -> ())
+    | Some _ -> ()
+  in
+  loop ();
+  if Time_ns.(limit > t.clock) then t.clock <- limit
+
+let run t = while step t do () done

@@ -1,0 +1,52 @@
+(** Discrete-event simulation engine.
+
+    A single-threaded engine with a virtual clock: events are closures
+    scheduled at absolute instants and executed in time order.  Ties are
+    broken by scheduling order (FIFO among simultaneous events), which
+    together with the explicit {!Prng} streams makes whole simulations
+    bit-for-bit reproducible.
+
+    Handlers may schedule and cancel further events freely, including at
+    the current instant (such events run before the clock advances). *)
+
+type t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> t
+(** A fresh engine with the clock at {!Time_ns.zero} and no events. *)
+
+val now : t -> Time_ns.t
+(** Current virtual time. *)
+
+val pending : t -> int
+(** Number of scheduled, not-yet-run, not-cancelled events. *)
+
+val schedule_at : t -> Time_ns.t -> (unit -> unit) -> handle
+(** [schedule_at t time f] runs [f] when the clock reaches [time].
+    Times in the past are clamped to [now t] (the event runs as soon as
+    control returns to the event loop). *)
+
+val schedule_after : t -> Time_ns.span -> (unit -> unit) -> handle
+(** [schedule_after t d f] is [schedule_at t (now t + max d 0)]. *)
+
+val cancel : handle -> unit
+(** Prevent the event from running.  Cancelling an already-run or
+    already-cancelled event is a no-op. *)
+
+val is_scheduled : handle -> bool
+(** Whether the event is still pending (not run, not cancelled). *)
+
+val run_until : t -> Time_ns.t -> unit
+(** Execute events in order until the queue is exhausted or the next
+    event lies strictly beyond the limit, then set the clock to the
+    limit. *)
+
+val run : t -> unit
+(** Execute events until none remain.  Diverges if handlers schedule
+    unboundedly. *)
+
+val step : t -> bool
+(** Execute the single next event.  Returns [false] when no event was
+    available. *)

@@ -1,0 +1,57 @@
+(** Sample statistics.
+
+    Two collectors are provided.  {!Online} accumulates count, mean and
+    variance in O(1) space (Welford's algorithm) and is used where only
+    moments are needed.  {!Sample} retains every observation so that
+    medians, percentiles, maxima and tail fractions — the quantities in
+    the paper's Table 1 — can be computed exactly. *)
+
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** [nan] when empty. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance; [nan] with fewer than two points. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val sum : t -> float
+  val merge : t -> t -> t
+  (** Combine two collectors as if all points were added to one. *)
+end
+
+module Sample : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile t p] with [p] in [\[0, 100\]], linear interpolation
+      between order statistics.  @raise Invalid_argument when empty or
+      [p] out of range. *)
+
+  val median : t -> float
+  (** [percentile t 50.] *)
+
+  val fraction_above : t -> float -> float
+  (** [fraction_above t x] is the fraction of observations strictly
+      greater than [x]; [0.] when empty. *)
+
+  val sorted : t -> float array
+  (** A sorted copy of the observations. *)
+
+  val values : t -> float array
+  (** Observations in insertion order (copy). *)
+end

@@ -1,0 +1,1 @@
+lib/tcp/capacity.ml: Array Float Time_ns

@@ -1,0 +1,1 @@
+lib/tcp/capacity.mli: Time_ns

@@ -1,0 +1,1 @@
+lib/tcp/cwnd.ml: Tcp_types

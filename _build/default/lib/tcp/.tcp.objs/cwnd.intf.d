@@ -1,0 +1,1 @@
+lib/tcp/cwnd.mli: Tcp_types

@@ -1,0 +1,1 @@
+lib/tcp/paced_sender.ml: Engine Rate_clock Tcp_types Time_ns

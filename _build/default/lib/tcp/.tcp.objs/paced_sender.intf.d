@@ -1,0 +1,1 @@
+lib/tcp/paced_sender.mli: Engine Packet Rate_clock Softtimer Tcp_types Time_ns

@@ -1,0 +1,1 @@
+lib/tcp/receiver.ml: Engine Int Int64 Set Tcp_types Time_ns

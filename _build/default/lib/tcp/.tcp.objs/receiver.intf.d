@@ -1,0 +1,1 @@
+lib/tcp/receiver.mli: Engine Tcp_types Time_ns

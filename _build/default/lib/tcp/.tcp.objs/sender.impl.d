@@ -1,0 +1,1 @@
+lib/tcp/sender.ml: Cwnd Engine Packet Tcp_types Time_ns

@@ -1,0 +1,1 @@
+lib/tcp/sender.mli: Engine Packet Tcp_types Time_ns

@@ -1,0 +1,1 @@
+lib/tcp/session.ml: Engine Link Paced_sender Packet Receiver Sender Tcp_types Time_ns Wan

@@ -1,0 +1,1 @@
+lib/tcp/session.mli: Tcp_types Time_ns

@@ -1,0 +1,1 @@
+lib/tcp/tcp_types.ml: Packet Time_ns

@@ -1,0 +1,1 @@
+lib/tcp/tcp_types.mli: Packet Time_ns

@@ -1,0 +1,36 @@
+(** Bottleneck-capacity estimation from packet spacing.
+
+    Rate-based clocking presupposes that the available capacity is known
+    (paper §5.8 assumes it; §6 surveys how to measure it).  This module
+    implements the receiver-side packet-pair/packet-bunch family
+    (Keshav '91; Paxson's PBM; Allman & Paxson '99 argue receiver-side
+    spacing is the reliable signal): packets that leave the sender
+    back-to-back arrive spaced by the bottleneck's serialisation time,
+    so each gap yields one capacity sample [bits / gap], and the median
+    over many samples rejects the queueing noise. *)
+
+type t
+
+val create : ?window:int -> packet_bits:int -> unit -> t
+(** [packet_bits] is the wire size of the probe packets; [window] is the
+    number of most-recent samples kept (default 64).
+    @raise Invalid_argument if [packet_bits <= 0]. *)
+
+val on_arrival : t -> Time_ns.t -> unit
+(** Record a probe-packet arrival.  Consecutive arrivals form gaps;
+    gaps of zero are ignored. *)
+
+val reset_burst : t -> unit
+(** Forget the previous arrival: the next one starts a new burst (call
+    between probe trains so inter-train gaps are not mistaken for
+    serialisation gaps). *)
+
+val samples : t -> int
+(** Capacity samples collected so far. *)
+
+val estimate_bps : t -> float option
+(** Median capacity estimate in bits/s, or [None] before any sample. *)
+
+val pacing_interval : t -> packet_bits:int -> Time_ns.span option
+(** The rate-clocking interval for packets of the given size at the
+    estimated capacity — what a paced sender feeds to {!Rate_clock}. *)

@@ -1,0 +1,28 @@
+type t = {
+  mutable ssthresh : int;
+  mutable cwnd : float;  (* segments *)
+  mutable acks : int;
+}
+
+let create (p : Tcp_types.params) =
+  { ssthresh = p.Tcp_types.ssthresh; cwnd = float_of_int (max 1 p.Tcp_types.initial_cwnd); acks = 0 }
+
+let window t = max 1 (int_of_float t.cwnd)
+let in_slow_start t = t.cwnd < float_of_int t.ssthresh
+
+let on_ack t =
+  t.acks <- t.acks + 1;
+  if in_slow_start t then t.cwnd <- t.cwnd +. 1.0 else t.cwnd <- t.cwnd +. (1.0 /. t.cwnd)
+
+let acks_seen t = t.acks
+let ssthresh t = t.ssthresh
+
+let halve t ~flight = t.ssthresh <- max (flight / 2) 2
+
+let on_timeout t ~flight =
+  halve t ~flight;
+  t.cwnd <- 1.0
+
+let on_fast_retransmit t ~flight =
+  halve t ~flight;
+  t.cwnd <- float_of_int t.ssthresh

@@ -1,0 +1,32 @@
+(** Congestion-window accounting: slow start and congestion avoidance.
+
+    Growth is per received ACK (not per byte acked), as in BSD: below
+    [ssthresh] each ACK adds one MSS (exponential growth, halved in
+    practice by delayed ACKs — the "typically two more packets per
+    acknowledged packet" of the paper's Appendix A.2); above it, each
+    ACK adds [1/cwnd] MSS. *)
+
+type t
+
+val create : Tcp_types.params -> t
+
+val window : t -> int
+(** Current window, in whole segments (at least 1). *)
+
+val on_ack : t -> unit
+(** Account one received ACK. *)
+
+val in_slow_start : t -> bool
+
+val acks_seen : t -> int
+
+val ssthresh : t -> int
+
+val on_timeout : t -> flight:int -> unit
+(** Retransmission timeout: [ssthresh <- max (flight/2) 2], window back
+    to one segment (slow start restarts). *)
+
+val on_fast_retransmit : t -> flight:int -> unit
+(** Triple duplicate ACK: [ssthresh <- max (flight/2) 2] and the window
+    continues from there (Reno-style halving, without the inflation
+    bookkeeping). *)

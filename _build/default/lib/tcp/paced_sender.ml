@@ -1,0 +1,52 @@
+type t = {
+  total : int;
+  mutable sent : int;
+  mutable start_fn : unit -> unit;
+}
+
+let create engine params ~total_segments ~interval ~transmit ?(jitter = fun () -> 0L)
+    ?(on_last_sent = fun _ -> ()) () =
+  if total_segments < 0 then invalid_arg "Paced_sender.create: negative transfer size";
+  if Time_ns.(interval <= 0L) then invalid_arg "Paced_sender.create: interval must be positive";
+  let t = { total = total_segments; sent = 0; start_fn = (fun () -> ()) } in
+  let rec send_one ideal () =
+    if t.sent < t.total then begin
+      let now = Engine.now engine in
+      transmit now (Tcp_types.make_data params ~seq:t.sent ~born:now);
+      t.sent <- t.sent + 1;
+      if t.sent = t.total then on_last_sent now
+      else begin
+        let next_ideal = Time_ns.(ideal + interval) in
+        let at = Time_ns.(next_ideal + jitter ()) in
+        ignore (Engine.schedule_at engine at (send_one next_ideal) : Engine.handle)
+      end
+    end
+  in
+  t.start_fn <-
+    (fun () ->
+      let now = Engine.now engine in
+      ignore (Engine.schedule_at engine Time_ns.(now + jitter ()) (send_one now) : Engine.handle));
+  t
+
+let start t = t.start_fn ()
+let sent t = t.sent
+
+let create_with_rate_clock st params ~total_segments ~target_interval ~min_interval ~transmit
+    ?(on_last_sent = fun _ -> ()) () =
+  if total_segments < 0 then
+    invalid_arg "Paced_sender.create_with_rate_clock: negative transfer size";
+  let t = { total = total_segments; sent = 0; start_fn = (fun () -> ()) } in
+  let clock =
+    Rate_clock.create st ~target_interval ~min_interval
+      ~send:(fun now ->
+        if t.sent >= t.total then false
+        else begin
+          transmit now (Tcp_types.make_data params ~seq:t.sent ~born:now);
+          t.sent <- t.sent + 1;
+          if t.sent = t.total then on_last_sent now;
+          true
+        end)
+      ()
+  in
+  t.start_fn <- (fun () -> Rate_clock.start clock);
+  (t, clock)

@@ -1,0 +1,45 @@
+(** Rate-clocked TCP sender (the paper's modified stack, §5.8).
+
+    Skips slow-start entirely: when the available capacity is known, the
+    sender transmits at that rate from the first segment, one packet per
+    pacing event.  In the paper the pacing events come from the
+    soft-timer facility; on the unloaded server of §5.8 the idle loop
+    makes them essentially exact, so the default here is exact pacing.
+    An optional jitter sampler adds a per-event firing delay drawn from
+    a trigger-gap model, for studying loaded-server pacing; and
+    {!create_with_rate_clock} drives transmissions through a real
+    {!Rate_clock} on a simulated machine. *)
+
+type t
+
+val create :
+  Engine.t ->
+  Tcp_types.params ->
+  total_segments:int ->
+  interval:Time_ns.span ->
+  transmit:(Time_ns.t -> Tcp_types.segment Packet.t -> unit) ->
+  ?jitter:(unit -> Time_ns.span) ->
+  ?on_last_sent:(Time_ns.t -> unit) ->
+  unit ->
+  t
+(** Send segment [k] at [start_time + k * interval (+ jitter)].
+    [interval] is normally the bottleneck serialisation time of one
+    full-size frame. *)
+
+val start : t -> unit
+val sent : t -> int
+
+val create_with_rate_clock :
+  Softtimer.t ->
+  Tcp_types.params ->
+  total_segments:int ->
+  target_interval:Time_ns.span ->
+  min_interval:Time_ns.span ->
+  transmit:(Time_ns.t -> Tcp_types.segment Packet.t -> unit) ->
+  ?on_last_sent:(Time_ns.t -> unit) ->
+  unit ->
+  t * Rate_clock.t
+(** The integrated form: a {!Rate_clock} on the facility's machine emits
+    the pacing events; transmission order and count are identical, the
+    timing reflects the machine's trigger-state process.  Call
+    {!Rate_clock.start} on the returned clock to begin. *)

@@ -1,0 +1,46 @@
+(** One HTTP-style transfer over the emulated WAN (paper §5.8).
+
+    A client behind a high bandwidth-delay path sends a request; the
+    server answers with [segments] full-size TCP segments, either
+    self-clocked through slow-start ([`Regular]) or rate-clocked at the
+    bottleneck bandwidth ([`Paced], optionally with a firing-jitter
+    sampler standing in for a loaded machine's trigger-state delays).
+    The response time is measured from the instant the client issues the
+    request to the arrival of the last in-order byte, as in Tables 6/7
+    (persistent connection assumed: no handshake). *)
+
+type mode =
+  [ `Regular  (** stock FreeBSD TCP: slow-start, delayed ACKs *)
+  | `Paced  (** rate-based clocking at the bottleneck rate *)
+  | `Paced_jitter of (unit -> Time_ns.span)
+    (** rate-based clocking whose events are delayed by draws from the
+        given sampler (a trigger-gap residual model) *) ]
+
+type result = {
+  segments : int;
+  response_time : Time_ns.span;  (** request sent -> last byte received *)
+  throughput_bps : float;  (** payload bits / response time *)
+  wan_drops : int;
+  biggest_ack : int;  (** largest segment count covered by one ACK *)
+  max_burst : int;  (** largest back-to-back burst the sender emitted *)
+  retransmits : int;  (** segments retransmitted after loss (0 if paced) *)
+}
+
+val run_transfer :
+  ?params:Tcp_types.params ->
+  ?access_bps:float ->
+  ?wan_queue:int ->
+  bottleneck_bps:float ->
+  one_way_delay:Time_ns.span ->
+  segments:int ->
+  mode ->
+  result
+(** [access_bps] is the server's LAN link (default 100 Mbps; it shapes
+    the burst rate of the self-clocked sender).  [wan_queue] is the
+    router buffer in packets (default 2048: loss-free, as in the
+    paper). *)
+
+val bottleneck_interval : bottleneck_bps:float -> ?params:Tcp_types.params -> unit -> Time_ns.span
+(** Serialisation time of one full-size frame at the bottleneck — the
+    pacing interval rate-based clocking uses when the capacity is
+    known. *)

@@ -1,0 +1,31 @@
+type params = {
+  mss : int;
+  initial_cwnd : int;
+  ack_every : int;
+  delack_period : Time_ns.span;
+  ssthresh : int;
+  awnd : int;
+  rto : Time_ns.span;
+}
+
+let default =
+  {
+    mss = Packet.mtu_payload;
+    initial_cwnd = 1;
+    ack_every = 2;
+    delack_period = Time_ns.of_ms 200.0;
+    ssthresh = max_int / 4;
+    awnd = 1024;
+    rto = Time_ns.of_sec 1.0;
+  }
+
+type segment = { seq : int; is_ack : bool; ack_upto : int }
+
+let make_data params ~seq ~born =
+  Packet.create
+    ~size_bytes:(params.mss + Packet.frame_overhead)
+    ~meta:{ seq; is_ack = false; ack_upto = 0 }
+    ~born
+
+let make_ack ~ack_upto ~born =
+  Packet.create ~size_bytes:Packet.ack_size ~meta:{ seq = -1; is_ack = true; ack_upto } ~born

@@ -1,0 +1,1 @@
+lib/wheel/timer_backend.ml: Array Heap Int64 List Time_ns Timing_wheel

@@ -1,0 +1,1 @@
+lib/wheel/timer_backend.mli: Time_ns

@@ -1,0 +1,1 @@
+lib/wheel/timing_wheel.ml: Array Int64 List Time_ns

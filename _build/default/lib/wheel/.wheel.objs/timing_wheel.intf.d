@@ -1,0 +1,1 @@
+lib/wheel/timing_wheel.mli: Time_ns

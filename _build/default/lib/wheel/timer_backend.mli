@@ -1,0 +1,52 @@
+(** A common signature for pending-timer stores, and reference
+    implementations.
+
+    The soft-timer facility needs three operations on its pending-event
+    set: O(1)-ish [schedule]/[cancel], a cheap earliest-deadline query
+    (performed at {e every} trigger state), and batched expiry.  The
+    paper picks a modified hashed timing wheel (footnote 2); this module
+    captures the interface so alternatives can be compared — see the
+    ablation in [bench/timer_ablation.ml]:
+
+    - {!Sorted_list}: the classic BSD callout list; O(n) insert, O(1)
+      check/expiry.  Fine for a handful of timers, pathological for the
+      per-connection timers of a busy server.
+    - {!Binary_heap}: O(log n) insert/expiry, O(1) check.
+    - [Timing_wheel] (hashed; in this library): O(1) insert/cancel,
+      O(1) amortised check and expiry.
+    - {!Hier}: hierarchical timing wheels (the second variant of
+      Varghese & Lauck): multiple levels of coarser wheels; entries
+      cascade down as time advances.  O(1) insert at the right level,
+      no long-deadline slot collisions. *)
+
+module type S = sig
+  type 'a t
+
+  type handle
+
+  val name : string
+
+  val create : tick:Time_ns.span -> unit -> 'a t
+  (** [tick] is the finest scheduling granularity. *)
+
+  val schedule : 'a t -> at:Time_ns.t -> 'a -> handle
+  val cancel : 'a t -> handle -> unit
+  val pending : 'a t -> int
+  val next_deadline : 'a t -> Time_ns.t option
+
+  val fire_due : 'a t -> now:Time_ns.t -> (Time_ns.t -> 'a -> unit) -> int
+  (** Fire everything due at or before [now], in deadline order (ties in
+      schedule order); returns the count. *)
+end
+
+module Sorted_list : S
+module Binary_heap : S
+module Hashed : S
+(** The production {!Timing_wheel}, adapted to this signature. *)
+
+module Hier : S
+(** Hierarchical timing wheels: 4 levels of 64 slots, each level's tick
+    64x the previous. *)
+
+val all : (module S) list
+(** All four backends, for tests and the ablation bench. *)

@@ -1,0 +1,157 @@
+type state = Pending | Cancelled | Fired
+
+type handle = { mutable hstate : state; hdeadline : Time_ns.t }
+
+type 'a entry = { deadline : Time_ns.t; seq : int; value : 'a; h : handle }
+
+type 'a t = {
+  slots_n : int;
+  tick_span : Time_ns.span;
+  buckets : 'a entry list array;
+  mutable count : int;
+  mutable next_seq : int;
+  mutable last_tick : int64;  (* tick index up to (and incl.) which slots were swept *)
+  mutable cached_min : Time_ns.t;  (* meaningful only when [min_valid] *)
+  mutable min_valid : bool;
+}
+
+let create ?(slots = 256) ~tick () =
+  if Time_ns.(tick <= 0L) then invalid_arg "Timing_wheel.create: tick must be positive";
+  if slots <= 0 then invalid_arg "Timing_wheel.create: slots must be positive";
+  {
+    slots_n = slots;
+    tick_span = tick;
+    buckets = Array.make slots [];
+    count = 0;
+    next_seq = 0;
+    last_tick = 0L;
+    cached_min = Time_ns.zero;
+    min_valid = true;  (* vacuously: the wheel is empty *)
+  }
+
+let slots t = t.slots_n
+let tick t = t.tick_span
+let pending t = t.count
+
+let tick_of t at = Int64.div at t.tick_span
+let slot_of t tk = Int64.to_int (Int64.rem tk (Int64.of_int t.slots_n))
+
+let schedule t ~at value =
+  (* Deadlines before the sweep horizon land in the current slot so they
+     are found by the next sweep; the exact deadline is preserved. *)
+  let tk = Int64.max (tick_of t at) t.last_tick in
+  let idx = slot_of t tk in
+  let h = { hstate = Pending; hdeadline = at } in
+  let entry = { deadline = at; seq = t.next_seq; value; h } in
+  t.next_seq <- t.next_seq + 1;
+  t.buckets.(idx) <- entry :: t.buckets.(idx);
+  if t.min_valid then
+    if t.count = 0 then t.cached_min <- at else t.cached_min <- Time_ns.min t.cached_min at;
+  t.count <- t.count + 1;
+  h
+
+let cancel t h =
+  if h.hstate = Pending then begin
+    h.hstate <- Cancelled;
+    t.count <- t.count - 1;
+    (* Only a cancellation of the (possibly) earliest entry can change
+       the minimum. *)
+    if t.min_valid && t.count > 0 && Time_ns.(h.hdeadline <= t.cached_min) then
+      t.min_valid <- false
+  end
+
+(* Earliest pending deadline: scan slots in time order starting at the
+   sweep horizon.  An entry due within the slot currently being visited
+   dominates everything in later slots, so the scan usually exits after
+   a handful of slots; a full pass (visiting every bucket once) is the
+   worst case and yields the exact minimum. *)
+let sweep_min t =
+  let best = ref None in
+  let consider e =
+    if e.h.hstate = Pending then
+      match !best with
+      | None -> best := Some e.deadline
+      | Some m -> if Time_ns.(e.deadline < m) then best := Some e.deadline
+  in
+  let exception Found in
+  (try
+     for i = 0 to t.slots_n - 1 do
+       let tk = Int64.add t.last_tick (Int64.of_int i) in
+       List.iter consider t.buckets.(slot_of t tk);
+       let slot_end = Int64.mul (Int64.add tk 1L) t.tick_span in
+       match !best with
+       | Some m when Time_ns.(m < slot_end) -> raise Found
+       | Some _ | None -> ()
+     done
+   with Found -> ());
+  !best
+
+let next_deadline t =
+  if t.count = 0 then None
+  else if t.min_valid then Some t.cached_min
+  else begin
+    match sweep_min t with
+    | Some m ->
+      t.cached_min <- m;
+      t.min_valid <- true;
+      Some m
+    | None -> None  (* unreachable: count > 0 implies a pending entry *)
+  end
+
+let fire_due t ~now f =
+  let now_tick = tick_of t now in
+  match next_deadline t with
+  | None ->
+    t.last_tick <- Int64.max t.last_tick now_tick;
+    0
+  | Some m when Time_ns.(m > now) ->
+    (* Nothing due: intermediate slots can hold no due entries, so the
+       sweep horizon may jump ahead in O(1). *)
+    t.last_tick <- Int64.max t.last_tick now_tick;
+    0
+  | Some _ ->
+    let due = ref [] in
+    let first = t.last_tick in
+    let span64 = Int64.sub now_tick first in
+    let sweep_count =
+      if Int64.compare span64 (Int64.of_int (t.slots_n - 1)) >= 0 then t.slots_n
+      else Int64.to_int span64 + 1
+    in
+    for i = 0 to sweep_count - 1 do
+      let idx = slot_of t (Int64.add first (Int64.of_int i)) in
+      let keep =
+        List.filter
+          (fun e ->
+            match e.h.hstate with
+            | Cancelled -> false
+            | Fired -> false
+            | Pending ->
+              if Time_ns.(e.deadline <= now) then begin
+                due := e :: !due;
+                false
+              end
+              else true)
+          t.buckets.(idx)
+      in
+      t.buckets.(idx) <- keep
+    done;
+    t.last_tick <- Int64.max t.last_tick now_tick;
+    let due = List.sort (fun a b ->
+      let c = Time_ns.compare a.deadline b.deadline in
+      if c <> 0 then c else compare a.seq b.seq) !due
+    in
+    let fired = ref 0 in
+    List.iter
+      (fun e ->
+        e.h.hstate <- Fired;
+        t.count <- t.count - 1;
+        incr fired)
+      due;
+    t.min_valid <- false;
+    List.iter (fun e -> f e.deadline e.value) due;
+    !fired
+
+let iter_pending t f =
+  Array.iter
+    (fun bucket -> List.iter (fun e -> if e.h.hstate = Pending then f e.deadline e.value) bucket)
+    t.buckets

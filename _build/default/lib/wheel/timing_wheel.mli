@@ -1,0 +1,56 @@
+(** Hashed timing wheel (Varghese & Lauck, SOSP'87).
+
+    The soft-timer facility keeps its pending events in "a modified form
+    of timing wheels" (paper, footnote 2): scheduling and cancellation
+    must be O(1), and the per-trigger-state check must find the earliest
+    pending deadline in O(1) in the common case.
+
+    Deadlines are bucketed into [slots] circular slots of [tick]
+    duration each; an entry due at absolute time [d] lives in slot
+    [(d / tick) mod slots] and carries its exact deadline, so entries
+    more than one rotation away are simply skipped when their slot is
+    swept.  The earliest-deadline query is served from a monotone cache
+    that is invalidated only when the minimum could have changed.
+
+    The wheel is agnostic to what an event is: it stores values of an
+    arbitrary payload type and hands them back on expiry. *)
+
+type 'a t
+
+type handle
+(** Identifies a scheduled entry for cancellation. *)
+
+val create : ?slots:int -> tick:Time_ns.span -> unit -> 'a t
+(** [create ~tick ()] builds an empty wheel whose slots each cover
+    [tick] of time.  [slots] defaults to 256.
+    @raise Invalid_argument if [tick <= 0] or [slots <= 0]. *)
+
+val slots : 'a t -> int
+val tick : 'a t -> Time_ns.span
+
+val pending : 'a t -> int
+(** Number of scheduled, uncancelled, unfired entries. *)
+
+val schedule : 'a t -> at:Time_ns.t -> 'a -> handle
+(** [schedule t ~at v] registers [v] to expire at absolute time [at].
+    O(1). *)
+
+val cancel : 'a t -> handle -> unit
+(** Remove an entry.  Cancelling twice, or after expiry, is a no-op.
+    O(1) (lazy removal from the slot list). *)
+
+val next_deadline : 'a t -> Time_ns.t option
+(** Earliest pending deadline, or [None] when the wheel is empty.  This
+    is the comparison the soft-timer facility performs at every trigger
+    state; it costs a cached read unless the cache was invalidated by an
+    expiry, in which case the wheel is swept once. *)
+
+val fire_due : 'a t -> now:Time_ns.t -> (Time_ns.t -> 'a -> unit) -> int
+(** [fire_due t ~now f] removes every entry with deadline [<= now] and
+    calls [f deadline value] on each, in deadline order (ties broken by
+    scheduling order).  Returns the number of entries fired.  Handlers
+    may schedule new entries, including ones already due; those fire on
+    the next call. *)
+
+val iter_pending : 'a t -> (Time_ns.t -> 'a -> unit) -> unit
+(** Visit every pending entry in unspecified order (for tests). *)

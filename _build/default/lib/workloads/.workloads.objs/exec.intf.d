@@ -1,0 +1,1 @@
+lib/workloads/exec.mli: Kernel Machine Time_ns

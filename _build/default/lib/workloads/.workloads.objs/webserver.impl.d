@@ -1,0 +1,1 @@
+lib/workloads/webserver.ml: Array Cache Costs Cpu Dist Engine Exec Hw_pacer Interrupt Kernel List Machine Net_poll Nic Packet Printf Prng Queue Softtimer Stats Time_ns Trigger

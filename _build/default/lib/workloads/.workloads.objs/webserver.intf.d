@@ -1,0 +1,1 @@
+lib/workloads/webserver.mli: Cache Costs Engine Machine Net_poll Softtimer Stats Time_ns

@@ -1,0 +1,1 @@
+lib/workloads/wl_kernel_build.ml: Costs Dist Engine Kernel Machine Prng Time_ns Trigger

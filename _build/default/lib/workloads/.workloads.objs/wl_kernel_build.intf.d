@@ -1,0 +1,1 @@
+lib/workloads/wl_kernel_build.mli: Machine

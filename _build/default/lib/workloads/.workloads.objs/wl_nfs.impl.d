@@ -1,0 +1,1 @@
+lib/workloads/wl_nfs.ml: Costs Cpu Dist Engine Exec Kernel Machine Prng Time_ns Trigger

@@ -1,0 +1,1 @@
+lib/workloads/wl_realaudio.ml: Dist Engine Kernel Machine Prng Time_ns Trigger

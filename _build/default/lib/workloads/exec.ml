@@ -1,0 +1,18 @@
+type item =
+  | Quantum of Kernel.step
+  | Emit of (Time_ns.t -> unit)
+
+let run m items k =
+  let rec go = function
+    | [] -> k (Engine.now (Machine.engine m))
+    | Quantum s :: rest ->
+      Machine.submit_quantum m ~prio:s.Kernel.prio ~work_us:s.Kernel.work_us
+        ~trigger:s.Kernel.trigger (fun _now -> go rest)
+    | Emit f :: rest ->
+      f (Engine.now (Machine.engine m));
+      go rest
+  in
+  go items
+
+let quantum s = Quantum s
+let emit f = Emit f

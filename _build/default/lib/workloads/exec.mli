@@ -1,0 +1,19 @@
+(** Sequenced execution of kernel scripts with interleaved actions.
+
+    Workload models describe a process's activity as a list of items:
+    CPU quanta ({!Kernel.step}s, which end in trigger states) and
+    zero-duration actions (packet transmissions, bookkeeping) that run
+    when the sequence reaches them.  Items execute strictly in order;
+    between items, interrupts and higher-priority work interleave via
+    the CPU's scheduler. *)
+
+type item =
+  | Quantum of Kernel.step
+  | Emit of (Time_ns.t -> unit)
+      (** Zero-time side effect performed when reached. *)
+
+val run : Machine.t -> item list -> (Time_ns.t -> unit) -> unit
+(** Execute items in order, then the continuation. *)
+
+val quantum : Kernel.step -> item
+val emit : (Time_ns.t -> unit) -> item

@@ -1,0 +1,13 @@
+(** ST-kernel-build workload (paper §5.3, Table 1).
+
+    Building the FreeBSD kernel from source: alternating phases of
+    process-creation storms (fork/exec — dense page faults and system
+    calls a couple of microseconds apart), pure compilation (user-mode
+    bursts with sparse syscalls and occasional very long
+    uninterrupted stretches, bounded at 1 ms by the clock tick), and
+    disk I/O waits (idle-loop polling plus disk-completion
+    interrupts). *)
+
+val start : Machine.t -> seed:int -> unit
+(** Begin the endless build loop.  Enables idle-loop polling and the
+    interrupt clock. *)

@@ -1,0 +1,67 @@
+let request_interarrival = Dist.Exponential 3_600.0  (* us: ~280 req/s *)
+let disk_latency = Dist.Uniform (2_000.0, 8_000.0)  (* us *)
+let nfsd_syscall_body = Dist.Erlang { k = 2; mean = 8.0 }
+
+(* Block-layer work between trigger states; rarely a long directory or
+   metadata scan. *)
+let kernel_segment =
+  Dist.Mixture
+    [
+      (0.65, Dist.Uniform (15.0, 90.0));
+      (0.315, Dist.Uniform (120.0, 360.0));
+      (0.035, Dist.Uniform (400.0, 880.0));
+    ]
+
+let start machine ~seed =
+  Machine.start_interrupt_clock machine;
+  Machine.set_idle_poll machine (Some (Time_ns.of_us (Machine.profile machine).Costs.idle_loop_us));
+  let rng = Prng.create ~seed in
+  let engine = Machine.engine machine in
+  let rx_line =
+    Machine.interrupt_line machine ~name:"nfs-rx" ~source:Trigger.Ip_intr
+      ~handler:(fun _ -> ())
+      ()
+  in
+  let disk_line =
+    Machine.interrupt_line machine ~name:"nfs-disk" ~source:Trigger.Dev_intr
+      ~handler:(fun _ -> ())
+      ()
+  in
+  let serve_request () =
+    ignore (Machine.raise_irq machine rx_line ~handler_work_us:4.0 () : bool);
+    let items =
+      [
+        Exec.quantum (Kernel.step_syscall ~work_us:(Dist.draw nfsd_syscall_body rng) machine);
+        Exec.quantum
+          {
+            Kernel.prio = Cpu.prio_kernel;
+            work_us = Dist.draw kernel_segment rng;
+            trigger = None;
+          };
+        Exec.quantum (Kernel.step_syscall ~work_us:(Dist.draw nfsd_syscall_body rng) machine);
+      ]
+    in
+    Exec.run machine items (fun _ ->
+        let wait = Dist.span disk_latency rng in
+        ignore
+          (Engine.schedule_after engine wait (fun () ->
+               ignore (Machine.raise_irq machine disk_line ~handler_work_us:5.0 () : bool);
+               (* Completion: hand the reply back and send it. *)
+               Exec.run machine
+                 [
+                   Exec.quantum (Kernel.step_ip_output machine);
+                   Exec.quantum
+                     (Kernel.step_syscall ~work_us:(Dist.draw nfsd_syscall_body rng) machine);
+                 ]
+                 ignore)
+            : Engine.handle))
+  in
+  let rec arrivals () =
+    let gap = Dist.span request_interarrival rng in
+    ignore
+      (Engine.schedule_after engine gap (fun () ->
+           serve_request ();
+           arrivals ())
+        : Engine.handle)
+  in
+  arrivals ()

@@ -1,0 +1,12 @@
+(** ST-nfs workload (paper §5.3, Table 1).
+
+    A saturated but disk-bound NFS server: the CPU is idle roughly 90%
+    of the time, so the vast majority of trigger states are idle-loop
+    iterations ~2 us apart.  RPC requests arrive continuously; each
+    costs a receive interrupt, a handful of nfsd system calls, some
+    block-layer kernel work (occasionally long) and a disk-completion
+    interrupt several milliseconds later. *)
+
+val start : Machine.t -> seed:int -> unit
+(** Begin serving.  Enables 2 us idle-loop polling on the machine and
+    starts the interrupt clock. *)

@@ -1,0 +1,12 @@
+(** ST-real-audio workload (paper §5.3, Table 1).
+
+    A RealPlayer-like media player saturates the CPU with user-mode
+    decoding but makes very frequent system calls (time queries, socket
+    reads, audio-device writes), yielding a trigger-interval
+    distribution with a ~8.5 us mean and a 6 us median despite the low
+    interrupt rate.  A modest stream of network receive interrupts
+    models the incoming live audio. *)
+
+val start : Machine.t -> seed:int -> unit
+(** Begin the endless player loop on the machine.  The machine's
+    interrupt clock is started if it is not already running. *)

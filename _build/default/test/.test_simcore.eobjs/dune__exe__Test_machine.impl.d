@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Cache Costs Cpu Dist Engine Gen Hashtbl Int64 Interrupt Kernel List Machine Printf QCheck QCheck_alcotest Time_ns Trigger

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Cpu Droptail Engine Interrupt Link List Machine Nic Packet Time_ns Trigger Wan

@@ -1,0 +1,1 @@
+test/test_simcore.ml: Alcotest Array Dist Engine Float Fun Gen Heap Histogram Int64 List Printf Prng QCheck QCheck_alcotest Series Stats String Tablefmt Time_ns

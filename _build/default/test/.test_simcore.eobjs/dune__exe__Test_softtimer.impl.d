@@ -1,0 +1,1 @@
+test/test_softtimer.ml: Alcotest Cpu Delay_probe Dist Engine Float Hw_pacer Int64 Kernel List Machine Net_poll Printf Prng QCheck QCheck_alcotest Rate_clock Softtimer Stats Time_ns Trigger

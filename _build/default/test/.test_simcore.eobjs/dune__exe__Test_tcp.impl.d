@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Array Capacity Cwnd Engine List Paced_sender Packet Printf Prng QCheck QCheck_alcotest Receiver Sender Session Tcp_types Time_ns

@@ -1,0 +1,1 @@
+test/test_wheel.ml: Alcotest Fun Gen List Printf QCheck QCheck_alcotest String Time_ns Timer_backend Timing_wheel

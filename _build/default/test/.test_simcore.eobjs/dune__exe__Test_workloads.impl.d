@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Cache Costs Cpu Delay_probe Engine Float List Machine Net_poll Printf Stats Time_ns Trigger Webserver Wl_kernel_build Wl_nfs Wl_realaudio

@@ -1,0 +1,585 @@
+(* Tests for the simulation substrate: time, PRNG, distributions, heap,
+   engine, statistics, histograms, series and table formatting. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_eps eps = Alcotest.(check (float eps))
+
+(* ------------------------------------------------------------------ *)
+(* Time_ns *)
+
+let test_time_conversions () =
+  check_float "us roundtrip" 12.5 (Time_ns.to_us (Time_ns.of_us 12.5));
+  check_float "ms roundtrip" 3.25 (Time_ns.to_ms (Time_ns.of_ms 3.25));
+  check_float_eps 1e-6 "sec roundtrip" 1.5 (Time_ns.to_sec (Time_ns.of_sec 1.5));
+  Alcotest.(check int64) "of_ns" 42L (Time_ns.of_ns 42);
+  Alcotest.(check int64) "of_us rounds" 1_500L (Time_ns.of_us 1.5)
+
+let test_time_arithmetic () =
+  let t = Time_ns.(zero + Time_ns.of_us 10.0) in
+  Alcotest.(check int64) "add" 10_000L t;
+  Alcotest.(check int64) "sub" 10_000L Time_ns.(t - Time_ns.zero);
+  Alcotest.(check int64) "mul" 30_000L (Time_ns.mul (Time_ns.of_us 10.0) 3);
+  Alcotest.(check int64) "divide" 5_000L (Time_ns.divide (Time_ns.of_us 10.0) 2);
+  Alcotest.(check int64) "scale" 25_000L (Time_ns.scale (Time_ns.of_us 10.0) 2.5);
+  Alcotest.(check bool) "lt" true Time_ns.(zero < t);
+  Alcotest.(check bool) "ge" true Time_ns.(t >= t);
+  Alcotest.(check int64) "min" Time_ns.zero (Time_ns.min t Time_ns.zero);
+  Alcotest.(check int64) "max" t (Time_ns.max t Time_ns.zero)
+
+let test_time_pp () =
+  Alcotest.(check string) "ns" "500ns" (Time_ns.to_string 500L);
+  Alcotest.(check string) "us" "12.50us" (Time_ns.to_string (Time_ns.of_us 12.5));
+  Alcotest.(check string) "ms" "3.000ms" (Time_ns.to_string (Time_ns.of_ms 3.0));
+  Alcotest.(check string) "s" "2.000s" (Time_ns.to_string (Time_ns.of_sec 2.0))
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Prng.bits64 a) (Prng.bits64 b) then incr same
+  done;
+  Alcotest.(check bool) "different streams" true (!same < 2)
+
+let test_prng_float_range () =
+  let rng = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let x = Prng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done;
+  for _ = 1 to 1000 do
+    let x = Prng.float_range rng 5.0 7.0 in
+    Alcotest.(check bool) "in [5,7)" true (x >= 5.0 && x < 7.0)
+  done
+
+let test_prng_int_bounds () =
+  let rng = Prng.create ~seed:4 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 1000 do
+    let x = Prng.int rng 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10);
+    seen.(x) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen);
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0))
+
+let test_prng_copy_replays () =
+  let a = Prng.create ~seed:5 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "copy replays" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_split_independent () =
+  let a = Prng.create ~seed:6 in
+  let b = Prng.split a in
+  let x = Prng.bits64 a and y = Prng.bits64 b in
+  Alcotest.(check bool) "split differs" true (not (Int64.equal x y))
+
+let test_prng_shuffle_permutes () =
+  let rng = Prng.create ~seed:7 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Dist *)
+
+let mean_of_draws d seed n =
+  let rng = Prng.create ~seed in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Dist.draw d rng
+  done;
+  !acc /. float_of_int n
+
+let test_dist_constant () =
+  check_float "constant" 4.2 (mean_of_draws (Dist.Constant 4.2) 1 10)
+
+let test_dist_means_match_analytic () =
+  let cases =
+    [
+      Dist.Uniform (2.0, 6.0);
+      Dist.Exponential 13.0;
+      Dist.Erlang { k = 3; mean = 9.0 };
+      Dist.Lognormal { mu = 1.0; sigma = 0.5 };
+      Dist.Pareto { scale = 2.0; shape = 3.0 };
+      Dist.Mixture [ (1.0, Dist.Constant 2.0); (3.0, Dist.Constant 6.0) ];
+      Dist.Shifted (5.0, Dist.Exponential 2.0);
+    ]
+  in
+  List.iteri
+    (fun i d ->
+      let analytic = Dist.mean d in
+      let empirical = mean_of_draws d (100 + i) 60_000 in
+      let tol = 0.05 *. analytic in
+      Alcotest.(check bool)
+        (Printf.sprintf "case %d: |%g - %g| < %g" i empirical analytic tol)
+        true
+        (Float.abs (empirical -. analytic) < tol))
+    cases
+
+let test_dist_non_negative =
+  QCheck.Test.make ~name:"draws are non-negative" ~count:500
+    QCheck.(pair small_int (float_range 0.1 50.0))
+    (fun (seed, mean) ->
+      let rng = Prng.create ~seed in
+      let d =
+        Dist.Mixture [ (1.0, Dist.Exponential mean); (1.0, Dist.Uniform (-5.0, 5.0)) ]
+      in
+      Dist.draw d rng >= 0.0)
+
+let test_dist_pareto_infinite_mean () =
+  Alcotest.(check bool) "shape<=1 -> infinite mean" true
+    (Float.is_integer (Dist.mean (Dist.Pareto { scale = 1.0; shape = 0.9 }))
+     = Float.is_integer infinity
+    && Dist.mean (Dist.Pareto { scale = 1.0; shape = 0.9 }) = infinity)
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_ordering () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2; 7; 4; 6; 0 ];
+  Alcotest.(check int) "length" 10 (Heap.length h);
+  let drained = List.init 10 (fun _ -> Heap.pop_exn h) in
+  Alcotest.(check (list int)) "sorted drain" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] drained;
+  Alcotest.(check bool) "empty after" true (Heap.is_empty h)
+
+let test_heap_peek_and_clear () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check (option int)) "peek empty" None (Heap.peek h);
+  Heap.push h 3;
+  Heap.push h 1;
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Heap.length h);
+  Alcotest.check_raises "pop_exn empty" (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h))
+
+let test_heap_to_sorted_nondestructive () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 4; 2; 9 ];
+  Alcotest.(check (list int)) "sorted view" [ 2; 4; 9 ] (Heap.to_sorted_list h);
+  Alcotest.(check int) "still populated" 3 (Heap.length h)
+
+let test_heap_matches_sort =
+  QCheck.Test.make ~name:"heap drain = List.sort" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let at us tag = ignore (Engine.schedule_at e (Time_ns.of_us us) (fun () -> log := tag :: !log) : Engine.handle) in
+  at 30.0 "c";
+  at 10.0 "a";
+  at 20.0 "b";
+  Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check int64) "clock at last event" (Time_ns.of_us 30.0) (Engine.now e)
+
+let test_engine_fifo_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let t = Time_ns.of_us 5.0 in
+  List.iter
+    (fun tag -> ignore (Engine.schedule_at e t (fun () -> log := tag :: !log) : Engine.handle))
+    [ "1"; "2"; "3" ];
+  Engine.run e;
+  Alcotest.(check (list string)) "insertion order among ties" [ "1"; "2"; "3" ] (List.rev !log)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule_at e (Time_ns.of_us 1.0) (fun () -> fired := true) in
+  Alcotest.(check bool) "scheduled" true (Engine.is_scheduled h);
+  Alcotest.(check int) "pending 1" 1 (Engine.pending e);
+  Engine.cancel h;
+  Alcotest.(check int) "pending 0" 0 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check bool) "not fired" false !fired;
+  Engine.cancel h (* double cancel is a no-op *)
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore
+      (Engine.schedule_at e (Time_ns.of_us (float_of_int i)) (fun () -> incr count)
+        : Engine.handle)
+  done;
+  Engine.run_until e (Time_ns.of_us 5.0);
+  Alcotest.(check int) "five fired" 5 !count;
+  Alcotest.(check int64) "clock = limit" (Time_ns.of_us 5.0) (Engine.now e);
+  Engine.run_until e (Time_ns.of_us 100.0);
+  Alcotest.(check int) "rest fired" 10 !count;
+  Alcotest.(check int64) "clock = later limit" (Time_ns.of_us 100.0) (Engine.now e)
+
+let test_engine_schedule_from_handler () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule_at e (Time_ns.of_us 1.0) (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Engine.schedule_after e 0L (fun () -> log := "inner" :: !log) : Engine.handle))
+      : Engine.handle);
+  Engine.run e;
+  Alcotest.(check (list string)) "nested events run" [ "outer"; "inner" ] (List.rev !log)
+
+let test_engine_past_clamped () =
+  let e = Engine.create () in
+  ignore (Engine.schedule_at e (Time_ns.of_us 10.0) (fun () -> ()) : Engine.handle);
+  Engine.run e;
+  let fired_at = ref Time_ns.zero in
+  ignore
+    (Engine.schedule_at e (Time_ns.of_us 1.0) (fun () -> fired_at := Engine.now e)
+      : Engine.handle);
+  Engine.run e;
+  Alcotest.(check int64) "clamped to now" (Time_ns.of_us 10.0) !fired_at
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_online_moments () =
+  let o = Stats.Online.create () in
+  List.iter (Stats.Online.add o) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check int) "count" 8 (Stats.Online.count o);
+  check_float_eps 1e-9 "mean" 5.0 (Stats.Online.mean o);
+  check_float_eps 1e-9 "variance" (32.0 /. 7.0) (Stats.Online.variance o);
+  check_float "min" 2.0 (Stats.Online.min o);
+  check_float "max" 9.0 (Stats.Online.max o);
+  check_float "sum" 40.0 (Stats.Online.sum o)
+
+let test_online_merge () =
+  let xs = List.init 100 (fun i -> float_of_int i *. 0.37) in
+  let a = Stats.Online.create () and b = Stats.Online.create () and full = Stats.Online.create () in
+  List.iteri (fun i x -> Stats.Online.add (if i mod 2 = 0 then a else b) x; Stats.Online.add full x) xs;
+  let merged = Stats.Online.merge a b in
+  Alcotest.(check int) "count" (Stats.Online.count full) (Stats.Online.count merged);
+  check_float_eps 1e-9 "mean" (Stats.Online.mean full) (Stats.Online.mean merged);
+  check_float_eps 1e-6 "variance" (Stats.Online.variance full) (Stats.Online.variance merged)
+
+let test_sample_percentiles () =
+  let s = Stats.Sample.create () in
+  for i = 1 to 101 do
+    Stats.Sample.add s (float_of_int i)
+  done;
+  check_float "median" 51.0 (Stats.Sample.median s);
+  check_float "p0" 1.0 (Stats.Sample.percentile s 0.0);
+  check_float "p100" 101.0 (Stats.Sample.percentile s 100.0);
+  check_float "p25" 26.0 (Stats.Sample.percentile s 25.0)
+
+let test_sample_fraction_above () =
+  let s = Stats.Sample.create () in
+  List.iter (Stats.Sample.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check_float "above 2" 0.5 (Stats.Sample.fraction_above s 2.0);
+  check_float "above 0" 1.0 (Stats.Sample.fraction_above s 0.0);
+  check_float "above 4" 0.0 (Stats.Sample.fraction_above s 4.0);
+  check_float "empty" 0.0 (Stats.Sample.fraction_above (Stats.Sample.create ()) 1.0)
+
+let test_sample_matches_online =
+  QCheck.Test.make ~name:"Sample mean/stddev = Online mean/stddev" ~count:100
+    QCheck.(list_of_size Gen.(int_range 2 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let s = Stats.Sample.create () and o = Stats.Online.create () in
+      List.iter (fun x -> Stats.Sample.add s x; Stats.Online.add o x) xs;
+      Float.abs (Stats.Sample.mean s -. Stats.Online.mean o) < 1e-9
+      && Float.abs (Stats.Sample.stddev s -. Stats.Online.stddev o) < 1e-9)
+
+let test_sample_sorted_cached_after_add () =
+  let s = Stats.Sample.create () in
+  List.iter (Stats.Sample.add s) [ 3.0; 1.0 ];
+  check_float "median 2" 2.0 (Stats.Sample.median s);
+  Stats.Sample.add s 100.0;
+  check_float "median updates after add" 3.0 (Stats.Sample.median s)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram *)
+
+let test_histogram_binning () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Histogram.add h) [ 0.5; 1.5; 1.7; 9.9; 10.0; 25.0; -1.0 ];
+  Alcotest.(check int) "count" 7 (Histogram.count h);
+  Alcotest.(check int) "bin 0 (incl clamped -1)" 2 (Histogram.bin_count h 0);
+  Alcotest.(check int) "bin 1" 2 (Histogram.bin_count h 1);
+  Alcotest.(check int) "bin 9" 1 (Histogram.bin_count h 9);
+  Alcotest.(check int) "overflow" 2 (Histogram.bin_count h 10)
+
+let test_histogram_cdf () =
+  let h = Histogram.create ~lo:0.0 ~hi:100.0 ~bins:100 in
+  for i = 0 to 99 do
+    Histogram.add h (float_of_int i +. 0.5)
+  done;
+  check_float_eps 1e-9 "cdf at 50" 0.5 (Histogram.cdf_at h 50.0);
+  check_float_eps 1e-9 "cdf at 100" 1.0 (Histogram.cdf_at h 100.0);
+  let pts = Histogram.cdf_points h in
+  Alcotest.(check int) "points = bins+1" 101 (List.length pts);
+  let last_y = snd (List.nth pts 100) in
+  check_float_eps 1e-9 "cdf reaches 1" 1.0 last_y
+
+let test_histogram_render_smoke () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Histogram.add h) [ 1.0; 2.0; 3.0 ];
+  let out = Histogram.render_ascii ~width:20 ~height:5 ~series:[ ("x", h) ] () in
+  Alcotest.(check bool) "mentions legend" true
+    (String.length out > 0
+    && String.split_on_char '\n' out |> List.exists (fun l -> String.trim l = "* x"))
+
+let test_histogram_invalid_args () =
+  Alcotest.check_raises "bins<=0" (Invalid_argument "Histogram.create: bins must be positive")
+    (fun () -> ignore (Histogram.create ~lo:0.0 ~hi:1.0 ~bins:0));
+  Alcotest.check_raises "hi<=lo" (Invalid_argument "Histogram.create: hi must exceed lo")
+    (fun () -> ignore (Histogram.create ~lo:1.0 ~hi:1.0 ~bins:4))
+
+(* ------------------------------------------------------------------ *)
+(* Series *)
+
+let test_series_windowed_medians () =
+  let s = Series.create () in
+  (* Window 1: 1,2,3 at t=0..0.2ms; window 2: 10,20 at t=1.1,1.2ms. *)
+  Series.add s Time_ns.zero 1.0;
+  Series.add s (Time_ns.of_ms 0.1) 3.0;
+  Series.add s (Time_ns.of_ms 0.2) 2.0;
+  Series.add s (Time_ns.of_ms 1.1) 10.0;
+  Series.add s (Time_ns.of_ms 1.2) 20.0;
+  let ms = Series.windowed_medians s ~window:(Time_ns.of_ms 1.0) in
+  Alcotest.(check int) "two windows" 2 (List.length ms);
+  check_float "median w1" 2.0 (snd (List.nth ms 0));
+  check_float "median w2" 15.0 (snd (List.nth ms 1));
+  let means = Series.windowed_means s ~window:(Time_ns.of_ms 1.0) in
+  check_float "mean w1" 2.0 (snd (List.nth means 0))
+
+let test_series_rejects_out_of_order () =
+  let s = Series.create () in
+  Series.add s (Time_ns.of_ms 1.0) 1.0;
+  Alcotest.check_raises "non-monotone"
+    (Invalid_argument "Series.add: timestamps must be non-decreasing") (fun () ->
+      Series.add s Time_ns.zero 2.0)
+
+let test_series_empty_windows_skipped () =
+  let s = Series.create () in
+  Series.add s Time_ns.zero 1.0;
+  Series.add s (Time_ns.of_ms 5.0) 9.0;
+  let ms = Series.windowed_medians s ~window:(Time_ns.of_ms 1.0) in
+  Alcotest.(check int) "only non-empty windows" 2 (List.length ms)
+
+(* ------------------------------------------------------------------ *)
+(* Tablefmt *)
+
+let test_tablefmt_renders () =
+  let t = Tablefmt.create ~title:"T" ~columns:[ ("a", Tablefmt.Left); ("b", Tablefmt.Right) ] in
+  Tablefmt.add_row t [ "x"; "1" ];
+  Tablefmt.add_rule t;
+  Tablefmt.add_row t [ "yy"; "22" ];
+  let out = Tablefmt.render t in
+  Alcotest.(check bool) "has title" true (String.length out > 0 && String.sub out 0 1 = "T");
+  Alcotest.(check bool) "contains row" true
+    (String.split_on_char '\n' out |> List.exists (fun l -> l = "| yy | 22 |"))
+
+let test_tablefmt_arity_checked () =
+  let t = Tablefmt.create ~title:"T" ~columns:[ ("a", Tablefmt.Left) ] in
+  Alcotest.check_raises "wrong arity" (Invalid_argument "Tablefmt.add_row: wrong number of cells")
+    (fun () -> Tablefmt.add_row t [ "x"; "y" ])
+
+let test_tablefmt_cells () =
+  Alcotest.(check string) "float" "3.14" (Tablefmt.cell_f 3.14159);
+  Alcotest.(check string) "float decimals" "3.1" (Tablefmt.cell_f ~decimals:1 3.14159);
+  Alcotest.(check string) "nan" "-" (Tablefmt.cell_f nan);
+  Alcotest.(check string) "int" "42" (Tablefmt.cell_i 42);
+  Alcotest.(check string) "pct" "25.3%" (Tablefmt.cell_pct 0.253)
+
+(* ------------------------------------------------------------------ *)
+(* Additional edge cases *)
+
+let test_engine_limit_before_first_event () =
+  let e = Engine.create () in
+  let fired = ref false in
+  ignore (Engine.schedule_at e (Time_ns.of_us 100.0) (fun () -> fired := true) : Engine.handle);
+  Engine.run_until e (Time_ns.of_us 50.0);
+  Alcotest.(check bool) "not yet" false !fired;
+  Alcotest.(check int64) "clock at limit" (Time_ns.of_us 50.0) (Engine.now e);
+  Alcotest.(check int) "still pending" 1 (Engine.pending e)
+
+let test_engine_negative_after_clamped () =
+  let e = Engine.create () in
+  let at = ref None in
+  ignore (Engine.schedule_after e (-5L) (fun () -> at := Some (Engine.now e)) : Engine.handle);
+  Engine.run e;
+  Alcotest.(check (option int64)) "clamped to now" (Some Time_ns.zero) !at
+
+let test_engine_cancel_head_then_run_until () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let h = Engine.schedule_at e (Time_ns.of_us 10.0) (fun () -> log := "head" :: !log) in
+  ignore (Engine.schedule_at e (Time_ns.of_us 20.0) (fun () -> log := "tail" :: !log) : Engine.handle);
+  Engine.cancel h;
+  Engine.run_until e (Time_ns.of_us 100.0);
+  Alcotest.(check (list string)) "cancelled head skipped" [ "tail" ] (List.rev !log)
+
+let test_dist_span_is_us () =
+  let rng = Prng.create ~seed:1 in
+  Alcotest.(check int64) "span interprets us" (Time_ns.of_us 42.0)
+    (Dist.span (Dist.Constant 42.0) rng)
+
+let test_dist_empty_mixture_raises () =
+  let rng = Prng.create ~seed:1 in
+  Alcotest.check_raises "empty mixture" (Invalid_argument "Dist.draw: empty mixture")
+    (fun () -> ignore (Dist.draw (Dist.Mixture []) rng))
+
+let test_dist_shifted_negative_clamps () =
+  let rng = Prng.create ~seed:1 in
+  Alcotest.(check (float 1e-9)) "clamped at zero" 0.0
+    (Dist.draw (Dist.Shifted (-10.0, Dist.Constant 1.0)) rng)
+
+let test_histogram_cdf_points_monotone =
+  QCheck.Test.make ~name:"cdf points are monotone in [0,1]" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 200) (float_range (-50.) 250.))
+    (fun xs ->
+      let h = Histogram.create ~lo:0.0 ~hi:100.0 ~bins:20 in
+      List.iter (Histogram.add h) xs;
+      let pts = List.map snd (Histogram.cdf_points h) in
+      let rec mono = function
+        | a :: b :: rest -> a <= b +. 1e-12 && mono (b :: rest)
+        | _ -> true
+      in
+      mono pts
+      && List.for_all (fun y -> y >= 0.0 && y <= 1.0 +. 1e-12) pts
+      && Float.abs (List.nth pts (List.length pts - 1) -. 1.0) < 1e-9)
+
+let test_stats_single_point () =
+  let s = Stats.Sample.create () in
+  Stats.Sample.add s 5.0;
+  Alcotest.(check (float 1e-9)) "median of one" 5.0 (Stats.Sample.median s);
+  Alcotest.(check (float 1e-9)) "p99 of one" 5.0 (Stats.Sample.percentile s 99.0);
+  Alcotest.(check bool) "stddev of one is nan" true (Float.is_nan (Stats.Sample.stddev s))
+
+let test_stats_percentile_errors () =
+  let s = Stats.Sample.create () in
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.Sample.percentile: empty sample")
+    (fun () -> ignore (Stats.Sample.percentile s 50.0));
+  Stats.Sample.add s 1.0;
+  Alcotest.check_raises "out of range" (Invalid_argument "Stats.Sample.percentile: p out of range")
+    (fun () -> ignore (Stats.Sample.percentile s 101.0))
+
+let test_tablefmt_right_alignment () =
+  let t = Tablefmt.create ~title:"T" ~columns:[ ("n", Tablefmt.Right) ] in
+  Tablefmt.add_row t [ "1" ];
+  Tablefmt.add_row t [ "100" ];
+  let lines = String.split_on_char '\n' (Tablefmt.render t) in
+  Alcotest.(check bool) "right-justified" true (List.exists (fun l -> l = "|   1 |") lines)
+
+let test_prng_float_range_invalid () =
+  let rng = Prng.create ~seed:1 in
+  Alcotest.check_raises "hi < lo" (Invalid_argument "Prng.float_range: hi < lo") (fun () ->
+      ignore (Prng.float_range rng 2.0 1.0))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "simcore"
+    [
+      ( "time_ns",
+        [
+          Alcotest.test_case "conversions" `Quick test_time_conversions;
+          Alcotest.test_case "arithmetic" `Quick test_time_arithmetic;
+          Alcotest.test_case "pretty-printing" `Quick test_time_pp;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic per seed" `Quick test_prng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
+          Alcotest.test_case "float ranges" `Quick test_prng_float_range;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "copy replays" `Quick test_prng_copy_replays;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "constant" `Quick test_dist_constant;
+          Alcotest.test_case "means match analytic" `Slow test_dist_means_match_analytic;
+          Alcotest.test_case "pareto infinite mean" `Quick test_dist_pareto_infinite_mean;
+          qc test_dist_non_negative;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "peek and clear" `Quick test_heap_peek_and_clear;
+          Alcotest.test_case "sorted view non-destructive" `Quick test_heap_to_sorted_nondestructive;
+          qc test_heap_matches_sort;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_engine_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "run_until" `Quick test_engine_run_until;
+          Alcotest.test_case "schedule from handler" `Quick test_engine_schedule_from_handler;
+          Alcotest.test_case "past clamped to now" `Quick test_engine_past_clamped;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "online moments" `Quick test_online_moments;
+          Alcotest.test_case "online merge" `Quick test_online_merge;
+          Alcotest.test_case "percentiles" `Quick test_sample_percentiles;
+          Alcotest.test_case "fraction above" `Quick test_sample_fraction_above;
+          Alcotest.test_case "sorted cache invalidation" `Quick test_sample_sorted_cached_after_add;
+          qc test_sample_matches_online;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "binning" `Quick test_histogram_binning;
+          Alcotest.test_case "cdf" `Quick test_histogram_cdf;
+          Alcotest.test_case "render smoke" `Quick test_histogram_render_smoke;
+          Alcotest.test_case "invalid args" `Quick test_histogram_invalid_args;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "windowed medians" `Quick test_series_windowed_medians;
+          Alcotest.test_case "rejects out of order" `Quick test_series_rejects_out_of_order;
+          Alcotest.test_case "empty windows skipped" `Quick test_series_empty_windows_skipped;
+        ] );
+      ( "tablefmt",
+        [
+          Alcotest.test_case "renders" `Quick test_tablefmt_renders;
+          Alcotest.test_case "arity checked" `Quick test_tablefmt_arity_checked;
+          Alcotest.test_case "cell formatting" `Quick test_tablefmt_cells;
+          Alcotest.test_case "right alignment" `Quick test_tablefmt_right_alignment;
+        ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "run_until before first event" `Quick
+            test_engine_limit_before_first_event;
+          Alcotest.test_case "negative schedule_after" `Quick test_engine_negative_after_clamped;
+          Alcotest.test_case "cancelled head skipped" `Quick test_engine_cancel_head_then_run_until;
+          Alcotest.test_case "dist span in us" `Quick test_dist_span_is_us;
+          Alcotest.test_case "empty mixture raises" `Quick test_dist_empty_mixture_raises;
+          Alcotest.test_case "shifted clamps" `Quick test_dist_shifted_negative_clamps;
+          Alcotest.test_case "single-point stats" `Quick test_stats_single_point;
+          Alcotest.test_case "percentile errors" `Quick test_stats_percentile_errors;
+          Alcotest.test_case "float_range invalid" `Quick test_prng_float_range_invalid;
+          qc test_histogram_cdf_points_monotone;
+        ] );
+    ]

@@ -1,0 +1,464 @@
+(* Tests for the core contribution: the soft-timer facility, the
+   rate-based clock, the hardware pacer baseline, network polling and
+   the measurement probes.  The central property is the paper's firing
+   window: T < actual < T + X + 1 measurement ticks. *)
+
+let us = Time_ns.of_us
+
+let fresh () =
+  let e = Engine.create () in
+  let m = Machine.create e in
+  let st = Softtimer.attach m in
+  (e, m, st)
+
+(* A steady synthetic trigger source: syscall every ~gap_us. *)
+let start_triggers ?(gap_us = 20.0) m seed =
+  let rng = Prng.create ~seed in
+  let rec loop _now =
+    let u = Dist.draw (Dist.Exponential gap_us) rng in
+    Kernel.user m ~work_us:u (fun _ -> Kernel.syscall m ~work_us:1.0 loop)
+  in
+  loop Time_ns.zero
+
+(* ------------------------------------------------------------------ *)
+(* Facility basics *)
+
+let test_api_constants () =
+  let _, _, st = fresh () in
+  Alcotest.(check int64) "measure resolution = CPU Hz" 300_000_000L (Softtimer.measure_resolution st);
+  Alcotest.(check int64) "interrupt clock" 1_000L (Softtimer.interrupt_clock_resolution st);
+  Alcotest.(check int64) "X ratio" 300_000L (Softtimer.x_ratio st)
+
+let test_measure_time_advances () =
+  let e, _, st = fresh () in
+  let t0 = Softtimer.measure_time st in
+  Engine.run_until e (us 10.0);
+  let t1 = Softtimer.measure_time st in
+  (* 10 us at 300 MHz = 3000 ticks. *)
+  Alcotest.(check int64) "3000 ticks elapsed" 3_000L (Int64.sub t1 t0)
+
+let test_event_fires_at_trigger () =
+  let e, m, st = fresh () in
+  start_triggers m 1;
+  let fired_at = ref None in
+  ignore (Softtimer.schedule_after st (us 100.0) (fun now -> fired_at := Some now)
+           : Softtimer.handle);
+  Engine.run_until e (Time_ns.of_ms 5.0);
+  (match !fired_at with
+  | None -> Alcotest.fail "event never fired"
+  | Some t ->
+    Alcotest.(check bool) "after the delay" true Time_ns.(t >= us 100.0);
+    Alcotest.(check bool) "well before the backup tick" true Time_ns.(t < us 400.0));
+  Alcotest.(check int) "fired count" 1 (Softtimer.fired st);
+  Alcotest.(check bool) "checks happened" true (Softtimer.checks st > 10)
+
+let test_backup_clock_bounds_delay () =
+  (* No trigger sources at all (idle machine, deadline oracle disabled by
+     detaching? no: the idle oracle fires exactly on time).  Make the CPU
+     busy with trigger-less background work instead, so only the 1 kHz
+     backup can fire the event. *)
+  let e, m, st = fresh () in
+  let rec hog _now =
+    Machine.submit_quantum m ~prio:Cpu.prio_user ~work_us:500.0 ~trigger:None hog
+  in
+  hog Time_ns.zero;
+  let fired_at = ref None in
+  ignore (Softtimer.schedule_after st (us 50.0) (fun now -> fired_at := Some now)
+           : Softtimer.handle);
+  Engine.run_until e (Time_ns.of_ms 10.0);
+  match !fired_at with
+  | None -> Alcotest.fail "backup never fired the event"
+  | Some t ->
+    Alcotest.(check bool) "not early" true Time_ns.(t >= us 50.0);
+    (* One backup period (1 ms) plus handler-completion slack. *)
+    Alcotest.(check bool) "within ~one backup period" true Time_ns.(t <= Time_ns.of_ms 1.6)
+
+let test_cancel_prevents_firing () =
+  let e, m, st = fresh () in
+  start_triggers m 2;
+  let fired = ref false in
+  let h = Softtimer.schedule_after st (us 100.0) (fun _ -> fired := true) in
+  Alcotest.(check int) "pending" 1 (Softtimer.pending st);
+  Softtimer.cancel st h;
+  Alcotest.(check int) "cancelled" 0 (Softtimer.pending st);
+  Engine.run_until e (Time_ns.of_ms 5.0);
+  Alcotest.(check bool) "never fired" false !fired
+
+let test_single_facility_per_machine () =
+  let e = Engine.create () in
+  let m = Machine.create e in
+  let _st = Softtimer.attach m in
+  Alcotest.check_raises "second attach rejected"
+    (Invalid_argument "Softtimer.attach: a facility is already attached to this machine")
+    (fun () -> ignore (Softtimer.attach m))
+
+let test_detach_stops_firing () =
+  let e, m, st = fresh () in
+  start_triggers m 3;
+  let fired = ref false in
+  ignore (Softtimer.schedule_after st (us 50.0) (fun _ -> fired := true) : Softtimer.handle);
+  Softtimer.detach st;
+  Engine.run_until e (Time_ns.of_ms 5.0);
+  Alcotest.(check bool) "no firing after detach" false !fired;
+  (* The machine accepts a new facility afterwards. *)
+  ignore (Softtimer.attach m : Softtimer.t)
+
+let test_negative_ticks_rejected () =
+  let _, _, st = fresh () in
+  Alcotest.check_raises "negative" (Invalid_argument "Softtimer.schedule_soft_event: negative ticks")
+    (fun () -> ignore (Softtimer.schedule_soft_event st ~ticks:(-1L) (fun _ -> ())))
+
+let test_delay_recording () =
+  let e, m, st = fresh () in
+  start_triggers m 4;
+  Softtimer.set_record_delays st true;
+  for _ = 1 to 20 do
+    ignore (Softtimer.schedule_after st (us 30.0) (fun _ -> ()) : Softtimer.handle)
+  done;
+  Engine.run_until e (Time_ns.of_ms 20.0);
+  let d = Softtimer.delays st in
+  Alcotest.(check int) "all delays recorded" 20 (Stats.Sample.count d);
+  Alcotest.(check bool) "delays non-negative" true (Stats.Sample.min d >= 0.0)
+
+(* The paper's bound, as a property over random T and trigger gaps. *)
+let test_bounds_property =
+  QCheck.Test.make ~name:"T < actual <= T + X + 1 ticks" ~count:60
+    QCheck.(pair (int_range 0 200_000) (int_range 5 200))
+    (fun (ticks, gap_us) ->
+      let e, m, st = fresh () in
+      start_triggers ~gap_us:(float_of_int gap_us) m (ticks + gap_us);
+      let sched = Softtimer.measure_time st in
+      let ok = ref None in
+      ignore
+        (Softtimer.schedule_soft_event st ~ticks:(Int64.of_int ticks) (fun now ->
+             let actual_ticks = Int64.to_float now /. 1e9 *. 300e6 -. Int64.to_float sched in
+             let x = Int64.to_float (Softtimer.x_ratio st) in
+             ok :=
+               Some
+                 (actual_ticks > float_of_int ticks
+                 && actual_ticks <= float_of_int ticks +. x +. 1.0 +. 2_000.0
+                    (* 2000 ticks (~6.6 us) of slack for the backup tick's
+                       own handler completion time *)))
+          : Softtimer.handle);
+      Engine.run_until e (Time_ns.of_sec 0.05);
+      !ok = Some true)
+
+let test_idle_cpu_rescues_busy_machine () =
+  (* Â§5.3: with every CPU compute-bound and trigger-less, events wait
+     for the backup clock; an extra idle CPU restores exact firing. *)
+  let lateness ~cpus =
+    let e = Engine.create () in
+    let m = Machine.create ~cpus e in
+    let st = Softtimer.attach m in
+    let rec hog _now =
+      Machine.submit_quantum m ~cpu:0 ~prio:Cpu.prio_user ~work_us:700.0 ~trigger:None hog
+    in
+    hog Time_ns.zero;
+    let late = Stats.Sample.create () in
+    let rec periodic () =
+      let at = Engine.now e in
+      ignore
+        (Softtimer.schedule_after st (us 100.0) (fun now ->
+             Stats.Sample.add late (Time_ns.to_us Time_ns.(now - at) -. 100.0);
+             periodic ())
+          : Softtimer.handle)
+    in
+    periodic ();
+    Engine.run_until e (Time_ns.of_sec 0.5);
+    Stats.Sample.mean late
+  in
+  let single = lateness ~cpus:1 and dual = lateness ~cpus:2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "single-cpu waits for the backup (mean %.0f us)" single)
+    true (single > 300.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "idle second cpu fires on time (mean %.1f us)" dual)
+    true (dual < 5.0)
+
+(* ------------------------------------------------------------------ *)
+(* Rate_clock *)
+
+let test_rate_clock_converges_to_target () =
+  let e, m, st = fresh () in
+  start_triggers ~gap_us:8.0 m 5;
+  let sends = ref 0 in
+  let clock =
+    Rate_clock.create st ~target_interval:(us 50.0) ~min_interval:(us 12.0)
+      ~send:(fun _ -> incr sends; true)
+      ()
+  in
+  Rate_clock.start clock;
+  Engine.run_until e (Time_ns.of_sec 1.0);
+  let expected = 1_000_000.0 /. 50.0 in
+  let got = float_of_int !sends in
+  Alcotest.(check bool)
+    (Printf.sprintf "~%.0f sends (got %d)" expected !sends)
+    true
+    (Float.abs (got -. expected) < 0.05 *. expected);
+  let iv = Rate_clock.intervals clock in
+  Alcotest.(check bool) "mean interval ~ target" true
+    (Float.abs (Stats.Sample.mean iv -. 50.0) < 3.0)
+
+let test_rate_clock_respects_min_interval () =
+  let e, m, st = fresh () in
+  start_triggers ~gap_us:2.0 m 6;
+  let clock =
+    Rate_clock.create st ~target_interval:(us 50.0) ~min_interval:(us 10.0)
+      ~send:(fun _ -> true)
+      ()
+  in
+  Rate_clock.start clock;
+  Engine.run_until e (Time_ns.of_sec 0.3);
+  let iv = Rate_clock.intervals clock in
+  (* No interval may undercut the burst bound (tick rounding aside). *)
+  Alcotest.(check bool) "min respected" true (Stats.Sample.min iv >= 9.9)
+
+let test_rate_clock_train_ends_and_kicks () =
+  let e, m, st = fresh () in
+  start_triggers ~gap_us:10.0 m 7;
+  let budget = ref 5 in
+  let clock =
+    Rate_clock.create st ~target_interval:(us 40.0) ~min_interval:(us 12.0)
+      ~send:(fun _ -> if !budget > 0 then (decr budget; true) else false)
+      ()
+  in
+  Rate_clock.start clock;
+  Engine.run_until e (Time_ns.of_sec 0.1);
+  Alcotest.(check int) "train drained the budget" 5 (Rate_clock.sends clock);
+  Alcotest.(check bool) "clock idle after empty send" false (Rate_clock.active clock);
+  budget := 3;
+  Rate_clock.kick clock;
+  Engine.run_until e Time_ns.(Engine.now e + Time_ns.of_sec 0.1);
+  Alcotest.(check int) "kick starts a new train" 8 (Rate_clock.sends clock)
+
+let test_rate_clock_stop () =
+  let e, m, st = fresh () in
+  start_triggers m 8;
+  let clock =
+    Rate_clock.create st ~target_interval:(us 40.0) ~min_interval:(us 12.0)
+      ~send:(fun _ -> true)
+      ()
+  in
+  Rate_clock.start clock;
+  Engine.run_until e (Time_ns.of_sec 0.05);
+  Rate_clock.stop clock;
+  let n = Rate_clock.sends clock in
+  Engine.run_until e Time_ns.(Engine.now e + Time_ns.of_sec 0.1);
+  Alcotest.(check int) "no sends after stop" n (Rate_clock.sends clock)
+
+let test_two_clocks_different_rates () =
+  (* Â§5.7: soft timers can clock multiple connections simultaneously at
+     different rates -- impossible with a single hardware timer. *)
+  let e, m, st = fresh () in
+  start_triggers ~gap_us:6.0 m 12;
+  let mk target =
+    let sends = ref 0 in
+    let clock =
+      Rate_clock.create st ~target_interval:(us target) ~min_interval:(us 12.0)
+        ~send:(fun _ -> incr sends; true)
+        ()
+    in
+    Rate_clock.start clock;
+    (clock, sends)
+  in
+  let _c1, s1 = mk 50.0 in
+  let _c2, s2 = mk 200.0 in
+  Engine.run_until e (Time_ns.of_sec 1.0);
+  let r1 = float_of_int !s1 and r2 = float_of_int !s2 in
+  Alcotest.(check bool) (Printf.sprintf "fast clock ~20k (got %.0f)" r1) true
+    (Float.abs (r1 -. 20_000.0) < 1_500.0);
+  Alcotest.(check bool) (Printf.sprintf "slow clock ~5k (got %.0f)" r2) true
+    (Float.abs (r2 -. 5_000.0) < 400.0)
+
+let test_rate_clock_invalid_args () =
+  let _, _, st = fresh () in
+  Alcotest.check_raises "min > target"
+    (Invalid_argument "Rate_clock.create: need 0 < min_interval <= target_interval") (fun () ->
+      ignore
+        (Rate_clock.create st ~target_interval:(us 10.0) ~min_interval:(us 20.0)
+           ~send:(fun _ -> true)
+           ()))
+
+(* ------------------------------------------------------------------ *)
+(* Hw_pacer *)
+
+let test_hw_pacer_paces_at_interval () =
+  let e = Engine.create () in
+  let m = Machine.create e in
+  let pacer = Hw_pacer.create m ~interval:(us 100.0) ~send:(fun _ -> true) () in
+  Hw_pacer.start pacer;
+  Engine.run_until e (Time_ns.of_sec 0.5);
+  let iv = Hw_pacer.intervals pacer in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean ~100us (got %.1f)" (Stats.Sample.mean iv))
+    true
+    (Float.abs (Stats.Sample.mean iv -. 100.0) < 3.0);
+  Alcotest.(check bool) "~5000 sends" true (abs (Hw_pacer.sends pacer - 5_000) < 100)
+
+let test_hw_pacer_pays_interrupt_cost () =
+  let e = Engine.create () in
+  let m = Machine.create e in
+  let pacer = Hw_pacer.create m ~interval:(us 50.0) ~send:(fun _ -> false) () in
+  Hw_pacer.start pacer;
+  Engine.run_until e (Time_ns.of_sec 0.1);
+  (* ~2000 ticks, each costing >= 4.45 us of interrupt overhead even
+     though nothing was pending. *)
+  let busy_us = Time_ns.to_us (Cpu.busy_ns (Machine.cpu m)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "ticks cost CPU (%.0f us)" busy_us)
+    true (busy_us > 2_000.0 *. 4.4);
+  Alcotest.(check int) "no sends" 0 (Hw_pacer.sends pacer)
+
+let test_hw_pacer_stop () =
+  let e = Engine.create () in
+  let m = Machine.create e in
+  let pacer = Hw_pacer.create m ~interval:(us 100.0) ~send:(fun _ -> true) () in
+  Hw_pacer.start pacer;
+  Engine.run_until e (Time_ns.of_sec 0.05);
+  Hw_pacer.stop pacer;
+  let n = Hw_pacer.sends pacer in
+  Engine.run_until e Time_ns.(Engine.now e + Time_ns.of_sec 0.1);
+  Alcotest.(check int) "stopped" n (Hw_pacer.sends pacer)
+
+(* ------------------------------------------------------------------ *)
+(* Net_poll *)
+
+let test_net_poll_adapts_interval () =
+  let e, m, st = fresh () in
+  start_triggers ~gap_us:5.0 m 9;
+  (* A synthetic "ring": packets accumulate at a constant 1 per 40 us. *)
+  let backlog = ref 0.0 in
+  let last = ref Time_ns.zero in
+  let poll now =
+    let dt = Time_ns.to_us Time_ns.(now - !last) in
+    last := now;
+    backlog := !backlog +. (dt /. 40.0);
+    let take = int_of_float !backlog in
+    backlog := !backlog -. float_of_int take;
+    take
+  in
+  let poller = Net_poll.create st ~quota:4.0 ~poll () in
+  Net_poll.start poller;
+  Engine.run_until e (Time_ns.of_sec 1.0);
+  let mean_batch = Net_poll.mean_batch poller in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean batch near quota (got %.2f)" mean_batch)
+    true
+    (mean_batch > 2.6 && mean_batch < 6.0);
+  let iv = Time_ns.to_us (Net_poll.current_interval poller) in
+  Alcotest.(check bool)
+    (Printf.sprintf "interval near 160us (got %.1f)" iv)
+    true (iv > 90.0 && iv < 260.0)
+
+let test_net_poll_bounds_respected () =
+  let e, m, st = fresh () in
+  start_triggers ~gap_us:5.0 m 10;
+  (* Nothing ever found: the interval must grow to its cap and stop. *)
+  let poller =
+    Net_poll.create st ~quota:2.0 ~poll:(fun _ -> 0) ~max_interval:(Time_ns.of_us 500.0) ()
+  in
+  Net_poll.start poller;
+  Engine.run_until e (Time_ns.of_sec 0.5);
+  Alcotest.(check int64) "capped at max" (Time_ns.of_us 500.0) (Net_poll.current_interval poller);
+  Net_poll.stop poller;
+  let polls = Net_poll.polls poller in
+  Engine.run_until e Time_ns.(Engine.now e + Time_ns.of_sec 0.2);
+  Alcotest.(check int) "stopped" polls (Net_poll.polls poller)
+
+let test_net_poll_invalid_quota () =
+  let _, _, st = fresh () in
+  Alcotest.check_raises "quota <= 0" (Invalid_argument "Net_poll.create: quota must be positive")
+    (fun () -> ignore (Net_poll.create st ~quota:0.0 ~poll:(fun _ -> 0) ()))
+
+(* ------------------------------------------------------------------ *)
+(* Delay_probe *)
+
+let test_gap_recorder_filters () =
+  let _, m, _ = fresh () in
+  let all = Delay_probe.Gap_recorder.attach m in
+  let only_sys = Delay_probe.Gap_recorder.attach ~include_kinds:[ Trigger.Syscall ] m in
+  let no_sys = Delay_probe.Gap_recorder.attach ~exclude_kinds:[ Trigger.Syscall ] m in
+  Machine.fire_trigger m Trigger.Syscall;
+  Machine.fire_trigger m Trigger.Trap;
+  Machine.fire_trigger m Trigger.Syscall;
+  Alcotest.(check int) "all" 3 (Delay_probe.Gap_recorder.total all);
+  Alcotest.(check int) "only syscalls" 2 (Delay_probe.Gap_recorder.total only_sys);
+  Alcotest.(check int) "without syscalls" 1 (Delay_probe.Gap_recorder.total no_sys);
+  Alcotest.(check int) "count by kind" 2 (Delay_probe.Gap_recorder.count all Trigger.Syscall)
+
+let test_gap_recorder_source_fractions () =
+  let _, m, _ = fresh () in
+  let r = Delay_probe.Gap_recorder.attach m in
+  for _ = 1 to 3 do
+    Machine.fire_trigger m Trigger.Syscall
+  done;
+  Machine.fire_trigger m Trigger.Ip_output;
+  (* Clock ticks are excluded from the Table 2 accounting. *)
+  Machine.fire_trigger m Trigger.Clock_tick;
+  let fr = Delay_probe.Gap_recorder.source_fractions r in
+  Alcotest.(check (float 1e-9)) "syscalls 75%" 0.75 (List.assoc Trigger.Syscall fr);
+  Alcotest.(check (float 1e-9)) "ip-output 25%" 0.25 (List.assoc Trigger.Ip_output fr)
+
+let test_event_delay_probe () =
+  let e, m, st = fresh () in
+  start_triggers ~gap_us:25.0 m 11;
+  let probe = Delay_probe.Event_delay.start_periodic st ~ticks:0L in
+  Engine.run_until e (Time_ns.of_sec 0.5);
+  Delay_probe.Event_delay.stop probe;
+  let inter = Delay_probe.Event_delay.inter_firing probe in
+  Alcotest.(check bool) "fired a lot" true (Delay_probe.Event_delay.fired probe > 1_000);
+  (* With T=0, firings track trigger states: mean inter-firing time is
+     close to the trigger gap mean (~26 us with the syscall cost). *)
+  let mean = Stats.Sample.mean inter in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean inter-firing ~ trigger gap (got %.1f)" mean)
+    true
+    (mean > 18.0 && mean < 38.0)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "softtimer"
+    [
+      ( "facility",
+        [
+          Alcotest.test_case "API constants" `Quick test_api_constants;
+          Alcotest.test_case "measure_time advances" `Quick test_measure_time_advances;
+          Alcotest.test_case "fires at trigger state" `Quick test_event_fires_at_trigger;
+          Alcotest.test_case "backup bounds delay" `Quick test_backup_clock_bounds_delay;
+          Alcotest.test_case "cancel" `Quick test_cancel_prevents_firing;
+          Alcotest.test_case "one facility per machine" `Quick test_single_facility_per_machine;
+          Alcotest.test_case "detach" `Quick test_detach_stops_firing;
+          Alcotest.test_case "negative ticks rejected" `Quick test_negative_ticks_rejected;
+          Alcotest.test_case "delay recording" `Quick test_delay_recording;
+          Alcotest.test_case "idle cpu rescues busy machine" `Quick
+            test_idle_cpu_rescues_busy_machine;
+          qc test_bounds_property;
+        ] );
+      ( "rate_clock",
+        [
+          Alcotest.test_case "converges to target rate" `Quick test_rate_clock_converges_to_target;
+          Alcotest.test_case "respects min interval" `Quick test_rate_clock_respects_min_interval;
+          Alcotest.test_case "train end and kick" `Quick test_rate_clock_train_ends_and_kicks;
+          Alcotest.test_case "stop" `Quick test_rate_clock_stop;
+          Alcotest.test_case "invalid args" `Quick test_rate_clock_invalid_args;
+          Alcotest.test_case "two clocks, two rates" `Quick test_two_clocks_different_rates;
+        ] );
+      ( "hw_pacer",
+        [
+          Alcotest.test_case "paces at interval" `Quick test_hw_pacer_paces_at_interval;
+          Alcotest.test_case "pays interrupt cost" `Quick test_hw_pacer_pays_interrupt_cost;
+          Alcotest.test_case "stop" `Quick test_hw_pacer_stop;
+        ] );
+      ( "net_poll",
+        [
+          Alcotest.test_case "adapts toward quota" `Quick test_net_poll_adapts_interval;
+          Alcotest.test_case "bounds respected / stop" `Quick test_net_poll_bounds_respected;
+          Alcotest.test_case "invalid quota" `Quick test_net_poll_invalid_quota;
+        ] );
+      ( "delay_probe",
+        [
+          Alcotest.test_case "gap recorder filters" `Quick test_gap_recorder_filters;
+          Alcotest.test_case "source fractions" `Quick test_gap_recorder_source_fractions;
+          Alcotest.test_case "event delay probe" `Quick test_event_delay_probe;
+        ] );
+    ]

@@ -1,0 +1,348 @@
+(* Tests for the hashed timing wheel, including a property-based
+   equivalence check against a sorted-list reference implementation. *)
+
+let us = Time_ns.of_us
+
+let collect_fired wheel ~now =
+  let fired = ref [] in
+  let n = Timing_wheel.fire_due wheel ~now (fun due v -> fired := (due, v) :: !fired) in
+  (n, List.rev !fired)
+
+let test_basic_fire () =
+  let w = Timing_wheel.create ~tick:(us 10.0) () in
+  Alcotest.(check int) "empty" 0 (Timing_wheel.pending w);
+  Alcotest.(check (option int64)) "no deadline" None (Timing_wheel.next_deadline w);
+  ignore (Timing_wheel.schedule w ~at:(us 25.0) "a" : Timing_wheel.handle);
+  ignore (Timing_wheel.schedule w ~at:(us 55.0) "b" : Timing_wheel.handle);
+  Alcotest.(check int) "pending 2" 2 (Timing_wheel.pending w);
+  Alcotest.(check (option int64)) "earliest" (Some (us 25.0)) (Timing_wheel.next_deadline w);
+  let n, fired = collect_fired w ~now:(us 30.0) in
+  Alcotest.(check int) "one fired" 1 n;
+  Alcotest.(check (list string)) "a fired" [ "a" ] (List.map snd fired);
+  Alcotest.(check (option int64)) "next is b" (Some (us 55.0)) (Timing_wheel.next_deadline w);
+  let n, fired = collect_fired w ~now:(us 100.0) in
+  Alcotest.(check int) "b fired" 1 n;
+  Alcotest.(check (list string)) "b" [ "b" ] (List.map snd fired);
+  Alcotest.(check int) "drained" 0 (Timing_wheel.pending w)
+
+let test_fire_order_and_ties () =
+  let w = Timing_wheel.create ~tick:(us 10.0) () in
+  ignore (Timing_wheel.schedule w ~at:(us 40.0) "second" : Timing_wheel.handle);
+  ignore (Timing_wheel.schedule w ~at:(us 20.0) "first" : Timing_wheel.handle);
+  ignore (Timing_wheel.schedule w ~at:(us 40.0) "third" : Timing_wheel.handle);
+  let _, fired = collect_fired w ~now:(us 50.0) in
+  Alcotest.(check (list string)) "deadline then insertion order" [ "first"; "second"; "third" ]
+    (List.map snd fired)
+
+let test_cancel () =
+  let w = Timing_wheel.create ~tick:(us 10.0) () in
+  let h = Timing_wheel.schedule w ~at:(us 20.0) "x" in
+  ignore (Timing_wheel.schedule w ~at:(us 30.0) "y" : Timing_wheel.handle);
+  Timing_wheel.cancel w h;
+  Alcotest.(check int) "pending after cancel" 1 (Timing_wheel.pending w);
+  Alcotest.(check (option int64)) "min recomputed" (Some (us 30.0)) (Timing_wheel.next_deadline w);
+  Timing_wheel.cancel w h;  (* double cancel: no-op *)
+  Alcotest.(check int) "still 1" 1 (Timing_wheel.pending w);
+  let _, fired = collect_fired w ~now:(us 100.0) in
+  Alcotest.(check (list string)) "only y fires" [ "y" ] (List.map snd fired)
+
+let test_far_future_rotations () =
+  (* An entry many rotations ahead must not fire early. *)
+  let w = Timing_wheel.create ~slots:8 ~tick:(us 10.0) () in
+  ignore (Timing_wheel.schedule w ~at:(us 25.0) "near" : Timing_wheel.handle);
+  (* 8 slots x 10 us = one rotation is 80 us; 1000 us is 12 rotations out
+     and hashes to the same region of the wheel. *)
+  ignore (Timing_wheel.schedule w ~at:(us 1_005.0) "far" : Timing_wheel.handle);
+  let _, fired = collect_fired w ~now:(us 100.0) in
+  Alcotest.(check (list string)) "only near fires" [ "near" ] (List.map snd fired);
+  let _, fired = collect_fired w ~now:(us 2_000.0) in
+  Alcotest.(check (list string)) "far fires later" [ "far" ] (List.map snd fired)
+
+let test_overdue_schedule_fires () =
+  let w = Timing_wheel.create ~tick:(us 10.0) () in
+  ignore (collect_fired w ~now:(us 500.0));
+  (* Deadline in the past relative to the sweep horizon. *)
+  ignore (Timing_wheel.schedule w ~at:(us 100.0) "late" : Timing_wheel.handle);
+  let _, fired = collect_fired w ~now:(us 500.0) in
+  Alcotest.(check (list string)) "overdue entry still fires" [ "late" ] (List.map snd fired)
+
+let test_schedule_during_fire () =
+  let w = Timing_wheel.create ~tick:(us 10.0) () in
+  ignore (Timing_wheel.schedule w ~at:(us 20.0) "a" : Timing_wheel.handle);
+  let rescheduled = ref false in
+  let n =
+    Timing_wheel.fire_due w ~now:(us 30.0) (fun _ _ ->
+        if not !rescheduled then begin
+          rescheduled := true;
+          ignore (Timing_wheel.schedule w ~at:(us 25.0) "b" : Timing_wheel.handle)
+        end)
+  in
+  Alcotest.(check int) "one fired this round" 1 n;
+  Alcotest.(check int) "b pending" 1 (Timing_wheel.pending w);
+  let n2, fired = collect_fired w ~now:(us 30.0) in
+  Alcotest.(check int) "b fires next round" 1 n2;
+  Alcotest.(check (list string)) "b" [ "b" ] (List.map snd fired)
+
+let test_iter_pending () =
+  let w = Timing_wheel.create ~tick:(us 10.0) () in
+  ignore (Timing_wheel.schedule w ~at:(us 10.0) 1 : Timing_wheel.handle);
+  let h = Timing_wheel.schedule w ~at:(us 20.0) 2 in
+  ignore (Timing_wheel.schedule w ~at:(us 30.0) 3 : Timing_wheel.handle);
+  Timing_wheel.cancel w h;
+  let seen = ref [] in
+  Timing_wheel.iter_pending w (fun _ v -> seen := v :: !seen);
+  Alcotest.(check (list int)) "pending values" [ 1; 3 ] (List.sort compare !seen)
+
+let test_invalid_args () =
+  Alcotest.check_raises "tick<=0" (Invalid_argument "Timing_wheel.create: tick must be positive")
+    (fun () -> ignore (Timing_wheel.create ~tick:0L () : unit Timing_wheel.t));
+  Alcotest.check_raises "slots<=0" (Invalid_argument "Timing_wheel.create: slots must be positive")
+    (fun () -> ignore (Timing_wheel.create ~slots:0 ~tick:1L () : unit Timing_wheel.t))
+
+(* Property: against a sorted-list oracle, under a random schedule of
+   operations (schedule / cancel / advance), fire_due produces exactly
+   the same (deadline, id) multiset in the same deadline order, and
+   next_deadline always agrees. *)
+
+type op = Schedule of int | Cancel of int | Advance of int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map (fun d -> Schedule d) (int_range 0 2_000));
+        (2, map (fun i -> Cancel i) (int_range 0 50));
+        (3, map (fun d -> Advance d) (int_range 1 500));
+      ])
+
+let ops_arbitrary =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Schedule d -> Printf.sprintf "S%d" d
+             | Cancel i -> Printf.sprintf "C%d" i
+             | Advance d -> Printf.sprintf "A%d" d)
+           ops))
+    QCheck.Gen.(list_size (int_range 1 120) op_gen)
+
+let test_oracle_equivalence =
+  QCheck.Test.make ~name:"wheel = sorted-list oracle" ~count:300 ops_arbitrary (fun ops ->
+      let w = Timing_wheel.create ~slots:16 ~tick:(us 10.0) () in
+      (* Oracle: (deadline, id, cancelled ref) list. *)
+      let oracle : (Time_ns.t * int * bool ref) list ref = ref [] in
+      let handles : (int * Timing_wheel.handle * bool ref) list ref = ref [] in
+      let now = ref Time_ns.zero in
+      let next_id = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Schedule offset_us ->
+            let at = Time_ns.(!now + us (float_of_int offset_us)) in
+            let id = !next_id in
+            incr next_id;
+            let h = Timing_wheel.schedule w ~at id in
+            let alive = ref true in
+            oracle := (at, id, alive) :: !oracle;
+            handles := (id, h, alive) :: !handles
+          | Cancel idx -> begin
+            match List.nth_opt !handles (idx mod max 1 (List.length !handles)) with
+            | Some (_, h, alive) when !handles <> [] ->
+              Timing_wheel.cancel w h;
+              alive := false
+            | _ -> ()
+          end
+          | Advance d ->
+            now := Time_ns.(!now + us (float_of_int d));
+            let fired = ref [] in
+            ignore
+              (Timing_wheel.fire_due w ~now:!now (fun due v -> fired := (due, v) :: !fired)
+                : int);
+            let fired = List.rev !fired in
+            let expected =
+              !oracle
+              |> List.filter (fun (at, _, alive) -> !alive && Time_ns.(at <= !now))
+              |> List.map (fun (at, id, _) -> (at, id))
+              |> List.sort (fun (a, i) (b, j) ->
+                     let c = Time_ns.compare a b in
+                     if c <> 0 then c else compare i j)
+            in
+            oracle :=
+              List.filter (fun (at, _, alive) -> (not !alive) || Time_ns.(at > !now)) !oracle;
+            (* Fired entries are spent: drop them from the oracle; also
+               mark them dead so later cancels are no-ops. *)
+            List.iter
+              (fun (_, id) ->
+                match List.find_opt (fun (i, _, _) -> i = id) !handles with
+                | Some (_, _, alive) -> alive := false
+                | None -> ())
+              expected;
+            if fired <> expected then ok := false)
+        ops;
+      (* Final consistency of pending count and next_deadline. *)
+      let live = List.filter (fun (_, _, alive) -> !alive) !oracle in
+      let expected_min =
+        List.fold_left
+          (fun acc (at, _, _) ->
+            match acc with None -> Some at | Some m -> Some (Time_ns.min m at))
+          None live
+      in
+      !ok
+      && Timing_wheel.pending w = List.length live
+      && Timing_wheel.next_deadline w = expected_min)
+
+
+(* ------------------------------------------------------------------ *)
+(* Timer_backend: the same oracle, over all four backends. *)
+
+let backend_oracle (module B : Timer_backend.S) ops =
+  let w = B.create ~tick:(us 10.0) () in
+  let oracle : (Time_ns.t * int * bool ref) list ref = ref [] in
+  let handles : (int * B.handle * bool ref) list ref = ref [] in
+  let now = ref Time_ns.zero in
+  let next_id = ref 0 in
+  let ok = ref true in
+  List.iter
+    (fun op ->
+      match op with
+      | Schedule offset_us ->
+        let at = Time_ns.(!now + us (float_of_int offset_us)) in
+        let id = !next_id in
+        incr next_id;
+        let h = B.schedule w ~at id in
+        let alive = ref true in
+        oracle := (at, id, alive) :: !oracle;
+        handles := (id, h, alive) :: !handles
+      | Cancel idx -> begin
+        match List.nth_opt !handles (idx mod max 1 (List.length !handles)) with
+        | Some (_, h, alive) when !handles <> [] ->
+          B.cancel w h;
+          alive := false
+        | _ -> ()
+      end
+      | Advance d ->
+        now := Time_ns.(!now + us (float_of_int d));
+        let fired = ref [] in
+        ignore (B.fire_due w ~now:!now (fun due v -> fired := (due, v) :: !fired) : int);
+        let fired = List.rev !fired in
+        let expected =
+          !oracle
+          |> List.filter (fun (at, _, alive) -> !alive && Time_ns.(at <= !now))
+          |> List.map (fun (at, id, _) -> (at, id))
+          |> List.sort (fun (a, i) (b, j) ->
+                 let c = Time_ns.compare a b in
+                 if c <> 0 then c else compare i j)
+        in
+        oracle :=
+          List.filter (fun (at, _, alive) -> (not !alive) || Time_ns.(at > !now)) !oracle;
+        List.iter
+          (fun (_, id) ->
+            match List.find_opt (fun (i, _, _) -> i = id) !handles with
+            | Some (_, _, alive) -> alive := false
+            | None -> ())
+          expected;
+        if fired <> expected then ok := false)
+    ops;
+  let live = List.filter (fun (_, _, alive) -> !alive) !oracle in
+  let expected_min =
+    List.fold_left
+      (fun acc (at, _, _) -> match acc with None -> Some at | Some m -> Some (Time_ns.min m at))
+      None live
+  in
+  !ok && B.pending w = List.length live && B.next_deadline w = expected_min
+
+(* The hierarchical wheel's overflow list holds entries beyond 64^4
+   ticks; with a 100 ns tick that is ~1.7 s out. *)
+let test_hier_overflow_path () =
+  let module H = Timer_backend.Hier in
+  let w = H.create ~tick:100L () in
+  ignore (H.schedule w ~at:(Time_ns.of_sec 2.0) "overflow" : H.handle);
+  ignore (H.schedule w ~at:(us 50.0) "near" : H.handle);
+  Alcotest.(check (option int64)) "min is near" (Some (us 50.0)) (H.next_deadline w);
+  let fired = ref [] in
+  ignore (H.fire_due w ~now:(Time_ns.of_sec 0.5) (fun _ v -> fired := v :: !fired) : int);
+  Alcotest.(check (list string)) "near fires, overflow waits" [ "near" ] (List.rev !fired);
+  Alcotest.(check (option int64)) "overflow is the min now" (Some (Time_ns.of_sec 2.0))
+    (H.next_deadline w);
+  ignore (H.fire_due w ~now:(Time_ns.of_sec 3.0) (fun _ v -> fired := v :: !fired) : int);
+  Alcotest.(check (list string)) "overflow fires after cascades" [ "near"; "overflow" ]
+    (List.rev !fired);
+  Alcotest.(check int) "drained" 0 (H.pending w)
+
+(* Exercise fast_forward with long quiet gaps between sparse timers. *)
+let test_hier_long_gaps =
+  QCheck.Test.make ~name:"hier survives long idle gaps" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 20) (pair (int_range 0 5_000_000) (int_range 1 5_000_000)))
+    (fun ops ->
+      let module H = Timer_backend.Hier in
+      let w = H.create ~tick:(us 10.0) () in
+      let now = ref Time_ns.zero in
+      let scheduled = ref [] in
+      let fired = ref [] in
+      List.iter
+        (fun (offset_us, advance_us) ->
+          let at = Time_ns.(!now + us (float_of_int offset_us)) in
+          let id = List.length !scheduled in
+          ignore (H.schedule w ~at id : H.handle);
+          scheduled := (at, id) :: !scheduled;
+          now := Time_ns.(!now + us (float_of_int advance_us));
+          ignore (H.fire_due w ~now:!now (fun _ v -> fired := v :: !fired) : int))
+        ops;
+      (* Drain everything far in the future; every entry must fire
+         exactly once. *)
+      now := Time_ns.(!now + Time_ns.of_sec 100_000.0);
+      ignore (H.fire_due w ~now:!now (fun _ v -> fired := v :: !fired) : int);
+      List.sort compare !fired = List.init (List.length !scheduled) Fun.id
+      && H.pending w = 0)
+
+let backend_tests =
+  List.map
+    (fun (module B : Timer_backend.S) ->
+      QCheck.Test.make
+        ~name:(Printf.sprintf "%s = sorted-list oracle" B.name)
+        ~count:150 ops_arbitrary
+        (fun ops -> backend_oracle (module B) ops))
+    Timer_backend.all
+
+let test_backends_basic () =
+  List.iter
+    (fun (module B : Timer_backend.S) ->
+      let w = B.create ~tick:(us 10.0) () in
+      ignore (B.schedule w ~at:(us 25.0) "a" : B.handle);
+      let h = B.schedule w ~at:(us 55.0) "b" in
+      ignore (B.schedule w ~at:(us 7_777.0) "far" : B.handle);
+      Alcotest.(check int) (B.name ^ " pending") 3 (B.pending w);
+      Alcotest.(check (option int64)) (B.name ^ " earliest") (Some (us 25.0)) (B.next_deadline w);
+      B.cancel w h;
+      let fired = ref [] in
+      ignore (B.fire_due w ~now:(us 100.0) (fun _ v -> fired := v :: !fired) : int);
+      Alcotest.(check (list string)) (B.name ^ " fires only a") [ "a" ] (List.rev !fired);
+      ignore (B.fire_due w ~now:(us 10_000.0) (fun _ v -> fired := v :: !fired) : int);
+      Alcotest.(check (list string)) (B.name ^ " far fires later") [ "a"; "far" ] (List.rev !fired);
+      Alcotest.(check int) (B.name ^ " drained") 0 (B.pending w))
+    Timer_backend.all
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "timing_wheel"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basic scheduling and firing" `Quick test_basic_fire;
+          Alcotest.test_case "fire order and ties" `Quick test_fire_order_and_ties;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "far-future rotations" `Quick test_far_future_rotations;
+          Alcotest.test_case "overdue schedule fires" `Quick test_overdue_schedule_fires;
+          Alcotest.test_case "schedule during fire" `Quick test_schedule_during_fire;
+          Alcotest.test_case "iter_pending" `Quick test_iter_pending;
+          Alcotest.test_case "invalid args" `Quick test_invalid_args;
+        ] );
+      ("property", [ qc test_oracle_equivalence ]);
+      ( "backends",
+        Alcotest.test_case "basic semantics (all backends)" `Quick test_backends_basic
+        :: Alcotest.test_case "hier overflow path" `Quick test_hier_overflow_path
+        :: qc test_hier_long_gaps
+        :: List.map qc backend_tests );
+    ]

@@ -1,0 +1,23 @@
+.PHONY: all build test bench trace-smoke clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Export a quick fig1 trace and check the Chrome trace_event JSON is
+# well-formed (Perfetto/chrome://tracing will accept what json.tool
+# parses).
+trace-smoke: build
+	dune exec bin/softtimers_cli.exe -- trace fig1 --quick --out /tmp/softtimers-fig1.json
+	python3 -m json.tool /tmp/softtimers-fig1.json > /dev/null
+	@echo "trace-smoke: /tmp/softtimers-fig1.json is valid trace_event JSON"
+
+clean:
+	dune clean

@@ -95,16 +95,28 @@ let run_microbenchmarks () =
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args || List.mem "-q" args in
+  let metrics = List.mem "--metrics" args in
   let cfg = if quick then Exp_config.quick else Exp_config.default in
-  let wanted = List.filter (fun a -> a <> "--quick" && a <> "-q") (List.tl args) in
+  let wanted =
+    List.filter (fun a -> a <> "--quick" && a <> "-q" && a <> "--metrics") (List.tl args)
+  in
   let to_run =
     match wanted with
     | [] -> experiments
     | ids -> List.filter (fun (n, _) -> List.mem n ids) experiments
   in
+  if metrics then begin
+    Metrics.reset Metrics.default;
+    Metrics.set_sampling true
+  end;
   List.iter
     (fun (_, f) ->
       print_string (f cfg);
       print_newline ())
     to_run;
+  if metrics then begin
+    print_string (Exp_config.header "Metrics registry (lib/obs) after the runs");
+    print_string (Metrics.dump Metrics.default);
+    print_newline ()
+  end;
   if wanted = [] then run_microbenchmarks ()

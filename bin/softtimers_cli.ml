@@ -39,6 +39,39 @@ let run_all cfg =
     experiments;
   `Ok ()
 
+(* Run one experiment with the tracing/metrics layer armed, then export
+   the ring buffer as Chrome trace_event JSON (or CSV). *)
+let run_trace cfg id out csv buf metrics =
+  match List.find_opt (fun (name, _, _) -> name = id) experiments with
+  | None ->
+    `Error
+      ( false,
+        Printf.sprintf "unknown experiment %S; known: %s" id
+          (String.concat ", " (List.map (fun (n, _, _) -> n) experiments)) )
+  | Some _ when buf <= 0 -> `Error (false, "--buf must be positive")
+  | Some _ when (try close_out (open_out out); false with Sys_error _ -> true) ->
+    (* Fail on an unwritable --out before spending time simulating. *)
+    `Error (false, Printf.sprintf "cannot write trace output %S" out)
+  | Some (_, _, f) ->
+    let tr = Trace.create ~capacity:buf () in
+    Metrics.reset Metrics.default;
+    Metrics.set_sampling true;
+    Trace.install tr;
+    let output = f cfg in
+    Trace.uninstall ();
+    Metrics.set_sampling false;
+    print_string output;
+    let as_csv = csv || Filename.check_suffix out ".csv" in
+    if as_csv then Trace_export.write_csv tr out else Trace_export.write_chrome_json tr out;
+    Printf.printf "\ntrace: %d events captured (%d overwritten) -> %s (%s)\n" (Trace.length tr)
+      (Trace.dropped tr) out
+      (if as_csv then "csv" else "chrome trace_event json; open in chrome://tracing or Perfetto");
+    if metrics then begin
+      print_newline ();
+      print_string (Metrics.dump Metrics.default)
+    end;
+    `Ok ()
+
 open Cmdliner
 
 let quick =
@@ -55,26 +88,90 @@ let id =
 
 let cfg_of quick seed = { Exp_config.quick; seed }
 
-let cmd =
-  let doc = "Reproduce the experiments of 'Soft Timers' (Aron & Druschel, SOSP'99)" in
+let trace_cmd =
+  let doc = "Run one experiment with tracing enabled and export the event trace" in
   let man =
     [
       `S Manpage.s_description;
       `P
-        "Each experiment regenerates one table or figure of the paper on the simulated \
-         testbed and prints measured values next to the paper's.";
-      `S "EXPERIMENTS";
+        "Arms the simulator-wide tracing layer (lib/obs), runs the given experiment, and \
+         writes the captured events to $(b,--out).  The default format is Chrome \
+         trace_event JSON, loadable in chrome://tracing or https://ui.perfetto.dev; pass \
+         $(b,--csv) (or an .csv output path) for one event per line instead.";
     ]
-    @ List.map (fun (n, d, _) -> `P (Printf.sprintf "$(b,%s): %s" n d)) experiments
+  in
+  let exp_id =
+    let doc = "Experiment id to trace (one id, not 'all')." in
+    Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"EXPERIMENT")
+  in
+  let out =
+    let doc = "Output file for the exported trace." in
+    Arg.(value & opt string "trace.json" & info [ "out"; "o" ] ~doc ~docv:"FILE")
+  in
+  let csv =
+    let doc = "Export CSV instead of Chrome trace_event JSON." in
+    Arg.(value & flag & info [ "csv" ] ~doc)
+  in
+  let buf =
+    let doc = "Trace ring-buffer capacity in events; the oldest events are overwritten \
+               once it fills." in
+    Arg.(value & opt int 1_048_576 & info [ "buf" ] ~doc ~docv:"EVENTS")
+  in
+  let metrics =
+    let doc = "Also dump the metrics registry after the run." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
   in
   let term =
     Term.(
       ret
-        (const (fun quick seed id ->
-             let cfg = cfg_of quick seed in
-             if id = "all" then run_all cfg else run_one cfg id)
-        $ quick $ seed $ id))
+        (const (fun quick seed id out csv buf metrics ->
+             run_trace (cfg_of quick seed) id out csv buf metrics)
+        $ quick $ seed $ exp_id $ out $ csv $ buf $ metrics))
   in
-  Cmd.v (Cmd.info "softtimers-cli" ~version:"1.0.0" ~doc ~man) term
+  Cmd.v (Cmd.info "trace" ~doc ~man) term
 
-let () = exit (Cmd.eval cmd)
+let doc = "Reproduce the experiments of 'Soft Timers' (Aron & Druschel, SOSP'99)"
+
+let man =
+  [
+    `S Manpage.s_description;
+    `P
+      "Each experiment regenerates one table or figure of the paper on the simulated \
+       testbed and prints measured values next to the paper's.  The $(b,trace) \
+       subcommand additionally exports a Chrome trace_event JSON of everything the \
+       simulator did.";
+    `S "EXPERIMENTS";
+  ]
+  @ List.map (fun (n, d, _) -> `P (Printf.sprintf "$(b,%s): %s" n d)) experiments
+
+let default =
+  Term.(
+    ret
+      (const (fun quick seed id ->
+           let cfg = cfg_of quick seed in
+           if id = "all" then run_all cfg else run_one cfg id)
+      $ quick $ seed $ id))
+
+let group_cmd =
+  Cmd.group ~default (Cmd.info "softtimers-cli" ~version:"1.0.0" ~doc ~man) [ trace_cmd ]
+
+(* [Cmd.group ~default] rejects any first positional that is not a
+   subcommand name, which would break the documented
+   `softtimers-cli table3` form; route experiment-id invocations to a
+   plain command instead, and everything else (no positional, flags
+   only, `trace ...`) through the group. *)
+let plain_cmd = Cmd.v (Cmd.info "softtimers-cli" ~version:"1.0.0" ~doc ~man) default
+
+let () =
+  let argv = Sys.argv in
+  let has_trace = Array.exists (fun a -> a = "trace") argv in
+  let first_positional =
+    let rec go i =
+      if i >= Array.length argv then None
+      else if String.length argv.(i) > 0 && argv.(i).[0] = '-' then go (i + 1)
+      else Some argv.(i)
+    in
+    go 1
+  in
+  let cmd = if has_trace || first_positional = None then group_cmd else plain_cmd in
+  exit (Cmd.eval cmd)

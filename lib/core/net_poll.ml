@@ -1,3 +1,6 @@
+let m_polls = Metrics.counter Metrics.default "net_poll.polls"
+let m_packets = Metrics.counter Metrics.default "net_poll.packets"
+
 type t = {
   st : Softtimer.t;
   quota : float;
@@ -46,6 +49,9 @@ let rec on_event t now =
     let found = t.poll now in
     t.polls <- t.polls + 1;
     t.packets <- t.packets + found;
+    Metrics.incr m_polls;
+    Metrics.incr ~by:found m_packets;
+    Trace.poll ~at:now ~found;
     adapt t found;
     t.outstanding <- Some (Softtimer.schedule_after t.st t.interval (on_event t))
   end

@@ -1,3 +1,7 @@
+let m_sends = Metrics.counter Metrics.default "rate_clock.sends"
+let m_trains = Metrics.counter Metrics.default "rate_clock.trains"
+let h_intervals = Metrics.histogram Metrics.default "rate_clock.interval_us"
+
 type t = {
   st : Softtimer.t;
   target : Time_ns.span;
@@ -33,11 +37,16 @@ let rec on_event t now =
   t.outstanding <- None;
   if t.active then begin
     if t.send now then begin
-      if t.sent_in_train > 0 then
-        Stats.Sample.add t.intervals (Time_ns.to_us Time_ns.(now - t.last_send));
+      if t.sent_in_train > 0 then begin
+        let gap_us = Time_ns.to_us Time_ns.(now - t.last_send) in
+        Stats.Sample.add t.intervals gap_us;
+        if Metrics.sampling () then Stats.Sample.add h_intervals gap_us
+      end;
       t.last_send <- now;
       t.sent_in_train <- t.sent_in_train + 1;
       t.sends <- t.sends + 1;
+      Metrics.incr m_sends;
+      Trace.rbc_send ~at:now;
       schedule_next t now
     end
     else
@@ -56,6 +65,7 @@ and schedule_next t now =
   t.outstanding <- Some (Softtimer.schedule_after t.st delay (on_event t))
 
 let begin_train t =
+  Metrics.incr m_trains;
   t.active <- true;
   let now = Engine.now (Machine.engine (Softtimer.machine t.st)) in
   t.train_start <- now;

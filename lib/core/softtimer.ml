@@ -1,3 +1,9 @@
+let m_checks = Metrics.counter Metrics.default "softtimer.checks"
+let m_fired = Metrics.counter Metrics.default "softtimer.fired"
+let m_scheduled = Metrics.counter Metrics.default "softtimer.scheduled"
+let m_cancelled = Metrics.counter Metrics.default "softtimer.cancelled"
+let h_fire_delay = Metrics.histogram Metrics.default "softtimer.fire_delay_us"
+
 type pending_event = { due : Time_ns.t; handler : Time_ns.t -> unit }
 
 type t = {
@@ -33,14 +39,19 @@ let ns_of_tick t tick =
    procedure call) to the CPU and runs the handler inline. *)
 let check t now =
   t.checks <- t.checks + 1;
+  Metrics.incr m_checks;
   match Timing_wheel.next_deadline t.wheel with
   | Some d when Time_ns.(d <= now) ->
     let fire_cost = (Machine.profile t.machine).Costs.softtimer_fire_us in
     ignore
       (Timing_wheel.fire_due t.wheel ~now (fun due ev ->
            t.fired <- t.fired + 1;
+           Metrics.incr m_fired;
+           Trace.soft_fire ~at:now ~due;
            if t.record_delays then
              Stats.Sample.add t.delays (Time_ns.to_us Time_ns.(now - due));
+           if Metrics.sampling () then
+             Stats.Sample.add h_fire_delay (Time_ns.to_us Time_ns.(now - due));
            Machine.submit_quantum t.machine ~prio:Cpu.prio_intr ~work_us:fire_cost
              ~trigger:None (fun _ -> ());
            ev.handler now)
@@ -83,6 +94,8 @@ let schedule_soft_event t ~ticks handler =
   let sched = measure_time t in
   (* Fires once measure_time > sched + ticks, i.e. at tick sched+ticks+1. *)
   let due = ns_of_tick t (Int64.add sched (Int64.add ticks 1L)) in
+  Metrics.incr m_scheduled;
+  Trace.soft_sched ~at:(Engine.now (Machine.engine t.machine)) ~due;
   let h = Timing_wheel.schedule t.wheel ~at:due { due; handler } in
   (* If this event became the earliest, an idle checking CPU may be
      armed for a later (or no) deadline: wake it up for this one. *)
@@ -95,7 +108,14 @@ let schedule_after t span handler =
   let ticks = Int64.of_float (Float.ceil (Int64.to_float span /. t.ns_per_tick)) in
   schedule_soft_event t ~ticks handler
 
-let cancel t h = Timing_wheel.cancel t.wheel h
+let cancel t h =
+  if Timing_wheel.handle_pending h then begin
+    Metrics.incr m_cancelled;
+    Trace.soft_cancel
+      ~at:(Engine.now (Machine.engine t.machine))
+      ~due:(Timing_wheel.handle_deadline h)
+  end;
+  Timing_wheel.cancel t.wheel h
 let pending t = Timing_wheel.pending t.wheel
 let fired t = t.fired
 let checks t = t.checks

@@ -19,6 +19,7 @@ type running = {
 
 type t = {
   engine : Engine.t;
+  cpu_id : int;
   fronts : task list ref array;  (* resumed quanta, run before the queue *)
   queues : task Queue.t array;
   mutable current : running option;
@@ -29,9 +30,10 @@ type t = {
   mutable depth : int;
 }
 
-let create engine =
+let create ?(id = 0) engine =
   {
     engine;
+    cpu_id = id;
     fronts = Array.init prio_count (fun _ -> ref []);
     queues = Array.init prio_count (fun _ -> Queue.create ());
     current = None;
@@ -41,6 +43,8 @@ let create engine =
     resume_hook = (fun _ -> ());
     depth = 0;
   }
+
+let id t = t.cpu_id
 
 let is_idle t = t.current = None && t.depth = 0
 let busy_ns t = t.busy
@@ -71,7 +75,9 @@ let rec dispatch t =
   match take_next t with
   | None ->
     t.current <- None;
-    t.idle_hook (Engine.now t.engine)
+    let now = Engine.now t.engine in
+    Trace.cpu_idle ~at:now ~cpu:t.cpu_id;
+    t.idle_hook now
   | Some task ->
     t.depth <- t.depth - 1;
     let started = Engine.now t.engine in
@@ -106,7 +112,11 @@ let submit t ~prio ~work cb =
   let task = { prio; remaining = work; cb } in
   Queue.add task t.queues.(prio);
   t.depth <- t.depth + 1;
-  if was_idle then t.resume_hook (Engine.now t.engine);
+  if was_idle then begin
+    let now = Engine.now t.engine in
+    Trace.cpu_busy ~at:now ~cpu:t.cpu_id;
+    t.resume_hook now
+  end;
   match t.current with
   | None -> dispatch t
   | Some r when preemptible r.task.prio && prio < r.task.prio -> begin

@@ -37,7 +37,12 @@ val prio_background : int
 
 val prio_count : int
 
-val create : Engine.t -> t
+val create : ?id:int -> Engine.t -> t
+(** [id] (default 0) labels this CPU's busy/idle transitions in traces
+    ({!Trace.Cpu_busy}/{!Trace.Cpu_idle}); {!Machine.create} numbers its
+    CPUs 0..n-1. *)
+
+val id : t -> int
 
 val submit : t -> prio:int -> work:Time_ns.span -> (Time_ns.t -> unit) -> unit
 (** [submit t ~prio ~work cb] enqueues a quantum; [cb] runs when its

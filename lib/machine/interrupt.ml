@@ -1,3 +1,9 @@
+(* Process-wide interrupt accounting (per-interrupt cost is the quantity
+   the paper's overhead tables revolve around). *)
+let m_raised = Metrics.counter Metrics.default "interrupt.raised"
+let m_lost = Metrics.counter Metrics.default "interrupt.lost"
+let m_delivered = Metrics.counter Metrics.default "interrupt.delivered"
+
 type line = {
   name : string;
   source : Trigger.kind;
@@ -62,16 +68,25 @@ let deliver t ln handler_work =
   Cpu.submit t.cpus.(ln.cpu) ~prio:Cpu.prio_intr ~work (fun now ->
       ln.in_flight <- ln.in_flight - 1;
       ln.delivered <- ln.delivered + 1;
+      Metrics.incr m_delivered;
+      Trace.irq ~at:now ~line:ln.name ~cpu:ln.cpu ~dur:work;
       ln.handler now;
       t.on_trigger ln.source now)
 
+let lose ln ~at =
+  ln.lost <- ln.lost + 1;
+  Metrics.incr m_lost;
+  Trace.irq_lost ~at ~line:ln.name
+
 let raise_irq t ln ?(handler_work = 0L) () =
   ln.raised <- ln.raised + 1;
+  Metrics.incr m_raised;
   let now = Engine.now t.engine in
+  Trace.irq_raised ~at:now ~line:ln.name;
   if ln.spl_blockable && Time_ns.(now < t.spl_until) then begin
     (* Interrupts disabled: latch one tick; further ticks are gone. *)
     if ln.deferred then begin
-      ln.lost <- ln.lost + 1;
+      lose ln ~at:now;
       false
     end
     else begin
@@ -81,7 +96,7 @@ let raise_irq t ln ?(handler_work = 0L) () =
     end
   end
   else if ln.in_flight >= ln.latch_depth then begin
-    ln.lost <- ln.lost + 1;
+    lose ln ~at:now;
     false
   end
   else begin
@@ -95,7 +110,7 @@ let flush_spl t =
   List.iter
     (fun (ln, work) ->
       ln.deferred <- false;
-      if ln.in_flight >= ln.latch_depth then ln.lost <- ln.lost + 1
+      if ln.in_flight >= ln.latch_depth then lose ln ~at:(Engine.now t.engine)
       else deliver t ln work)
     pending
 

@@ -8,6 +8,8 @@ let kind_index : Trigger.kind -> int = function
   | Trigger.Clock_tick -> 6
   | Trigger.Idle -> 7
 
+let m_triggers = Metrics.counter Metrics.default "machine.triggers"
+
 type t = {
   engine : Engine.t;
   profile : Costs.profile;
@@ -17,7 +19,11 @@ type t = {
   mutable intc : Interrupt.t option;  (* set right after creation *)
   mutable locality : Cache.locality;
   mutable check_hook : (Time_ns.t -> unit) option;
-  mutable observers : (Trigger.kind -> Time_ns.t -> unit) list;
+  (* Observers in registration order in [observers.(0 .. n_observers-1)];
+     a growable array keeps registration O(1) amortised and notification
+     an indexed loop (this runs at every trigger state). *)
+  mutable observers : (Trigger.kind -> Time_ns.t -> unit) array;
+  mutable n_observers : int;
   counts : int array;
   mutable clock_running : bool;
   mutable idle_poll : Time_ns.span option;
@@ -53,10 +59,22 @@ let locality t = t.locality
 let fire_trigger t kind =
   let now = Engine.now t.engine in
   t.counts.(kind_index kind) <- t.counts.(kind_index kind) + 1;
-  List.iter (fun f -> f kind now) t.observers;
+  Metrics.incr m_triggers;
+  Trace.trigger ~at:now (Trigger.name kind);
+  for i = 0 to t.n_observers - 1 do
+    t.observers.(i) kind now
+  done;
   match t.check_hook with Some f -> f now | None -> ()
 
-let add_observer t f = t.observers <- t.observers @ [ f ]
+let add_observer t f =
+  let cap = Array.length t.observers in
+  if t.n_observers = cap then begin
+    let grown = Array.make (Stdlib.max 4 (2 * cap)) f in
+    Array.blit t.observers 0 grown 0 t.n_observers;
+    t.observers <- grown
+  end;
+  t.observers.(t.n_observers) <- f;
+  t.n_observers <- t.n_observers + 1
 let set_check_hook t hook = t.check_hook <- hook
 let check_hook_attached t = t.check_hook <> None
 let trigger_count t kind = t.counts.(kind_index kind)
@@ -154,7 +172,7 @@ let on_resume t i _now =
 
 let create ?(profile = Costs.pentium_ii_300) ?(cpus = 1) engine =
   if cpus < 1 then invalid_arg "Machine.create: need at least one cpu";
-  let cpu_arr = Array.init cpus (fun _ -> Cpu.create engine) in
+  let cpu_arr = Array.init cpus (fun i -> Cpu.create ~id:i engine) in
   let t =
     {
       engine;
@@ -165,7 +183,8 @@ let create ?(profile = Costs.pentium_ii_300) ?(cpus = 1) engine =
       intc = None;
       locality = Cache.neutral;
       check_hook = None;
-      observers = [];
+      observers = [||];
+      n_observers = 0;
       counts = Array.make 8 0;
       clock_running = false;
       idle_poll = None;

@@ -1,0 +1,113 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type instrument =
+  | I_counter of counter
+  | I_gauge of gauge
+  | I_hist of Stats.Sample.t
+  | I_probe of (unit -> float)
+
+type t = { tbl : (string, instrument) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+let default = create ()
+
+let kind_name = function
+  | I_counter _ -> "counter"
+  | I_gauge _ -> "gauge"
+  | I_hist _ -> "histogram"
+  | I_probe _ -> "probe"
+
+let wrong_kind name want got =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S is a %s, not a %s" name (kind_name got) want)
+
+let counter t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (I_counter c) -> c
+  | Some other -> wrong_kind name "counter" other
+  | None ->
+    let c = { c = 0 } in
+    Hashtbl.replace t.tbl name (I_counter c);
+    c
+
+let incr ?(by = 1) c = c.c <- c.c + by
+let counter_value c = c.c
+
+let gauge t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (I_gauge g) -> g
+  | Some other -> wrong_kind name "gauge" other
+  | None ->
+    let g = { g = nan } in
+    Hashtbl.replace t.tbl name (I_gauge g);
+    g
+
+let set_gauge g v = g.g <- v
+let gauge_value g = g.g
+
+let histogram t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (I_hist h) -> h
+  | Some other -> wrong_kind name "histogram" other
+  | None ->
+    let h = Stats.Sample.create () in
+    Hashtbl.replace t.tbl name (I_hist h);
+    h
+
+let probe t name f =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (I_probe _) | None -> Hashtbl.replace t.tbl name (I_probe f)
+  | Some other -> wrong_kind name "probe" other
+
+let sampling_on = ref false
+let sampling () = !sampling_on
+let set_sampling b = sampling_on := b
+
+let reset t =
+  (* Instruments are held by reference at registration sites, so zero
+     them in place; probes (explicitly registered) are dropped. *)
+  let stale = ref [] in
+  Hashtbl.iter
+    (fun name i ->
+      match i with
+      | I_counter c -> c.c <- 0
+      | I_gauge g -> g.g <- nan
+      | I_hist h -> Stats.Sample.clear h
+      | I_probe _ -> stale := name :: !stale)
+    t.tbl;
+  List.iter (Hashtbl.remove t.tbl) !stale
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of Stats.Sample.t
+  | Probe of float
+
+let iter t f =
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) t.tbl [] in
+  List.iter
+    (fun name ->
+      match Hashtbl.find t.tbl name with
+      | I_counter c -> f name (Counter c.c)
+      | I_gauge g -> f name (Gauge g.g)
+      | I_hist h -> f name (Histogram h)
+      | I_probe p -> f name (Probe (p ())))
+    (List.sort String.compare names)
+
+let dump t =
+  let b = Buffer.create 1024 in
+  iter t (fun name v ->
+      match v with
+      | Counter c -> Buffer.add_string b (Printf.sprintf "%-42s %12d\n" name c)
+      | Gauge g -> Buffer.add_string b (Printf.sprintf "%-42s %12.3f\n" name g)
+      | Probe p -> Buffer.add_string b (Printf.sprintf "%-42s %12.3f\n" name p)
+      | Histogram h ->
+        let n = Stats.Sample.count h in
+        if n = 0 then Buffer.add_string b (Printf.sprintf "%-42s      (empty)\n" name)
+        else
+          Buffer.add_string b
+            (Printf.sprintf "%-42s n=%d mean=%.3f p50=%.3f p99=%.3f max=%.3f\n" name n
+               (Stats.Sample.mean h) (Stats.Sample.median h)
+               (Stats.Sample.percentile h 99.0) (Stats.Sample.max h)));
+  Buffer.contents b

@@ -1,0 +1,79 @@
+(** Named metrics registry.
+
+    A registry maps dotted names ("softtimer.fired", "nic.rx_packets")
+    to metric instruments.  Subsystems register their instruments at
+    module initialisation into {!default} (or into a registry of their
+    own) and update them unconditionally: a counter bump is one mutable
+    increment, cheap enough for every hot path in the simulator.
+
+    Four instrument kinds:
+    - {e counters}: monotonically increasing ints ({!counter}, {!incr});
+    - {e gauges}: last-written floats ({!gauge}, {!set_gauge});
+    - {e histograms}: full-sample distributions backed by
+      {!Stats.Sample} — these allocate per observation, so subsystems
+      gate them behind {!sampling};
+    - {e probes}: pull-style closures evaluated at {!dump} time, for
+      values a subsystem already maintains itself.
+
+    Instruments are get-or-create: asking twice for the same name (with
+    the same kind) yields the same instrument, so module-level
+    registration composes across libraries. *)
+
+type t
+(** A registry. *)
+
+type counter
+type gauge
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry every built-in subsystem registers into. *)
+
+val counter : t -> string -> counter
+(** Get or create the counter [name].
+    @raise Invalid_argument if [name] exists with a different kind. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val gauge : t -> string -> gauge
+(** Get or create the gauge [name]. *)
+
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+(** [nan] until first set. *)
+
+val histogram : t -> string -> Stats.Sample.t
+(** Get or create the histogram [name].  Observe with
+    {!Stats.Sample.add}; callers on hot paths should first check
+    {!sampling}. *)
+
+val probe : t -> string -> (unit -> float) -> unit
+(** Register a pull-style metric.  Re-registering a probe name replaces
+    the closure (a fresh simulation replaces a dead one's probes). *)
+
+val sampling : unit -> bool
+(** Whether histogram observation is requested.  Off by default:
+    histograms retain every observation, which is unbounded memory on
+    long runs. *)
+
+val set_sampling : bool -> unit
+
+val reset : t -> unit
+(** Zero all counters, clear gauges and histograms, drop probes. *)
+
+(** {2 Reading} *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of Stats.Sample.t
+  | Probe of float  (** the closure's value at read time *)
+
+val iter : t -> (string -> value -> unit) -> unit
+(** In ascending name order. *)
+
+val dump : t -> string
+(** Human-readable table of every instrument, in name order; histograms
+    show count/mean/p50/p99/max. *)

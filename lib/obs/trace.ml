@@ -1,0 +1,128 @@
+type event =
+  | Trigger of string
+  | Soft_sched of { due : Time_ns.t }
+  | Soft_fire of { due : Time_ns.t; delay : Time_ns.span }
+  | Soft_cancel of { due : Time_ns.t }
+  | Irq of { line : string; cpu : int; dur : Time_ns.span }
+  | Irq_raised of { line : string }
+  | Irq_lost of { line : string }
+  | Cpu_busy of { cpu : int }
+  | Cpu_idle of { cpu : int }
+  | Pkt_enqueue of { nic : string; qlen : int }
+  | Pkt_tx of { nic : string }
+  | Pkt_rx of { nic : string; batch : int }
+  | Pkt_drop of { nic : string }
+  | Poll of { found : int }
+  | Rbc_send
+  | Mark of string
+
+type record = { at : Time_ns.t; ev : event }
+
+type t = {
+  buf : record array;  (* ring; slot [head] is the oldest record *)
+  mutable head : int;
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let dummy = { at = Time_ns.zero; ev = Mark "" }
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { buf = Array.make capacity dummy; head = 0; len = 0; dropped = 0 }
+
+(* The installed sink.  Emitters read this once; [None] is the disabled
+   fast path. *)
+let sink : t option ref = ref None
+
+let install t = sink := Some t
+let uninstall () = sink := None
+let installed () = !sink
+let enabled () = !sink <> None
+
+let capacity t = Array.length t.buf
+let length t = t.len
+let dropped t = t.dropped
+let total t = t.len + t.dropped
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0
+
+let push t r =
+  let cap = Array.length t.buf in
+  if t.len = cap then begin
+    (* Full: overwrite the oldest record. *)
+    t.buf.(t.head) <- r;
+    t.head <- (t.head + 1) mod cap;
+    t.dropped <- t.dropped + 1
+  end
+  else begin
+    t.buf.((t.head + t.len) mod cap) <- r;
+    t.len <- t.len + 1
+  end
+
+let iter t f =
+  let cap = Array.length t.buf in
+  for i = 0 to t.len - 1 do
+    f t.buf.((t.head + i) mod cap)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun r -> acc := r :: !acc);
+  List.rev !acc
+
+(* Emitters.  Each one checks the sink before constructing the record,
+   so a disabled trace costs a load and a branch. *)
+
+let emit ~at ev = match !sink with None -> () | Some t -> push t { at; ev }
+
+let trigger ~at kind =
+  match !sink with None -> () | Some t -> push t { at; ev = Trigger kind }
+
+let soft_sched ~at ~due =
+  match !sink with None -> () | Some t -> push t { at; ev = Soft_sched { due } }
+
+let soft_fire ~at ~due =
+  match !sink with
+  | None -> ()
+  | Some t -> push t { at; ev = Soft_fire { due; delay = Time_ns.(at - due) } }
+
+let soft_cancel ~at ~due =
+  match !sink with None -> () | Some t -> push t { at; ev = Soft_cancel { due } }
+
+let irq ~at ~line ~cpu ~dur =
+  match !sink with None -> () | Some t -> push t { at; ev = Irq { line; cpu; dur } }
+
+let irq_raised ~at ~line =
+  match !sink with None -> () | Some t -> push t { at; ev = Irq_raised { line } }
+
+let irq_lost ~at ~line =
+  match !sink with None -> () | Some t -> push t { at; ev = Irq_lost { line } }
+
+let cpu_busy ~at ~cpu =
+  match !sink with None -> () | Some t -> push t { at; ev = Cpu_busy { cpu } }
+
+let cpu_idle ~at ~cpu =
+  match !sink with None -> () | Some t -> push t { at; ev = Cpu_idle { cpu } }
+
+let pkt_enqueue ~at ~nic ~qlen =
+  match !sink with None -> () | Some t -> push t { at; ev = Pkt_enqueue { nic; qlen } }
+
+let pkt_tx ~at ~nic =
+  match !sink with None -> () | Some t -> push t { at; ev = Pkt_tx { nic } }
+
+let pkt_rx ~at ~nic ~batch =
+  match !sink with None -> () | Some t -> push t { at; ev = Pkt_rx { nic; batch } }
+
+let pkt_drop ~at ~nic =
+  match !sink with None -> () | Some t -> push t { at; ev = Pkt_drop { nic } }
+
+let poll ~at ~found =
+  match !sink with None -> () | Some t -> push t { at; ev = Poll { found } }
+
+let rbc_send ~at = match !sink with None -> () | Some t -> push t { at; ev = Rbc_send }
+
+let mark ~at s = match !sink with None -> () | Some t -> push t { at; ev = Mark s }

@@ -1,0 +1,100 @@
+(** Bounded event tracing for the simulator.
+
+    A [Trace.t] is a fixed-capacity ring buffer of timestamped, typed
+    simulation events.  Subsystems emit events through the module-level
+    emitters below; when no trace is installed ({!install} has not been
+    called, or {!uninstall} ran) every emitter is a single load and
+    branch — no allocation, no work — so instrumentation can stay in
+    hot paths permanently.
+
+    Exactly one trace can be installed at a time (the simulator is
+    single-threaded); once the buffer is full the oldest records are
+    overwritten and counted in {!dropped}.
+
+    Consumers read records back with {!iter}/{!to_list} (oldest first)
+    or export them with {!Trace_export}. *)
+
+(** What happened.  Each constructor mirrors one instrumentation point
+    in the simulator; see DESIGN.md ("Observability") for the full
+    schema and how each maps onto Chrome [trace_event] records. *)
+type event =
+  | Trigger of string  (** a trigger state was reached (kind name) *)
+  | Soft_sched of { due : Time_ns.t }  (** soft event scheduled *)
+  | Soft_fire of { due : Time_ns.t; delay : Time_ns.span }
+      (** soft event fired [delay] after its due time *)
+  | Soft_cancel of { due : Time_ns.t }  (** pending soft event cancelled *)
+  | Irq of { line : string; cpu : int; dur : Time_ns.span }
+      (** interrupt dispatch completed: entry at [at - dur], exit at [at] *)
+  | Irq_raised of { line : string }  (** device asserted the line *)
+  | Irq_lost of { line : string }  (** tick lost (latch full / spl) *)
+  | Cpu_busy of { cpu : int }  (** CPU left the idle loop *)
+  | Cpu_idle of { cpu : int }  (** CPU entered the idle loop *)
+  | Pkt_enqueue of { nic : string; qlen : int }  (** packet into rx ring *)
+  | Pkt_tx of { nic : string }  (** packet fully serialised onto the wire *)
+  | Pkt_rx of { nic : string; batch : int }  (** rx batch handed to the stack *)
+  | Pkt_drop of { nic : string }  (** rx ring overflow *)
+  | Poll of { found : int }  (** soft-timer network poll, batch size *)
+  | Rbc_send  (** rate-based clocking transmitted a packet *)
+  | Mark of string  (** free-form annotation *)
+
+type record = { at : Time_ns.t; ev : event }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh, empty trace.  [capacity] defaults to 65536 records.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val install : t -> unit
+(** Make [t] the sink of every emitter until {!uninstall} (or another
+    [install]) replaces it. *)
+
+val uninstall : unit -> unit
+(** Disable tracing: emitters return to their single-branch no-op. *)
+
+val installed : unit -> t option
+
+val enabled : unit -> bool
+(** [enabled () = (installed () <> None)]. *)
+
+val capacity : t -> int
+
+val length : t -> int
+(** Records currently held ([<= capacity]). *)
+
+val dropped : t -> int
+(** Records overwritten because the buffer was full. *)
+
+val total : t -> int
+(** Records ever emitted into [t]: [length t + dropped t]. *)
+
+val clear : t -> unit
+
+val iter : t -> (record -> unit) -> unit
+(** Oldest first. *)
+
+val to_list : t -> record list
+(** Oldest first. *)
+
+(** {2 Emitters}
+
+    Each is a no-op unless a trace is installed.  [at] is the current
+    simulation time. *)
+
+val emit : at:Time_ns.t -> event -> unit
+val trigger : at:Time_ns.t -> string -> unit
+val soft_sched : at:Time_ns.t -> due:Time_ns.t -> unit
+val soft_fire : at:Time_ns.t -> due:Time_ns.t -> unit
+val soft_cancel : at:Time_ns.t -> due:Time_ns.t -> unit
+val irq : at:Time_ns.t -> line:string -> cpu:int -> dur:Time_ns.span -> unit
+val irq_raised : at:Time_ns.t -> line:string -> unit
+val irq_lost : at:Time_ns.t -> line:string -> unit
+val cpu_busy : at:Time_ns.t -> cpu:int -> unit
+val cpu_idle : at:Time_ns.t -> cpu:int -> unit
+val pkt_enqueue : at:Time_ns.t -> nic:string -> qlen:int -> unit
+val pkt_tx : at:Time_ns.t -> nic:string -> unit
+val pkt_rx : at:Time_ns.t -> nic:string -> batch:int -> unit
+val pkt_drop : at:Time_ns.t -> nic:string -> unit
+val poll : at:Time_ns.t -> found:int -> unit
+val rbc_send : at:Time_ns.t -> unit
+val mark : at:Time_ns.t -> string -> unit

@@ -1,0 +1,158 @@
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* trace_event timestamps are in microseconds; keep ns as fractionals. *)
+let us_of ns = Int64.to_float ns /. 1e3
+
+type ev = {
+  name : string;
+  cat : string;
+  ph : string;  (* "i" instant, "X" complete, "C" counter *)
+  ts : float;
+  tid : int;
+  dur : float option;
+  args : (string * string) list;  (* values are pre-rendered JSON *)
+}
+
+let json_of_ev e =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d"
+       (escape e.name) (escape e.cat) e.ph e.ts e.tid);
+  (match e.dur with Some d -> Buffer.add_string b (Printf.sprintf ",\"dur\":%.3f" d) | None -> ());
+  if e.ph = "i" then Buffer.add_string b ",\"s\":\"t\"";
+  if e.args <> [] then begin
+    Buffer.add_string b ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\"%s\":%s" (escape k) v))
+      e.args;
+    Buffer.add_char b '}'
+  end;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let f v = Printf.sprintf "%g" v
+let i v = string_of_int v
+let str v = Printf.sprintf "\"%s\"" (escape v)
+
+let ev_of_record { Trace.at; ev } =
+  let ts = us_of at in
+  let instant ?(tid = 0) ?(args = []) ~cat name =
+    { name; cat; ph = "i"; ts; tid; dur = None; args }
+  in
+  match ev with
+  | Trace.Trigger kind -> instant ~cat:"trigger" kind
+  | Trace.Soft_sched { due } ->
+    instant ~cat:"softtimer" "soft-sched" ~args:[ ("due_us", f (us_of due)) ]
+  | Trace.Soft_fire { due; delay } ->
+    instant ~cat:"softtimer" "soft-fire"
+      ~args:[ ("due_us", f (us_of due)); ("delay_us", f (us_of delay)) ]
+  | Trace.Soft_cancel { due } ->
+    instant ~cat:"softtimer" "soft-cancel" ~args:[ ("due_us", f (us_of due)) ]
+  | Trace.Irq { line; cpu; dur } ->
+    (* The record is stamped at handler exit; the slice starts at entry. *)
+    {
+      name = line;
+      cat = "irq";
+      ph = "X";
+      ts = us_of Time_ns.(at - dur);
+      tid = cpu;
+      dur = Some (us_of dur);
+      args = [];
+    }
+  | Trace.Irq_raised { line } -> instant ~cat:"irq" (line ^ "-raised")
+  | Trace.Irq_lost { line } -> instant ~cat:"irq" (line ^ "-lost")
+  | Trace.Cpu_busy { cpu } ->
+    {
+      name = Printf.sprintf "cpu%d.busy" cpu;
+      cat = "cpu";
+      ph = "C";
+      ts;
+      tid = cpu;
+      dur = None;
+      args = [ ("busy", "1") ];
+    }
+  | Trace.Cpu_idle { cpu } ->
+    {
+      name = Printf.sprintf "cpu%d.busy" cpu;
+      cat = "cpu";
+      ph = "C";
+      ts;
+      tid = cpu;
+      dur = None;
+      args = [ ("busy", "0") ];
+    }
+  | Trace.Pkt_enqueue { nic; qlen } ->
+    instant ~cat:"net" "pkt-enqueue" ~args:[ ("nic", str nic); ("qlen", i qlen) ]
+  | Trace.Pkt_tx { nic } -> instant ~cat:"net" "pkt-tx" ~args:[ ("nic", str nic) ]
+  | Trace.Pkt_rx { nic; batch } ->
+    instant ~cat:"net" "pkt-rx" ~args:[ ("nic", str nic); ("batch", i batch) ]
+  | Trace.Pkt_drop { nic } -> instant ~cat:"net" "pkt-drop" ~args:[ ("nic", str nic) ]
+  | Trace.Poll { found } -> instant ~cat:"softtimer" "net-poll" ~args:[ ("found", i found) ]
+  | Trace.Rbc_send -> instant ~cat:"softtimer" "rbc-send"
+  | Trace.Mark s -> instant ~cat:"mark" s
+
+let to_chrome_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  Buffer.add_string b
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"softtimers-sim\"}}";
+  Trace.iter t (fun r ->
+      Buffer.add_char b ',';
+      Buffer.add_string b (json_of_ev (ev_of_record r)));
+  Buffer.add_string b "],\"displayTimeUnit\":\"ns\"}";
+  Buffer.contents b
+
+let csv_row { Trace.at; ev } =
+  let detail =
+    match ev with
+    | Trace.Trigger kind -> [ "trigger"; "kind=" ^ kind ]
+    | Trace.Soft_sched { due } -> [ "soft-sched"; Printf.sprintf "due_ns=%Ld" due ]
+    | Trace.Soft_fire { due; delay } ->
+      [ "soft-fire"; Printf.sprintf "due_ns=%Ld;delay_ns=%Ld" due delay ]
+    | Trace.Soft_cancel { due } -> [ "soft-cancel"; Printf.sprintf "due_ns=%Ld" due ]
+    | Trace.Irq { line; cpu; dur } ->
+      [ "irq"; Printf.sprintf "line=%s;cpu=%d;dur_ns=%Ld" line cpu dur ]
+    | Trace.Irq_raised { line } -> [ "irq-raised"; "line=" ^ line ]
+    | Trace.Irq_lost { line } -> [ "irq-lost"; "line=" ^ line ]
+    | Trace.Cpu_busy { cpu } -> [ "cpu-busy"; Printf.sprintf "cpu=%d" cpu ]
+    | Trace.Cpu_idle { cpu } -> [ "cpu-idle"; Printf.sprintf "cpu=%d" cpu ]
+    | Trace.Pkt_enqueue { nic; qlen } ->
+      [ "pkt-enqueue"; Printf.sprintf "nic=%s;qlen=%d" nic qlen ]
+    | Trace.Pkt_tx { nic } -> [ "pkt-tx"; "nic=" ^ nic ]
+    | Trace.Pkt_rx { nic; batch } -> [ "pkt-rx"; Printf.sprintf "nic=%s;batch=%d" nic batch ]
+    | Trace.Pkt_drop { nic } -> [ "pkt-drop"; "nic=" ^ nic ]
+    | Trace.Poll { found } -> [ "net-poll"; Printf.sprintf "found=%d" found ]
+    | Trace.Rbc_send -> [ "rbc-send"; "" ]
+    | Trace.Mark s -> [ "mark"; s ]
+  in
+  Printf.sprintf "%Ld,%s" at (String.concat "," detail)
+
+let to_csv t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "time_ns,event,detail\n";
+  Trace.iter t (fun r ->
+      Buffer.add_string b (csv_row r);
+      Buffer.add_char b '\n');
+  Buffer.contents b
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let write_chrome_json t path = write_file path (to_chrome_json t)
+let write_csv t path = write_file path (to_csv t)

@@ -1,0 +1,28 @@
+(** Trace exporters.
+
+    {!to_chrome_json} renders a {!Trace.t} in the Chrome [trace_event]
+    JSON format (the "JSON Array Format" with a [traceEvents] wrapper),
+    loadable in [chrome://tracing] and {{:https://ui.perfetto.dev}
+    Perfetto}.  Mapping:
+
+    - [Irq] records become complete ("X") slices on the track of their
+      CPU, spanning handler entry to exit;
+    - [Cpu_busy]/[Cpu_idle] become a per-CPU "C" counter track
+      [cpuN.busy] stepping between 0 and 1;
+    - everything else becomes a thread-scoped instant ("i") event with
+      its payload under [args].
+
+    Timestamps are microseconds (the format's unit) with nanosecond
+    precision preserved as fractional digits.
+
+    {!to_csv} renders one record per line —
+    [time_ns,event,field=value;...] — for ad-hoc processing. *)
+
+val to_chrome_json : Trace.t -> string
+
+val write_chrome_json : Trace.t -> string -> unit
+(** [write_chrome_json t path] writes {!to_chrome_json} to [path]. *)
+
+val to_csv : Trace.t -> string
+
+val write_csv : Trace.t -> string -> unit

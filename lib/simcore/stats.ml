@@ -20,6 +20,14 @@ module Online = struct
     if x > t.max then t.max <- x;
     t.sum <- t.sum +. x
 
+  let clear t =
+    t.n <- 0;
+    t.mean <- 0.0;
+    t.m2 <- 0.0;
+    t.min <- infinity;
+    t.max <- neg_infinity;
+    t.sum <- 0.0
+
   let count t = t.n
   let mean t = if t.n = 0 then nan else t.mean
   let variance t = if t.n < 2 then nan else t.m2 /. float_of_int (t.n - 1)
@@ -72,6 +80,11 @@ module Sample = struct
     t.size <- t.size + 1;
     t.sorted_cache <- None;
     Online.add t.online x
+
+  let clear t =
+    t.size <- 0;
+    t.sorted_cache <- None;
+    Online.clear t.online
 
   let count t = t.size
   let mean t = Online.mean t.online

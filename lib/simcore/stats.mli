@@ -11,6 +11,10 @@ module Online : sig
 
   val create : unit -> t
   val add : t -> float -> unit
+
+  val clear : t -> unit
+  (** Forget every observation. *)
+
   val count : t -> int
   val mean : t -> float
   (** [nan] when empty. *)
@@ -31,6 +35,10 @@ module Sample : sig
 
   val create : unit -> t
   val add : t -> float -> unit
+
+  val clear : t -> unit
+  (** Forget every observation (capacity is retained). *)
+
   val count : t -> int
   val mean : t -> float
   val stddev : t -> float

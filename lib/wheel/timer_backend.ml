@@ -438,5 +438,35 @@ module Hier : S = struct
     end
 end
 
+module With_metrics (B : S) : S = struct
+  type 'a t = 'a B.t
+
+  type handle = B.handle
+
+  let name = B.name
+
+  let m_sched = Metrics.counter Metrics.default ("backend." ^ name ^ ".scheduled")
+  let m_cancel = Metrics.counter Metrics.default ("backend." ^ name ^ ".cancelled")
+  let m_fired = Metrics.counter Metrics.default ("backend." ^ name ^ ".fired")
+
+  let create = B.create
+
+  let schedule t ~at v =
+    Metrics.incr m_sched;
+    B.schedule t ~at v
+
+  let cancel t h =
+    Metrics.incr m_cancel;
+    B.cancel t h
+
+  let pending = B.pending
+  let next_deadline = B.next_deadline
+
+  let fire_due t ~now f =
+    let n = B.fire_due t ~now f in
+    Metrics.incr ~by:n m_fired;
+    n
+end
+
 let all : (module S) list =
   [ (module Sorted_list); (module Binary_heap); (module Hashed); (module Hier) ]

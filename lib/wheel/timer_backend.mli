@@ -48,5 +48,11 @@ module Hier : S
 (** Hierarchical timing wheels: 4 levels of 64 slots, each level's tick
     64x the previous. *)
 
+module With_metrics (_ : S) : S
+(** [With_metrics (B)] behaves exactly like [B] but counts operations
+    into {!Metrics.default} under ["backend.<name>.scheduled"],
+    [".cancelled"] and [".fired"], so an ablation run can report each
+    store's operation mix alongside its timings. *)
+
 val all : (module S) list
 (** All four backends, for tests and the ablation bench. *)

@@ -9,6 +9,7 @@ type 'a t = {
   tick_span : Time_ns.span;
   buckets : 'a entry list array;
   mutable count : int;
+  mutable cancelled : int;  (* cancelled entries not yet physically removed *)
   mutable next_seq : int;
   mutable last_tick : int64;  (* tick index up to (and incl.) which slots were swept *)
   mutable cached_min : Time_ns.t;  (* meaningful only when [min_valid] *)
@@ -23,6 +24,7 @@ let create ?(slots = 256) ~tick () =
     tick_span = tick;
     buckets = Array.make slots [];
     count = 0;
+    cancelled = 0;
     next_seq = 0;
     last_tick = 0L;
     cached_min = Time_ns.zero;
@@ -32,11 +34,30 @@ let create ?(slots = 256) ~tick () =
 let slots t = t.slots_n
 let tick t = t.tick_span
 let pending t = t.count
+let resident t = t.count + t.cancelled
+let handle_deadline h = h.hdeadline
+let handle_pending h = h.hstate = Pending
 
 let tick_of t at = Int64.div at t.tick_span
 let slot_of t tk = Int64.to_int (Int64.rem tk (Int64.of_int t.slots_n))
 
+(* Cancelled entries are normally reclaimed lazily when their slot is
+   swept, but a schedule/cancel churn loop targeting slots far ahead of
+   the sweep horizon would otherwise grow bucket lists without bound
+   (the cancel-leak).  Once the corpses outnumber both the live entries
+   and the slot count, one O(resident) pass removes them all; the
+   thresholds make that pass amortized O(1) per cancellation while
+   keeping [resident t <= 2 * max (pending t) (slots t)]. *)
+let compact t =
+  for i = 0 to t.slots_n - 1 do
+    t.buckets.(i) <- List.filter (fun e -> e.h.hstate = Pending) t.buckets.(i)
+  done;
+  t.cancelled <- 0
+
+let maybe_compact t = if t.cancelled >= t.slots_n && t.cancelled > t.count then compact t
+
 let schedule t ~at value =
+  maybe_compact t;
   (* Deadlines before the sweep horizon land in the current slot so they
      are found by the next sweep; the exact deadline is preserved. *)
   let tk = Int64.max (tick_of t at) t.last_tick in
@@ -54,6 +75,7 @@ let cancel t h =
   if h.hstate = Pending then begin
     h.hstate <- Cancelled;
     t.count <- t.count - 1;
+    t.cancelled <- t.cancelled + 1;
     (* Only a cancellation of the (possibly) earliest entry can change
        the minimum. *)
     if t.min_valid && t.count > 0 && Time_ns.(h.hdeadline <= t.cached_min) then
@@ -99,6 +121,7 @@ let next_deadline t =
   end
 
 let fire_due t ~now f =
+  maybe_compact t;
   let now_tick = tick_of t now in
   match next_deadline t with
   | None ->
@@ -123,7 +146,9 @@ let fire_due t ~now f =
         List.filter
           (fun e ->
             match e.h.hstate with
-            | Cancelled -> false
+            | Cancelled ->
+              t.cancelled <- t.cancelled - 1;
+              false
             | Fired -> false
             | Pending ->
               if Time_ns.(e.deadline <= now) then begin

@@ -31,6 +31,19 @@ val tick : 'a t -> Time_ns.span
 val pending : 'a t -> int
 (** Number of scheduled, uncancelled, unfired entries. *)
 
+val resident : 'a t -> int
+(** Entries physically present in the wheel's buckets: pending entries
+    plus cancelled entries awaiting lazy reclamation.  Bounded by
+    [2 * max (pending t) (slots t)] regardless of cancel churn (once
+    cancelled corpses dominate, a compaction pass reclaims them). *)
+
+val handle_deadline : handle -> Time_ns.t
+(** The absolute deadline the entry was scheduled for (valid in any
+    state). *)
+
+val handle_pending : handle -> bool
+(** Whether the entry is still scheduled (not cancelled, not fired). *)
+
 val schedule : 'a t -> at:Time_ns.t -> 'a -> handle
 (** [schedule t ~at v] registers [v] to expire at absolute time [at].
     O(1). *)

@@ -1,0 +1,181 @@
+(* Tests for the observability layer (lib/obs): the trace ring buffer,
+   the metrics registry, and the exporters. *)
+
+let us = Time_ns.of_us
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring buffer. *)
+
+let with_trace ?capacity f =
+  let tr = Trace.create ?capacity () in
+  Trace.install tr;
+  Fun.protect ~finally:Trace.uninstall (fun () -> f tr)
+
+let event_names tr =
+  List.map
+    (fun { Trace.ev; _ } ->
+      match ev with
+      | Trace.Mark s -> s
+      | Trace.Trigger k -> "trigger:" ^ k
+      | _ -> "other")
+    (Trace.to_list tr)
+
+let test_trace_disabled_is_noop () =
+  Alcotest.(check bool) "disabled at start" false (Trace.enabled ());
+  (* Emitting with no sink installed must simply do nothing. *)
+  Trace.mark ~at:Time_ns.zero "ignored";
+  Trace.trigger ~at:Time_ns.zero "syscall";
+  Alcotest.(check bool) "still disabled" false (Trace.enabled ())
+
+let test_trace_basic () =
+  with_trace (fun tr ->
+      Alcotest.(check bool) "enabled" true (Trace.enabled ());
+      Trace.mark ~at:(us 1.0) "a";
+      Trace.mark ~at:(us 2.0) "b";
+      Alcotest.(check int) "length" 2 (Trace.length tr);
+      Alcotest.(check int) "dropped" 0 (Trace.dropped tr);
+      Alcotest.(check (list string)) "oldest first" [ "a"; "b" ] (event_names tr);
+      Trace.clear tr;
+      Alcotest.(check int) "cleared" 0 (Trace.length tr));
+  Alcotest.(check bool) "uninstalled after" false (Trace.enabled ())
+
+let test_trace_wraparound () =
+  with_trace ~capacity:4 (fun tr ->
+      for i = 1 to 10 do
+        Trace.mark ~at:(us (float_of_int i)) (string_of_int i)
+      done;
+      Alcotest.(check int) "length capped" 4 (Trace.length tr);
+      Alcotest.(check int) "dropped counts overwrites" 6 (Trace.dropped tr);
+      Alcotest.(check int) "total" 10 (Trace.total tr);
+      Alcotest.(check (list string)) "keeps the newest, oldest first" [ "7"; "8"; "9"; "10" ]
+        (event_names tr))
+
+let test_trace_invalid_capacity () =
+  Alcotest.check_raises "capacity<=0"
+    (Invalid_argument "Trace.create: capacity must be positive") (fun () ->
+      ignore (Trace.create ~capacity:0 () : Trace.t))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry. *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "a.b" in
+  Metrics.incr c;
+  Metrics.incr ~by:41 c;
+  Alcotest.(check int) "counted" 42 (Metrics.counter_value c);
+  (* Get-or-create: the same name is the same instrument. *)
+  let c' = Metrics.counter m "a.b" in
+  Metrics.incr c';
+  Alcotest.(check int) "aliased" 43 (Metrics.counter_value c);
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Metrics: \"a.b\" is a counter, not a gauge") (fun () ->
+      ignore (Metrics.gauge m "a.b" : Metrics.gauge))
+
+let test_metrics_gauges_probes () =
+  let m = Metrics.create () in
+  let g = Metrics.gauge m "g" in
+  Alcotest.(check bool) "nan before set" true (Float.is_nan (Metrics.gauge_value g));
+  Metrics.set_gauge g 2.5;
+  Alcotest.(check (float 0.0)) "gauge" 2.5 (Metrics.gauge_value g);
+  Metrics.probe m "p" (fun () -> 7.0);
+  let seen = ref [] in
+  Metrics.iter m (fun name v -> seen := (name, v) :: !seen);
+  Alcotest.(check (list string)) "name-sorted iteration" [ "g"; "p" ]
+    (List.rev_map fst !seen)
+
+let test_metrics_reset () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "c" in
+  let g = Metrics.gauge m "g" in
+  let h = Metrics.histogram m "h" in
+  Metrics.incr ~by:5 c;
+  Metrics.set_gauge g 1.0;
+  Stats.Sample.add h 3.0;
+  Metrics.reset m;
+  (* Instruments held by registration sites stay valid after reset. *)
+  Alcotest.(check int) "counter zeroed" 0 (Metrics.counter_value c);
+  Alcotest.(check bool) "gauge cleared" true (Float.is_nan (Metrics.gauge_value g));
+  Alcotest.(check int) "histogram emptied" 0 (Stats.Sample.count h);
+  Metrics.incr c;
+  Alcotest.(check int) "still wired to the registry" 1
+    (Metrics.counter_value (Metrics.counter m "c"))
+
+let test_metrics_sampling_flag () =
+  Alcotest.(check bool) "off by default" false (Metrics.sampling ());
+  Metrics.set_sampling true;
+  Alcotest.(check bool) "on" true (Metrics.sampling ());
+  Metrics.set_sampling false
+
+(* ------------------------------------------------------------------ *)
+(* Exporters. *)
+
+let test_export_chrome_json () =
+  with_trace (fun tr ->
+      Trace.trigger ~at:(us 1.0) "syscall";
+      Trace.irq ~at:(us 10.0) ~line:"nic0" ~cpu:0 ~dur:(us 4.0);
+      Trace.cpu_idle ~at:(us 12.0) ~cpu:0;
+      Trace.mark ~at:(us 13.0) "quote\"and\\slash";
+      let json = Trace_export.to_chrome_json tr in
+      Alcotest.(check bool) "has traceEvents" true
+        (String.length json > 0 && json.[0] = '{');
+      let contains needle =
+        let n = String.length needle and m = String.length json in
+        let rec go i = i + n <= m && (String.sub json i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "metadata record" true (contains "process_name");
+      Alcotest.(check bool) "instant trigger" true (contains "\"name\":\"syscall\"");
+      (* The irq slice starts at handler entry: 10us - 4us = 6us. *)
+      Alcotest.(check bool) "irq complete slice" true
+        (contains "\"ph\":\"X\",\"ts\":6.000");
+      Alcotest.(check bool) "cpu counter track" true (contains "\"cpu0.busy\"");
+      Alcotest.(check bool) "escaped quote" true (contains "quote\\\"and\\\\slash");
+      (* Balanced braces/brackets is a cheap well-formedness smoke test;
+         the CI trace-smoke target runs a real JSON parser over a full
+         experiment's trace. *)
+      let depth = ref 0 in
+      String.iter
+        (fun c ->
+          match c with
+          | '{' | '[' -> incr depth
+          | '}' | ']' -> decr depth
+          | _ -> ())
+        json;
+      Alcotest.(check int) "balanced nesting" 0 !depth)
+
+let test_export_csv () =
+  with_trace (fun tr ->
+      Trace.soft_sched ~at:(us 1.0) ~due:(us 5.0);
+      Trace.soft_fire ~at:(us 6.0) ~due:(us 5.0);
+      let csv = Trace_export.to_csv tr in
+      let lines = String.split_on_char '\n' (String.trim csv) in
+      Alcotest.(check int) "header + 2 rows" 3 (List.length lines);
+      Alcotest.(check string) "header" "time_ns,event,detail" (List.hd lines);
+      Alcotest.(check string) "sched row" "1000,soft-sched,due_ns=5000" (List.nth lines 1);
+      Alcotest.(check string) "fire row carries delay" "6000,soft-fire,due_ns=5000;delay_ns=1000"
+        (List.nth lines 2))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "disabled emitters are no-ops" `Quick test_trace_disabled_is_noop;
+          Alcotest.test_case "basic record/readback" `Quick test_trace_basic;
+          Alcotest.test_case "ring wraparound" `Quick test_trace_wraparound;
+          Alcotest.test_case "invalid capacity" `Quick test_trace_invalid_capacity;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters get-or-create" `Quick test_metrics_counters;
+          Alcotest.test_case "gauges and probes" `Quick test_metrics_gauges_probes;
+          Alcotest.test_case "reset keeps instruments live" `Quick test_metrics_reset;
+          Alcotest.test_case "sampling flag" `Quick test_metrics_sampling_flag;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace_event json" `Quick test_export_chrome_json;
+          Alcotest.test_case "csv" `Quick test_export_csv;
+        ] );
+    ]

@@ -300,6 +300,34 @@ let test_sample_fraction_above () =
   check_float "above 4" 0.0 (Stats.Sample.fraction_above s 4.0);
   check_float "empty" 0.0 (Stats.Sample.fraction_above (Stats.Sample.create ()) 1.0)
 
+(* Boundary cases: percentile at the extremes, fraction_above at exact
+   observation values, and the degenerate single-element sample. *)
+let test_sample_boundary_cases () =
+  let one = Stats.Sample.create () in
+  Stats.Sample.add one 7.5;
+  check_float "p0 of one" 7.5 (Stats.Sample.percentile one 0.0);
+  check_float "p100 of one" 7.5 (Stats.Sample.percentile one 100.0);
+  check_float "p50 of one" 7.5 (Stats.Sample.percentile one 50.0);
+  check_float "above just below" 1.0 (Stats.Sample.fraction_above one 7.4999);
+  check_float "above itself (strict)" 0.0 (Stats.Sample.fraction_above one 7.5);
+  let s = Stats.Sample.create () in
+  List.iter (Stats.Sample.add s) [ 10.0; 20.0; 20.0; 30.0 ];
+  check_float "p0 is the min" 10.0 (Stats.Sample.percentile s 0.0);
+  check_float "p100 is the max" 30.0 (Stats.Sample.percentile s 100.0);
+  check_float "above duplicate value" 0.25 (Stats.Sample.fraction_above s 20.0);
+  check_float "above below-min" 1.0 (Stats.Sample.fraction_above s 5.0);
+  check_float "above above-max" 0.0 (Stats.Sample.fraction_above s 31.0)
+
+let test_sample_clear () =
+  let s = Stats.Sample.create () in
+  List.iter (Stats.Sample.add s) [ 1.0; 2.0; 3.0 ];
+  Stats.Sample.clear s;
+  Alcotest.(check int) "count 0" 0 (Stats.Sample.count s);
+  check_float "empty fraction" 0.0 (Stats.Sample.fraction_above s 0.0);
+  Stats.Sample.add s 9.0;
+  Alcotest.(check int) "count after re-add" 1 (Stats.Sample.count s);
+  check_float "median after re-add" 9.0 (Stats.Sample.median s)
+
 let test_sample_matches_online =
   QCheck.Test.make ~name:"Sample mean/stddev = Online mean/stddev" ~count:100
     QCheck.(list_of_size Gen.(int_range 2 50) (float_range (-100.) 100.))
@@ -545,6 +573,8 @@ let () =
           Alcotest.test_case "online merge" `Quick test_online_merge;
           Alcotest.test_case "percentiles" `Quick test_sample_percentiles;
           Alcotest.test_case "fraction above" `Quick test_sample_fraction_above;
+          Alcotest.test_case "boundary cases" `Quick test_sample_boundary_cases;
+          Alcotest.test_case "clear" `Quick test_sample_clear;
           Alcotest.test_case "sorted cache invalidation" `Quick test_sample_sorted_cached_after_add;
           qc test_sample_matches_online;
         ] );

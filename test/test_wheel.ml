@@ -99,6 +99,33 @@ let test_invalid_args () =
   Alcotest.check_raises "slots<=0" (Invalid_argument "Timing_wheel.create: slots must be positive")
     (fun () -> ignore (Timing_wheel.create ~slots:0 ~tick:1L () : unit Timing_wheel.t))
 
+(* Regression (cancel-leak): cancelled entries are reclaimed lazily when
+   their slot is swept, so a schedule/cancel churn loop far ahead of the
+   sweep horizon — a rate clock retiming its one outstanding event, say
+   — used to grow bucket lists without bound.  With compaction the
+   resident count (pending + not-yet-reclaimed cancelled) stays bounded
+   by the compaction threshold no matter how many entries churn. *)
+let test_cancel_churn_bounded () =
+  let slots = 64 in
+  let w = Timing_wheel.create ~slots ~tick:(us 10.0) () in
+  (* A long-lived entry keeps the wheel non-empty throughout. *)
+  ignore (Timing_wheel.schedule w ~at:(us 1e9) "keeper" : Timing_wheel.handle);
+  let worst = ref 0 in
+  for i = 1 to 50_000 do
+    let h = Timing_wheel.schedule w ~at:(us (100_000.0 +. float_of_int i)) "churn" in
+    Timing_wheel.cancel w h;
+    if Timing_wheel.resident w > !worst then worst := Timing_wheel.resident w
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "resident bounded (worst %d)" !worst)
+    true
+    (!worst <= (2 * slots) + 2);
+  Alcotest.(check int) "only the keeper is pending" 1 (Timing_wheel.pending w);
+  Alcotest.(check (option int64)) "min survives compaction" (Some (us 1e9))
+    (Timing_wheel.next_deadline w);
+  let _, fired = collect_fired w ~now:(us 2e9) in
+  Alcotest.(check (list string)) "keeper fires" [ "keeper" ] (List.map snd fired)
+
 (* Property: against a sorted-list oracle, under a random schedule of
    operations (schedule / cancel / advance), fire_due produces exactly
    the same (deadline, id) multiset in the same deadline order, and
@@ -193,6 +220,51 @@ let test_oracle_equivalence =
       && Timing_wheel.pending w = List.length live
       && Timing_wheel.next_deadline w = expected_min)
 
+
+(* Property: [next_deadline] equals the true minimum pending deadline
+   after EVERY operation (the oracle test above only checks it at the
+   end), including the lazy min-cache invalidation paths exercised by
+   cancel-of-minimum and by firing. *)
+let test_next_deadline_always_min =
+  QCheck.Test.make ~name:"next_deadline = true min after every op" ~count:300 ops_arbitrary
+    (fun ops ->
+      let w = Timing_wheel.create ~slots:16 ~tick:(us 10.0) () in
+      let entries : (Time_ns.t * Timing_wheel.handle * bool ref) list ref = ref [] in
+      let now = ref Time_ns.zero in
+      let ok = ref true in
+      let check_min () =
+        let expected =
+          List.fold_left
+            (fun acc (at, _, alive) ->
+              if not !alive then acc
+              else match acc with None -> Some at | Some m -> Some (Time_ns.min m at))
+            None !entries
+        in
+        if Timing_wheel.next_deadline w <> expected then ok := false
+      in
+      List.iter
+        (fun op ->
+          (match op with
+          | Schedule offset_us ->
+            let at = Time_ns.(!now + us (float_of_int offset_us)) in
+            let h = Timing_wheel.schedule w ~at 0 in
+            entries := (at, h, ref true) :: !entries
+          | Cancel idx -> begin
+            match List.nth_opt !entries (idx mod max 1 (List.length !entries)) with
+            | Some (_, h, alive) when !entries <> [] ->
+              Timing_wheel.cancel w h;
+              alive := false
+            | _ -> ()
+          end
+          | Advance d ->
+            now := Time_ns.(!now + us (float_of_int d));
+            ignore (Timing_wheel.fire_due w ~now:!now (fun _ _ -> ()) : int);
+            List.iter
+              (fun (at, _, alive) -> if !alive && Time_ns.(at <= !now) then alive := false)
+              !entries);
+          check_min ())
+        ops;
+      !ok)
 
 (* ------------------------------------------------------------------ *)
 (* Timer_backend: the same oracle, over all four backends. *)
@@ -338,8 +410,9 @@ let () =
           Alcotest.test_case "schedule during fire" `Quick test_schedule_during_fire;
           Alcotest.test_case "iter_pending" `Quick test_iter_pending;
           Alcotest.test_case "invalid args" `Quick test_invalid_args;
+          Alcotest.test_case "cancel churn stays bounded" `Quick test_cancel_churn_bounded;
         ] );
-      ("property", [ qc test_oracle_equivalence ]);
+      ("property", [ qc test_oracle_equivalence; qc test_next_deadline_always_min ]);
       ( "backends",
         Alcotest.test_case "basic semantics (all backends)" `Quick test_backends_basic
         :: Alcotest.test_case "hier overflow path" `Quick test_hier_overflow_path

@@ -1,4 +1,4 @@
-.PHONY: all build test bench trace-smoke clean
+.PHONY: all build test bench trace-smoke lint sanitize-smoke determinism clean
 
 all: build
 
@@ -18,6 +18,24 @@ trace-smoke: build
 	dune exec bin/softtimers_cli.exe -- trace fig1 --quick --out /tmp/softtimers-fig1.json
 	python3 -m json.tool /tmp/softtimers-fig1.json > /dev/null
 	@echo "trace-smoke: /tmp/softtimers-fig1.json is valid trace_event JSON"
+
+# Static determinism lint (tools/lint): DET001..DET004 + MLI001 over
+# lib/ bin/ examples/ bench/, with file:line:RULE diagnostics.
+lint:
+	dune build @lint
+
+# Run two representative experiments with the runtime invariant
+# sanitizer armed; any violation exits nonzero.
+sanitize-smoke: build
+	dune exec bin/softtimers_cli.exe -- table3 --quick --sanitize
+	dune exec bin/softtimers_cli.exe -- table8 --quick --sanitize
+
+# Replay-diff: each experiment runs twice with the same seed; the
+# emitted tables and the trace digests must match bit-for-bit.
+determinism: build
+	dune exec bin/softtimers_cli.exe -- verify-determinism table3 --quick
+	dune exec bin/softtimers_cli.exe -- verify-determinism table8 --quick
+	dune exec bin/softtimers_cli.exe -- verify-determinism livelock --quick
 
 clean:
 	dune clean

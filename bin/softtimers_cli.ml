@@ -20,24 +20,105 @@ let experiments =
       Exp_sensitivity.run );
   ]
 
-let run_one cfg id =
+let unknown_experiment id =
+  `Error
+    ( false,
+      Printf.sprintf "unknown experiment %S; known: %s" id
+        (String.concat ", " (List.map (fun (n, _, _) -> n) experiments)) )
+
+(* Run [f] with the runtime invariant sanitizer armed (when requested):
+   it taps every trace event, checks causality / soft-timer firing
+   bounds / wheel residency / counter monotonicity, and its report is
+   printed after the run.  Violations turn into a nonzero exit. *)
+let with_sanitizer enabled f =
+  if not enabled then f ()
+  else begin
+    let s = Sanitizer.create () in
+    Sanitizer.install s;
+    let result =
+      try f ()
+      with e ->
+        Sanitizer.uninstall s;
+        raise e
+    in
+    Sanitizer.uninstall s;
+    print_newline ();
+    print_string (Sanitizer.report s);
+    match result with
+    | `Ok () when not (Sanitizer.ok s) ->
+      `Error
+        ( false,
+          Printf.sprintf "sanitizer: %d invariant violation(s)" (Sanitizer.violation_count s)
+        )
+    | other -> other
+  end
+
+let run_one cfg sanitize id =
   match List.find_opt (fun (name, _, _) -> name = id) experiments with
   | Some (_, _, f) ->
-    print_string (f cfg);
-    `Ok ()
-  | None ->
-    `Error
-      ( false,
-        Printf.sprintf "unknown experiment %S; known: %s" id
-          (String.concat ", " (List.map (fun (n, _, _) -> n) experiments)) )
+    with_sanitizer sanitize (fun () ->
+        print_string (f cfg);
+        `Ok ())
+  | None -> unknown_experiment id
 
-let run_all cfg =
-  List.iter
-    (fun (_, _, f) ->
-      print_string (f cfg);
-      print_newline ())
-    experiments;
-  `Ok ()
+let run_all cfg sanitize =
+  with_sanitizer sanitize (fun () ->
+      List.iter
+        (fun (_, _, f) ->
+          print_string (f cfg);
+          print_newline ())
+        experiments;
+      `Ok ())
+
+(* Replay-diff harness: run one experiment twice from the same seed and
+   compare the emitted table byte-for-byte and the trace digests (an
+   order-sensitive hash of every event).  Any divergence means some
+   hidden state — wall clock, global Random, hash order — leaked into
+   the run, which is exactly what the determinism contract forbids. *)
+let run_verify cfg buf id =
+  match List.find_opt (fun (name, _, _) -> name = id) experiments with
+  | None -> unknown_experiment id
+  | Some _ when buf <= 0 -> `Error (false, "--buf must be positive")
+  | Some (_, _, f) ->
+    let once () =
+      let tr = Trace.create ~capacity:buf () in
+      Metrics.reset Metrics.default;
+      Trace.install tr;
+      let out = f cfg in
+      Trace.uninstall ();
+      (out, Trace_digest.digest tr, Trace.total tr)
+    in
+    let o1, d1, n1 = once () in
+    let o2, d2, n2 = once () in
+    Printf.printf "verify-determinism %s (seed %d%s)\n" id cfg.Exp_config.seed
+      (if cfg.Exp_config.quick then ", quick" else "");
+    Printf.printf "  run 1: trace digest %s (%d events)\n" (Trace_digest.hex d1) n1;
+    Printf.printf "  run 2: trace digest %s (%d events)\n" (Trace_digest.hex d2) n2;
+    let tables_eq = String.equal o1 o2 in
+    let traces_eq = Int64.equal d1 d2 && n1 = n2 in
+    Printf.printf "  tables: %s\n" (if tables_eq then "identical" else "DIFFER");
+    Printf.printf "  traces: %s\n" (if traces_eq then "identical" else "DIFFER");
+    if tables_eq && traces_eq then begin
+      Printf.printf "  PASS: two same-seed runs are bit-for-bit identical\n";
+      `Ok ()
+    end
+    else begin
+      if not tables_eq then begin
+        let l1 = String.split_on_char '\n' o1 and l2 = String.split_on_char '\n' o2 in
+        let rec first_diff i = function
+          | a :: ra, b :: rb -> if String.equal a b then first_diff (i + 1) (ra, rb) else Some (i, a, b)
+          | a :: _, [] -> Some (i, a, "<missing>")
+          | [], b :: _ -> Some (i, "<missing>", b)
+          | [], [] -> None
+        in
+        match first_diff 1 (l1, l2) with
+        | Some (i, a, b) ->
+          Printf.printf "  first differing table line (%d):\n    run 1: %s\n    run 2: %s\n" i
+            a b
+        | None -> ()
+      end;
+      `Error (false, "verify-determinism: same-seed runs differ — determinism broken")
+    end
 
 (* Run one experiment with the tracing/metrics layer armed, then export
    the ring buffer as Chrome trace_event JSON (or CSV). *)
@@ -82,6 +163,14 @@ let seed =
   let doc = "Simulation seed (runs are deterministic per seed)." in
   Arg.(value & opt int 7 & info [ "seed"; "s" ] ~doc ~docv:"SEED")
 
+let sanitize =
+  let doc =
+    "Arm the runtime invariant sanitizer: every trace event is checked for causality, \
+     soft-timer firing bounds, timing-wheel residency and counter monotonicity; a report \
+     is printed after the run and violations exit nonzero."
+  in
+  Arg.(value & flag & info [ "sanitize" ] ~doc)
+
 let id =
   let doc = "Experiment id, or 'all'." in
   Arg.(value & pos 0 string "all" & info [] ~doc ~docv:"EXPERIMENT")
@@ -124,11 +213,40 @@ let trace_cmd =
   let term =
     Term.(
       ret
-        (const (fun quick seed id out csv buf metrics ->
-             run_trace (cfg_of quick seed) id out csv buf metrics)
-        $ quick $ seed $ exp_id $ out $ csv $ buf $ metrics))
+        (const (fun quick seed id out csv buf metrics sanitize ->
+             with_sanitizer sanitize (fun () ->
+                 run_trace (cfg_of quick seed) id out csv buf metrics))
+        $ quick $ seed $ exp_id $ out $ csv $ buf $ metrics $ sanitize))
   in
   Cmd.v (Cmd.info "trace" ~doc ~man) term
+
+let verify_cmd =
+  let doc = "Replay-diff: run an experiment twice with the same seed and diff the results" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the given experiment twice with identical configuration, capturing the full \
+         event trace of each run, then compares the emitted table byte-for-byte and the \
+         trace digests (an order-sensitive FNV-1a over every event).  Exits nonzero on any \
+         divergence: two same-seed runs of a correct simulation are bit-for-bit identical.";
+    ]
+  in
+  let exp_id =
+    let doc = "Experiment id to verify (one id, not 'all')." in
+    Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"EXPERIMENT")
+  in
+  let buf =
+    let doc = "Trace ring-buffer capacity in events for each run." in
+    Arg.(value & opt int 1_048_576 & info [ "buf" ] ~doc ~docv:"EVENTS")
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun quick seed buf id -> run_verify (cfg_of quick seed) buf id)
+        $ quick $ seed $ buf $ exp_id))
+  in
+  Cmd.v (Cmd.info "verify-determinism" ~doc ~man) term
 
 let doc = "Reproduce the experiments of 'Soft Timers' (Aron & Druschel, SOSP'99)"
 
@@ -147,13 +265,15 @@ let man =
 let default =
   Term.(
     ret
-      (const (fun quick seed id ->
+      (const (fun quick seed sanitize id ->
            let cfg = cfg_of quick seed in
-           if id = "all" then run_all cfg else run_one cfg id)
-      $ quick $ seed $ id))
+           if id = "all" then run_all cfg sanitize else run_one cfg sanitize id)
+      $ quick $ seed $ sanitize $ id))
 
 let group_cmd =
-  Cmd.group ~default (Cmd.info "softtimers-cli" ~version:"1.0.0" ~doc ~man) [ trace_cmd ]
+  Cmd.group ~default
+    (Cmd.info "softtimers-cli" ~version:"1.0.0" ~doc ~man)
+    [ trace_cmd; verify_cmd ]
 
 (* [Cmd.group ~default] rejects any first positional that is not a
    subcommand name, which would break the documented
@@ -164,7 +284,9 @@ let plain_cmd = Cmd.v (Cmd.info "softtimers-cli" ~version:"1.0.0" ~doc ~man) def
 
 let () =
   let argv = Sys.argv in
-  let has_trace = Array.exists (fun a -> a = "trace") argv in
+  let has_trace =
+    Array.exists (fun a -> a = "trace" || a = "verify-determinism") argv
+  in
   let first_positional =
     let rec go i =
       if i >= Array.length argv then None

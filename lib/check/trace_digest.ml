@@ -1,0 +1,41 @@
+let record_string (r : Trace.record) =
+  let ev =
+    match r.ev with
+    | Trace.Trigger k -> "trigger " ^ k
+    | Soft_sched { due } -> Printf.sprintf "soft_sched due=%Ld" due
+    | Soft_fire { due; delay } -> Printf.sprintf "soft_fire due=%Ld delay=%Ld" due delay
+    | Soft_cancel { due } -> Printf.sprintf "soft_cancel due=%Ld" due
+    | Irq { line; cpu; dur } -> Printf.sprintf "irq line=%s cpu=%d dur=%Ld" line cpu dur
+    | Irq_raised { line } -> "irq_raised line=" ^ line
+    | Irq_lost { line } -> "irq_lost line=" ^ line
+    | Cpu_busy { cpu } -> Printf.sprintf "cpu_busy cpu=%d" cpu
+    | Cpu_idle { cpu } -> Printf.sprintf "cpu_idle cpu=%d" cpu
+    | Pkt_enqueue { nic; qlen } -> Printf.sprintf "pkt_enqueue nic=%s qlen=%d" nic qlen
+    | Pkt_tx { nic } -> "pkt_tx nic=" ^ nic
+    | Pkt_rx { nic; batch } -> Printf.sprintf "pkt_rx nic=%s batch=%d" nic batch
+    | Pkt_drop { nic } -> "pkt_drop nic=" ^ nic
+    | Poll { found } -> Printf.sprintf "poll found=%d" found
+    | Rbc_send -> "rbc_send"
+    | Mark s -> "mark " ^ s
+  in
+  Printf.sprintf "%Ld %s" r.at ev
+
+(* 64-bit FNV-1a. *)
+let offset_basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let fold_string h s =
+  let h = ref h in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let digest tr =
+  let h = ref offset_basis in
+  Trace.iter tr (fun r ->
+      h := fold_string !h (record_string r);
+      h := Int64.mul (Int64.logxor !h 10L) prime (* '\n' record separator *));
+  !h
+
+let hex h = Printf.sprintf "%016Lx" h

@@ -79,6 +79,14 @@ let attach ?(wheel_tick = Time_ns.of_us 10.0) ?(wheel_slots = 512) machine =
   Machine.set_check_hook machine (Some (check t));
   Machine.set_idle_deadline_fn machine (Some (fun () -> Timing_wheel.next_deadline t.wheel));
   Machine.start_interrupt_clock machine;
+  (* Pull-style wheel stats: the sanitizer (lib/check) reads these to
+     assert the residency bound during runs. *)
+  Metrics.probe Metrics.default "softtimer.wheel_resident" (fun () ->
+      float_of_int (Timing_wheel.resident t.wheel));
+  Metrics.probe Metrics.default "softtimer.wheel_pending" (fun () ->
+      float_of_int (Timing_wheel.pending t.wheel));
+  Metrics.probe Metrics.default "softtimer.wheel_slots" (fun () ->
+      float_of_int (Timing_wheel.slots t.wheel));
   t
 
 let detach t =
@@ -99,8 +107,9 @@ let schedule_soft_event t ~ticks handler =
   let h = Timing_wheel.schedule t.wheel ~at:due { due; handler } in
   (* If this event became the earliest, an idle checking CPU may be
      armed for a later (or no) deadline: wake it up for this one. *)
-  if t.attached && Timing_wheel.next_deadline t.wheel = Some due then
-    Machine.notify_deadline_changed t.machine;
+  (match Timing_wheel.next_deadline t.wheel with
+  | Some d when t.attached && Time_ns.(d = due) -> Machine.notify_deadline_changed t.machine
+  | _ -> ());
   h
 
 let schedule_after t span handler =
@@ -117,6 +126,9 @@ let cancel t h =
   end;
   Timing_wheel.cancel t.wheel h
 let pending t = Timing_wheel.pending t.wheel
+
+let wheel_stats t =
+  (Timing_wheel.resident t.wheel, Timing_wheel.pending t.wheel, Timing_wheel.slots t.wheel)
 let fired t = t.fired
 let checks t = t.checks
 let set_record_delays t b = t.record_delays <- b

@@ -69,6 +69,12 @@ val x_ratio : t -> int64
 
 val cancel : t -> handle -> unit
 val pending : t -> int
+
+(** [(resident, pending, slots)] of the backing timing wheel — the
+    figures behind the sanitizer's residency invariant
+    [resident <= 2 * max pending slots].  Also published as the
+    [softtimer.wheel_*] probes in {!Metrics.default}. *)
+val wheel_stats : t -> int * int * int
 val fired : t -> int
 (** Events fired so far. *)
 

@@ -173,6 +173,7 @@ let on_resume t i _now =
 let create ?(profile = Costs.pentium_ii_300) ?(cpus = 1) engine =
   if cpus < 1 then invalid_arg "Machine.create: need at least one cpu";
   let cpu_arr = Array.init cpus (fun i -> Cpu.create ~id:i engine) in
+  Trace.sim_start ~at:(Engine.now engine);
   let t =
     {
       engine;

@@ -35,10 +35,16 @@ let create ?(capacity = 65536) () =
    fast path. *)
 let sink : t option ref = ref None
 
+(* A synchronous tap (the runtime sanitizer, lib/check): sees every
+   emitted event whether or not a ring buffer is installed. *)
+let tap : (at:Time_ns.t -> event -> unit) option ref = ref None
+
 let install t = sink := Some t
 let uninstall () = sink := None
 let installed () = !sink
 let enabled () = !sink <> None
+let set_tap f = tap := f
+let tap_installed () = Option.is_some !tap
 
 let capacity t = Array.length t.buf
 let length t = t.len
@@ -74,55 +80,34 @@ let to_list t =
   iter t (fun r -> acc := r :: !acc);
   List.rev !acc
 
-(* Emitters.  Each one checks the sink before constructing the record,
-   so a disabled trace costs a load and a branch. *)
+(* Emitters.  Each one checks for consumers before constructing the
+   record, so a disabled trace costs two loads and a branch. *)
 
-let emit ~at ev = match !sink with None -> () | Some t -> push t { at; ev }
+let[@inline] armed () = Option.is_some !sink || Option.is_some !tap
 
-let trigger ~at kind =
-  match !sink with None -> () | Some t -> push t { at; ev = Trigger kind }
+let emit ~at ev =
+  (match !tap with None -> () | Some f -> f ~at ev);
+  match !sink with None -> () | Some t -> push t { at; ev }
 
-let soft_sched ~at ~due =
-  match !sink with None -> () | Some t -> push t { at; ev = Soft_sched { due } }
+let trigger ~at kind = if armed () then emit ~at (Trigger kind)
+let soft_sched ~at ~due = if armed () then emit ~at (Soft_sched { due })
 
 let soft_fire ~at ~due =
-  match !sink with
-  | None -> ()
-  | Some t -> push t { at; ev = Soft_fire { due; delay = Time_ns.(at - due) } }
+  if armed () then emit ~at (Soft_fire { due; delay = Time_ns.(at - due) })
 
-let soft_cancel ~at ~due =
-  match !sink with None -> () | Some t -> push t { at; ev = Soft_cancel { due } }
+let soft_cancel ~at ~due = if armed () then emit ~at (Soft_cancel { due })
+let irq ~at ~line ~cpu ~dur = if armed () then emit ~at (Irq { line; cpu; dur })
+let irq_raised ~at ~line = if armed () then emit ~at (Irq_raised { line })
+let irq_lost ~at ~line = if armed () then emit ~at (Irq_lost { line })
+let cpu_busy ~at ~cpu = if armed () then emit ~at (Cpu_busy { cpu })
+let cpu_idle ~at ~cpu = if armed () then emit ~at (Cpu_idle { cpu })
+let pkt_enqueue ~at ~nic ~qlen = if armed () then emit ~at (Pkt_enqueue { nic; qlen })
+let pkt_tx ~at ~nic = if armed () then emit ~at (Pkt_tx { nic })
+let pkt_rx ~at ~nic ~batch = if armed () then emit ~at (Pkt_rx { nic; batch })
+let pkt_drop ~at ~nic = if armed () then emit ~at (Pkt_drop { nic })
+let poll ~at ~found = if armed () then emit ~at (Poll { found })
+let rbc_send ~at = if armed () then emit ~at Rbc_send
+let mark ~at s = if armed () then emit ~at (Mark s)
 
-let irq ~at ~line ~cpu ~dur =
-  match !sink with None -> () | Some t -> push t { at; ev = Irq { line; cpu; dur } }
-
-let irq_raised ~at ~line =
-  match !sink with None -> () | Some t -> push t { at; ev = Irq_raised { line } }
-
-let irq_lost ~at ~line =
-  match !sink with None -> () | Some t -> push t { at; ev = Irq_lost { line } }
-
-let cpu_busy ~at ~cpu =
-  match !sink with None -> () | Some t -> push t { at; ev = Cpu_busy { cpu } }
-
-let cpu_idle ~at ~cpu =
-  match !sink with None -> () | Some t -> push t { at; ev = Cpu_idle { cpu } }
-
-let pkt_enqueue ~at ~nic ~qlen =
-  match !sink with None -> () | Some t -> push t { at; ev = Pkt_enqueue { nic; qlen } }
-
-let pkt_tx ~at ~nic =
-  match !sink with None -> () | Some t -> push t { at; ev = Pkt_tx { nic } }
-
-let pkt_rx ~at ~nic ~batch =
-  match !sink with None -> () | Some t -> push t { at; ev = Pkt_rx { nic; batch } }
-
-let pkt_drop ~at ~nic =
-  match !sink with None -> () | Some t -> push t { at; ev = Pkt_drop { nic } }
-
-let poll ~at ~found =
-  match !sink with None -> () | Some t -> push t { at; ev = Poll { found } }
-
-let rbc_send ~at = match !sink with None -> () | Some t -> push t { at; ev = Rbc_send }
-
-let mark ~at s = match !sink with None -> () | Some t -> push t { at; ev = Mark s }
+let sim_start_mark = "sim.start"
+let sim_start ~at = mark ~at sim_start_mark

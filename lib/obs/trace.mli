@@ -55,7 +55,16 @@ val uninstall : unit -> unit
 val installed : unit -> t option
 
 val enabled : unit -> bool
-(** [enabled () = (installed () <> None)]. *)
+(** Whether a ring buffer is installed. *)
+
+val set_tap : (at:Time_ns.t -> event -> unit) option -> unit
+(** Install (or, with [None], remove) a synchronous tap.  The tap is
+    called with every emitted event — whether or not a ring buffer is
+    installed — before the event is recorded.  At most one tap exists at
+    a time; the runtime invariant sanitizer ({!Sanitizer} in lib/check)
+    is the intended consumer.  Taps must not emit trace events. *)
+
+val tap_installed : unit -> bool
 
 val capacity : t -> int
 
@@ -98,3 +107,13 @@ val pkt_drop : at:Time_ns.t -> nic:string -> unit
 val poll : at:Time_ns.t -> found:int -> unit
 val rbc_send : at:Time_ns.t -> unit
 val mark : at:Time_ns.t -> string -> unit
+
+val sim_start_mark : string
+(** The [Mark] payload that declares "a fresh simulation begins here".
+    Emitted by [Machine.create] and [Session.run_transfer]; consumers
+    tracking causality (the sanitizer) reset their clock on it.  Any
+    code that builds a fresh {!Engine} outside those paths should emit
+    it too. *)
+
+val sim_start : at:Time_ns.t -> unit
+(** [mark ~at sim_start_mark]. *)

@@ -21,6 +21,7 @@ let run_transfer ?(params = Tcp_types.default) ?(access_bps = 100e6) ?(wan_queue
     ~bottleneck_bps ~one_way_delay ~segments mode =
   if segments <= 0 then invalid_arg "Session.run_transfer: segments must be positive";
   let engine = Engine.create () in
+  Trace.sim_start ~at:(Engine.now engine);
   let finish_time = ref None in
   let biggest_ack = ref 0 in
   let max_burst = ref 0 in
@@ -95,7 +96,7 @@ let run_transfer ?(params = Tcp_types.default) ?(access_bps = 100e6) ?(wan_queue
       if not p.Packet.meta.Tcp_types.is_ack then begin
         Receiver.on_data receiver ~seq:p.Packet.meta.Tcp_types.seq;
         biggest_ack := max !biggest_ack (Receiver.biggest_ack receiver);
-        if Receiver.delivered receiver >= segments && !finish_time = None then
+        if Receiver.delivered receiver >= segments && Option.is_none !finish_time then
           finish_time := Some (Engine.now engine)
       end);
   (* The client's request: one small packet across the reverse path. *)

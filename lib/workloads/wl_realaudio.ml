@@ -1,6 +1,8 @@
-(* Decode loop: a burst of user-mode work, then a cheap system call
-   (gettimeofday / read / ioctl).  Occasional longer decode stretches
-   give the distribution its tail; the 1 kHz clock bounds it at 1 ms. *)
+(* Decode loop: a burst of user-mode work, then a cheap system call —
+   the player's clock read / read / ioctl, all *simulated* as kernel
+   quanta (no real wall-clock is consulted here).  Occasional longer
+   decode stretches give the distribution its tail; the 1 kHz clock
+   bounds it at 1 ms. *)
 
 let user_segment =
   Dist.Mixture

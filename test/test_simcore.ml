@@ -260,6 +260,84 @@ let test_engine_past_clamped () =
   Engine.run e;
   Alcotest.(check int64) "clamped to now" (Time_ns.of_us 10.0) !fired_at
 
+(* The determinism contract (engine.mli): FIFO among simultaneous
+   events must hold even when handlers insert more events at the
+   current instant — insertion order is the only tie-breaker. *)
+let test_engine_fifo_ties_with_handler_inserts () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let t = Time_ns.of_us 5.0 in
+  ignore
+    (Engine.schedule_at e t (fun () ->
+         log := "a" :: !log;
+         (* Same-instant insert: runs after the already-queued ties. *)
+         ignore (Engine.schedule_at e t (fun () -> log := "a2" :: !log) : Engine.handle))
+      : Engine.handle);
+  ignore (Engine.schedule_at e t (fun () -> log := "b" :: !log) : Engine.handle);
+  ignore (Engine.schedule_at e t (fun () -> log := "c" :: !log) : Engine.handle);
+  Engine.run e;
+  Alcotest.(check (list string))
+    "handler-inserted tie runs last, in insertion order" [ "a"; "b"; "c"; "a2" ]
+    (List.rev !log);
+  Alcotest.(check int64) "clock did not advance past the tie" t (Engine.now e)
+
+(* Scheduling in the past from inside a handler clamps to the current
+   instant: the event runs at [now], and observed time never moves
+   backwards. *)
+let test_engine_past_clamp_in_handler () =
+  let e = Engine.create () in
+  let times = ref [] in
+  ignore
+    (Engine.schedule_at e (Time_ns.of_us 10.0) (fun () ->
+         times := Engine.now e :: !times;
+         ignore
+           (Engine.schedule_at e (Time_ns.of_us 2.0) (fun () ->
+                times := Engine.now e :: !times)
+             : Engine.handle))
+      : Engine.handle);
+  Engine.run e;
+  (match List.rev !times with
+  | [ outer; clamped ] ->
+    Alcotest.(check int64) "outer at 10us" (Time_ns.of_us 10.0) outer;
+    Alcotest.(check int64) "past event clamped to now" (Time_ns.of_us 10.0) clamped
+  | _ -> Alcotest.fail "expected exactly two events");
+  Alcotest.(check int64) "clock stayed at 10us" (Time_ns.of_us 10.0) (Engine.now e)
+
+(* The whole contract at once: two engine runs driven by the same Prng
+   seed produce identical event sequences (ids and timestamps), even
+   with coarse timestamps forcing many FIFO ties and handlers drawing
+   from the stream / spawning recursively. *)
+let engine_replay_run seed =
+  let rng = Prng.create ~seed in
+  let e = Engine.create () in
+  let log = ref [] in
+  let next_id = ref 0 in
+  let rec spawn depth =
+    let id = !next_id in
+    incr next_id;
+    (* Whole-microsecond delays from a tiny range: collisions abound. *)
+    let delay = Time_ns.of_us (float_of_int (Prng.int rng 20)) in
+    ignore
+      (Engine.schedule_after e delay (fun () ->
+           log := (id, Engine.now e) :: !log;
+           if depth > 0 && Prng.float rng < 0.7 then begin
+             spawn (depth - 1);
+             if Prng.bool rng then spawn (depth - 1)
+           end)
+        : Engine.handle)
+  in
+  for _ = 1 to 20 do
+    spawn 3
+  done;
+  Engine.run e;
+  List.rev !log
+
+let test_engine_replay_deterministic =
+  QCheck.Test.make ~name:"same seed => identical event sequence" ~count:50 QCheck.small_int
+    (fun seed ->
+      let a = engine_replay_run seed and b = engine_replay_run seed in
+      List.length a > 20 && a = b)
+
 (* ------------------------------------------------------------------ *)
 (* Stats *)
 
@@ -566,6 +644,10 @@ let () =
           Alcotest.test_case "run_until" `Quick test_engine_run_until;
           Alcotest.test_case "schedule from handler" `Quick test_engine_schedule_from_handler;
           Alcotest.test_case "past clamped to now" `Quick test_engine_past_clamped;
+          Alcotest.test_case "fifo ties incl. handler inserts" `Quick
+            test_engine_fifo_ties_with_handler_inserts;
+          Alcotest.test_case "past clamp inside handler" `Quick test_engine_past_clamp_in_handler;
+          qc test_engine_replay_deterministic;
         ] );
       ( "stats",
         [

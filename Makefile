@@ -1,4 +1,4 @@
-.PHONY: all build test bench trace-smoke lint sanitize-smoke determinism clean
+.PHONY: all build test bench profile-smoke bench-json benchdiff trace-smoke lint sanitize-smoke determinism clean
 
 all: build
 
@@ -10,6 +10,26 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Cycle-attribution profiler smoke: run table3 under the profiler and
+# export both the text report and a collapsed-stack flamegraph.
+profile-smoke: build
+	dune exec bin/softtimers_cli.exe -- profile table3 --quick --out /tmp/softtimers-table3-profile.txt
+	dune exec bin/softtimers_cli.exe -- profile table3 --quick --flame --out /tmp/softtimers-table3.folded
+	@echo "profile-smoke: report and /tmp/softtimers-table3.folded written"
+
+# Machine-readable bench baseline (BENCH_<tag>.json).  BENCH_JSON names
+# the output; the three structured tables are printed and their cells
+# captured together with a cycle-attribution summary.
+BENCH_JSON ?= BENCH_quick.json
+bench-json: build
+	dune exec bench/main.exe -- --quick --json $(BENCH_JSON) table2 table3 table8
+
+# Compare a freshly generated baseline against the committed one
+# (informational: nonzero only on malformed input; wall-clock keys are
+# never compared).
+benchdiff: bench-json
+	dune exec tools/benchdiff/benchdiff.exe -- bench/BENCH_baseline.json $(BENCH_JSON)
 
 # Export a quick fig1 trace and check the Chrome trace_event JSON is
 # well-formed (Perfetto/chrome://tracing will accept what json.tool

@@ -3,7 +3,10 @@
    Bechamel microbenchmarks of the core data structures.
 
    Pass --quick for a fast, noisier pass (used by CI); pass an
-   experiment id to run just one (see softtimers-cli for the list). *)
+   experiment id to run just one (see softtimers-cli for the list);
+   pass --seed N to replay a specific PRNG seed and --json FILE to
+   additionally write a machine-readable baseline (BENCH_<tag>.json,
+   compared across commits by tools/benchdiff). *)
 
 let experiments =
   [
@@ -92,31 +95,217 @@ let run_microbenchmarks () =
     results;
   print_newline ()
 
-let () =
-  let args = Array.to_list Sys.argv in
-  let quick = List.mem "--quick" args || List.mem "-q" args in
-  let metrics = List.mem "--metrics" args in
-  let cfg = if quick then Exp_config.quick else Exp_config.default in
-  let wanted =
-    List.filter (fun a -> a <> "--quick" && a <> "-q" && a <> "--metrics") (List.tl args)
+(* ------------------------------------------------------------------ *)
+(* --json FILE: machine-readable baseline.                             *)
+(*                                                                     *)
+(* Everything under the simulated results (table cells, attribution)   *)
+(* is a deterministic function of (seed, quick); only wall_clock_s     *)
+(* varies between machines, and tools/benchdiff skips those keys.      *)
+(* Hand-rolled writer: fixed field order, %.6g floats, sorted where    *)
+(* the source order is not already deterministic.                      *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+let jnum v = if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
+let jlist items = "[" ^ String.concat "," items ^ "]"
+let jobj fields = "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields) ^ "}"
+let server_name = function Webserver.Apache -> "apache" | Webserver.Flash -> "flash"
+
+let http_name = function
+  | Webserver.Http -> "http"
+  | Webserver.Persistent n -> Printf.sprintf "p-http-%d" n
+
+let table3_json rows =
+  jlist
+    (List.map
+       (fun (r : Exp_rbc_overhead.server_rows) ->
+         jobj
+           [
+             ("server", jstr (server_name r.server));
+             ("base_tput", jnum r.base_tput);
+             ("hw_tput", jnum r.hw_tput);
+             ("hw_overhead_pct", jnum r.hw_overhead_pct);
+             ("hw_interval_us", jnum r.hw_interval_us);
+             ("soft_tput", jnum r.soft_tput);
+             ("soft_overhead_pct", jnum r.soft_overhead_pct);
+             ("soft_interval_us", jnum r.soft_interval_us);
+           ])
+       rows)
+
+let table8_json rows =
+  jlist
+    (List.map
+       (fun (r : Exp_polling.row) ->
+         jobj
+           [
+             ("server", jstr (server_name r.server));
+             ("http", jstr (http_name r.http));
+             ("mean_batch", jnum r.mean_batch);
+             ( "cells",
+               jlist
+                 (List.map
+                    (fun (c : Exp_polling.cell) ->
+                      jobj
+                        [
+                          ("quota", match c.quota with None -> "null" | Some q -> jnum q);
+                          ("tput", jnum c.tput);
+                          ("ratio", jnum c.ratio);
+                        ])
+                    r.cells) );
+           ])
+       rows)
+
+let table2_json (res : Exp_trigger_sources.result) =
+  jlist
+    (List.map
+       (fun (r : Exp_trigger_sources.source_row) ->
+         jobj
+           [
+             ("source", jstr (Trigger.name r.source));
+             ("fraction_pct", jnum r.fraction_pct);
+             ("paper_pct", jnum r.paper_pct);
+           ])
+       res.sources)
+
+let attribution_json p =
+  (* Re-sort by name: [roots_ns] is largest-first and [dispatch_rows]
+     is first-dispatch order, both of which shuffle between seeds —
+     benchdiff keys array elements by index, so the JSON needs an order
+     that only depends on which categories exist. *)
+  let by_name (a, _) (b, _) = String.compare a b in
+  jobj
+    [
+      ("total_attributed_ns", Printf.sprintf "%Ld" (Profile.total_attributed_ns p));
+      ("cpus", string_of_int (Profile.cpu_count p));
+      ("fired_total", string_of_int (Profile.fired_total p));
+      ( "categories",
+        jlist
+          (List.map
+             (fun (name, ns) -> jobj [ ("path", jstr name); ("ns", Printf.sprintf "%Ld" ns) ])
+             (List.sort by_name (Profile.roots_ns p))) );
+      ( "dispatch",
+        jlist
+          (List.map
+             (fun (source, fires) ->
+               jobj [ ("source", jstr source); ("fires", string_of_int fires) ])
+             (List.sort by_name (Profile.dispatch_rows p))) );
+    ]
+
+let emit_json ~path ~cfg ~quick ~timings ~profile =
+  (* The structured computes replay deterministically from the same
+     (seed, quick) the rendered tables used, so the JSON cells always
+     agree with what was just printed. *)
+  let t3 = Exp_rbc_overhead.compute cfg in
+  let t8 = Exp_polling.compute cfg in
+  let t2 = Exp_trigger_sources.compute cfg in
+  let doc =
+    jobj
+      [
+        ("schema", jstr "softtimers-bench/1");
+        ("seed", string_of_int cfg.Exp_config.seed);
+        ("quick", if quick then "true" else "false");
+        ("machine_profile", jstr Costs.pentium_ii_300.name);
+        ( "experiments",
+          jlist
+            (List.map
+               (fun (name, dt) -> jobj [ ("name", jstr name); ("wall_clock_s", jnum dt) ])
+               timings) );
+        ("table3", table3_json t3);
+        ("table8", table8_json t8);
+        ("table2_sources", table2_json t2);
+        ("attribution", attribution_json profile);
+      ]
   in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc doc;
+      output_char oc '\n')
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--quick|-q] [--metrics] [--seed N] [--json FILE] [EXPERIMENT...]";
+  exit 2
+
+let () =
+  let quick = ref false in
+  let metrics = ref false in
+  let seed = ref None in
+  let json = ref None in
+  let wanted = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | ("--quick" | "-q") :: rest ->
+      quick := true;
+      parse rest
+    | "--metrics" :: rest ->
+      metrics := true;
+      parse rest
+    | "--seed" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n -> seed := Some n
+      | None ->
+        Printf.eprintf "bench: --seed expects an integer, got %S\n" v;
+        usage ());
+      parse rest
+    | "--json" :: path :: rest ->
+      json := Some path;
+      parse rest
+    | [ ("--seed" | "--json") ] -> usage ()
+    | a :: rest ->
+      wanted := a :: !wanted;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let wanted = List.rev !wanted in
+  let base = if !quick then Exp_config.quick else Exp_config.default in
+  let cfg = match !seed with None -> base | Some s -> { base with Exp_config.seed = s } in
   let to_run =
     match wanted with
     | [] -> experiments
     | ids -> List.filter (fun (n, _) -> List.mem n ids) experiments
   in
-  if metrics then begin
+  if !metrics then begin
     Metrics.reset Metrics.default;
     Metrics.set_sampling true
   end;
+  let profiler =
+    match !json with
+    | None -> None
+    | Some _ ->
+      let p = Profile.create () in
+      Profile.install p;
+      Some p
+  in
+  let timings = ref [] in
   List.iter
-    (fun (_, f) ->
+    (fun (name, f) ->
+      let t0 = Unix.gettimeofday () in
       print_string (f cfg);
+      timings := (name, Unix.gettimeofday () -. t0) :: !timings;
       print_newline ())
     to_run;
-  if metrics then begin
+  if !metrics then begin
     print_string (Exp_config.header "Metrics registry (lib/obs) after the runs");
     print_string (Metrics.dump Metrics.default);
     print_newline ()
   end;
+  (match (!json, profiler) with
+  | Some path, Some p ->
+    emit_json ~path ~cfg ~quick:!quick ~timings:(List.rev !timings) ~profile:p;
+    Profile.uninstall ();
+    Printf.printf "wrote %s\n" path
+  | _ -> ());
   if wanted = [] then run_microbenchmarks ()

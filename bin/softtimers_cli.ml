@@ -147,6 +147,55 @@ let run_trace cfg id out csv buf metrics =
     Printf.printf "\ntrace: %d events captured (%d overwritten) -> %s (%s)\n" (Trace.length tr)
       (Trace.dropped tr) out
       (if as_csv then "csv" else "chrome trace_event json; open in chrome://tracing or Perfetto");
+    if Trace.dropped tr > 0 then
+      Printf.printf
+        "WARNING: trace ring overflowed; the %d oldest events were dropped — the export is \
+         truncated (raise --buf to capture everything)\n"
+        (Trace.dropped tr);
+    if metrics then begin
+      print_newline ();
+      print_string (Metrics.dump Metrics.default)
+    end;
+    `Ok ()
+
+(* Run one experiment with the cycle-attribution profiler installed and
+   print (or export) the attribution report: the tree, the per-interrupt
+   cost split (save/restore vs pollution vs handler) and the per-trigger
+   dispatch breakdown.  --flame switches to collapsed-stack flamegraph
+   lines instead (inferno / flamegraph.pl / speedscope). *)
+let run_profile cfg id out flame metrics =
+  match List.find_opt (fun (name, _, _) -> name = id) experiments with
+  | None -> unknown_experiment id
+  | Some _
+    when match out with
+         | None -> false
+         | Some f -> ( try close_out (open_out f); false with Sys_error _ -> true) ->
+    `Error (false, Printf.sprintf "cannot write profile output %S" (Option.get out))
+  | Some (_, _, f) ->
+    let p = Profile.create () in
+    Metrics.reset Metrics.default;
+    Profile.install p;
+    let output =
+      try f cfg
+      with e ->
+        Profile.uninstall ();
+        raise e
+    in
+    Profile.uninstall ();
+    print_string output;
+    print_newline ();
+    Printf.printf "profile %s (seed %d%s)\n\n" id cfg.Exp_config.seed
+      (if cfg.Exp_config.quick then ", quick" else "");
+    let body = if flame then Profile.to_collapsed p else Profile.report p in
+    (match out with
+    | None -> print_string body
+    | Some file ->
+      let oc = open_out file in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc body);
+      Printf.printf "profile: %s -> %s\n"
+        (if flame then "collapsed-stack flamegraph" else "attribution report")
+        file;
+      if flame then print_string (Profile.to_table p));
     if metrics then begin
       print_newline ();
       print_string (Metrics.dump Metrics.default)
@@ -220,6 +269,48 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc ~man) term
 
+let profile_cmd =
+  let doc = "Run one experiment with the cycle-attribution profiler and report who spent what" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Installs the cycle-attribution profiler (lib/obs Profile), runs the given \
+         experiment and prints three reports: the hierarchical attribution tree (every \
+         charged CPU cycle by category), the per-interrupt cost split (save/restore vs. \
+         cache/TLB pollution vs. handler body — the decomposition behind the paper's \
+         Tables 2-4), and the per-trigger-state soft-timer dispatch breakdown with \
+         latencies (paper Table 1).  $(b,--flame) exports collapsed-stack lines for \
+         inferno, flamegraph.pl or speedscope instead.";
+    ]
+  in
+  let exp_id =
+    let doc = "Experiment id to profile (one id, not 'all')." in
+    Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"EXPERIMENT")
+  in
+  let out =
+    let doc = "Write the report (or, with --flame, the collapsed stacks) to this file." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~doc ~docv:"FILE")
+  in
+  let flame =
+    let doc = "Emit collapsed-stack flamegraph lines (cpuN;category;... <ns>) instead of \
+               the text report." in
+    Arg.(value & flag & info [ "flame" ] ~doc)
+  in
+  let metrics =
+    let doc = "Also dump the metrics registry after the run." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun quick seed id out flame metrics sanitize ->
+             with_sanitizer sanitize (fun () ->
+                 run_profile (cfg_of quick seed) id out flame metrics))
+        $ quick $ seed $ exp_id $ out $ flame $ metrics $ sanitize))
+  in
+  Cmd.v (Cmd.info "profile" ~doc ~man) term
+
 let verify_cmd =
   let doc = "Replay-diff: run an experiment twice with the same seed and diff the results" in
   let man =
@@ -273,7 +364,7 @@ let default =
 let group_cmd =
   Cmd.group ~default
     (Cmd.info "softtimers-cli" ~version:"1.0.0" ~doc ~man)
-    [ trace_cmd; verify_cmd ]
+    [ trace_cmd; profile_cmd; verify_cmd ]
 
 (* [Cmd.group ~default] rejects any first positional that is not a
    subcommand name, which would break the documented
@@ -284,16 +375,24 @@ let plain_cmd = Cmd.v (Cmd.info "softtimers-cli" ~version:"1.0.0" ~doc ~man) def
 
 let () =
   let argv = Sys.argv in
-  let has_trace =
-    Array.exists (fun a -> a = "trace" || a = "verify-determinism") argv
-  in
+  (* Find the first true positional.  Separated-value flags consume the
+     following argv slot, so `--seed 9 table3` must skip the "9" — and a
+     seed value must never be mistaken for a subcommand name. *)
+  let value_flags = [ "--seed"; "-s"; "--out"; "-o"; "--buf" ] in
   let first_positional =
     let rec go i =
       if i >= Array.length argv then None
+      else if List.mem argv.(i) value_flags then go (i + 2)
       else if String.length argv.(i) > 0 && argv.(i).[0] = '-' then go (i + 1)
       else Some argv.(i)
     in
     go 1
   in
-  let cmd = if has_trace || first_positional = None then group_cmd else plain_cmd in
+  let is_subcommand =
+    match first_positional with
+    | Some ("trace" | "profile" | "verify-determinism") -> true
+    | Some _ -> false
+    | None -> false
+  in
+  let cmd = if is_subcommand || first_positional = None then group_cmd else plain_cmd in
   exit (Cmd.eval cmd)

@@ -36,6 +36,11 @@ let digest tr =
   Trace.iter tr (fun r ->
       h := fold_string !h (record_string r);
       h := Int64.mul (Int64.logxor !h 10L) prime (* '\n' record separator *));
+  (* A truncated ring must not digest equal to a complete one that
+     happens to retain the same window: fold the overflow count in.
+     Complete traces keep their historical digests. *)
+  if Trace.dropped tr > 0 then
+    h := fold_string !h (Printf.sprintf "dropped=%d" (Trace.dropped tr));
   !h
 
 let hex h = Printf.sprintf "%016Lx" h

@@ -9,7 +9,10 @@
 
 val digest : Trace.t -> int64
 (** Digest of every record currently held, oldest first.  The empty
-    trace has the FNV offset basis as its digest. *)
+    trace has the FNV offset basis as its digest.  When the ring
+    overflowed, the number of dropped events is folded in as a final
+    record, so a truncated trace never digests equal to a complete
+    trace retaining the same window. *)
 
 val hex : int64 -> string
 (** 16-digit lowercase hex rendering. *)

@@ -12,17 +12,21 @@ type t = {
   intervals : Stats.Sample.t;
 }
 
+let a_dispatch = Profile.intern [ "softintr"; "hw_pacer" ]
+let e_coalesced = Profile.intern [ "hw_pacer"; "tick_coalesced" ]
+
 (* The interrupt handler only wakes the software interrupt; the packet
    is transmitted from softintr context, like the BSD thread dispatch
    the paper describes for its hardware-timer experiment (§5.6). *)
 let on_tick t _now =
-  if t.dispatch_pending then ()
+  if t.dispatch_pending then
     (* the previous tick's transmission has not run yet: the callout
        coalesces and this tick's transmission is effectively lost *)
+    Profile.event e_coalesced
   else begin
     t.dispatch_pending <- true;
-    Machine.submit_quantum t.machine ~prio:Cpu.prio_softintr ~work_us:t.dispatch_work_us
-      ~trigger:None (fun now ->
+    Machine.submit_quantum t.machine ~attr:a_dispatch ~prio:Cpu.prio_softintr
+      ~work_us:t.dispatch_work_us ~trigger:None (fun now ->
         t.dispatch_pending <- false;
         if t.running && t.send now then begin
         (match t.last_send with

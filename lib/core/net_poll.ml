@@ -1,6 +1,12 @@
 let m_polls = Metrics.counter Metrics.default "net_poll.polls"
 let m_packets = Metrics.counter Metrics.default "net_poll.packets"
 
+(* Span-less profiler events: interval clamping shows why the adaptive
+   poller stopped tracking its aggregation quota. *)
+let e_empty_poll = Profile.intern [ "net_poll"; "empty_poll" ]
+let e_clamp_min = Profile.intern [ "net_poll"; "interval_clamped_min" ]
+let e_clamp_max = Profile.intern [ "net_poll"; "interval_clamped_max" ]
+
 type t = {
   st : Softtimer.t;
   quota : float;
@@ -41,6 +47,8 @@ let adapt t found =
   let ratio = t.quota /. Float.max t.ewma_batch 0.125 in
   let ratio = Float.min 2.0 (Float.max 0.5 ratio) in
   let next = Time_ns.scale t.interval ratio in
+  if Time_ns.(next < t.min_interval) then Profile.event e_clamp_min
+  else if Time_ns.(next > t.max_interval) then Profile.event e_clamp_max;
   t.interval <- Time_ns.min t.max_interval (Time_ns.max t.min_interval next)
 
 let rec on_event t now =
@@ -51,6 +59,7 @@ let rec on_event t now =
     t.packets <- t.packets + found;
     Metrics.incr m_polls;
     Metrics.incr ~by:found m_packets;
+    if found = 0 then Profile.event e_empty_poll;
     Trace.poll ~at:now ~found;
     adapt t found;
     t.outstanding <- Some (Softtimer.schedule_after t.st t.interval (on_event t))

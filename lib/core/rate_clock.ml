@@ -2,6 +2,11 @@ let m_sends = Metrics.counter Metrics.default "rate_clock.sends"
 let m_trains = Metrics.counter Metrics.default "rate_clock.trains"
 let h_intervals = Metrics.histogram Metrics.default "rate_clock.interval_us"
 
+(* A catch-up send: soft-timer dispatch latency pushed us past the ideal
+   send time, so the next interval was clamped to min_interval — the
+   burstiness the paper's Figure 5 jitter discussion is about. *)
+let e_catch_up = Profile.intern [ "rate_clock"; "catch_up_send" ]
+
 type t = {
   st : Softtimer.t;
   target : Time_ns.span;
@@ -61,6 +66,7 @@ let rec on_event t now =
 and schedule_next t now =
   let ideal = Time_ns.(t.train_start + Time_ns.mul t.target t.sent_in_train) in
   let delay = Time_ns.(ideal - now) in
+  if Time_ns.(delay < t.min_interval) then Profile.event e_catch_up;
   let delay = Time_ns.max delay t.min_interval in
   t.outstanding <- Some (Softtimer.schedule_after t.st delay (on_event t))
 

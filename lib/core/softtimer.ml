@@ -34,26 +34,34 @@ let ns_of_tick t tick =
   (* Round up: a tick boundary maps to the first instant at or after it. *)
   Int64.of_float (Float.ceil (Int64.to_float tick *. t.ns_per_tick))
 
+let a_fire = Profile.intern [ "softtimer"; "fire" ]
+
 (* The per-trigger-state check: compare the cached earliest deadline with
    now and fire anything due.  Firing charges the dispatch cost (a
-   procedure call) to the CPU and runs the handler inline. *)
-let check t now =
+   procedure call) to the CPU and runs the handler inline.  [kind] is
+   the trigger state that performed this check — the profiler's
+   per-trigger dispatch breakdown (paper Table 1) records which state
+   fired each event and at what latency. *)
+let check t kind now =
   t.checks <- t.checks + 1;
   Metrics.incr m_checks;
   match Timing_wheel.next_deadline t.wheel with
   | Some d when Time_ns.(d <= now) ->
     let fire_cost = (Machine.profile t.machine).Costs.softtimer_fire_us in
+    let fire_attr = if Profile.enabled () then Some a_fire else None in
+    let source = Trigger.name kind in
     ignore
       (Timing_wheel.fire_due t.wheel ~now (fun due ev ->
            t.fired <- t.fired + 1;
            Metrics.incr m_fired;
            Trace.soft_fire ~at:now ~due;
+           Profile.dispatch ~source ~delay:Time_ns.(now - due);
            if t.record_delays then
              Stats.Sample.add t.delays (Time_ns.to_us Time_ns.(now - due));
            if Metrics.sampling () then
              Stats.Sample.add h_fire_delay (Time_ns.to_us Time_ns.(now - due));
-           Machine.submit_quantum t.machine ~prio:Cpu.prio_intr ~work_us:fire_cost
-             ~trigger:None (fun _ -> ());
+           Machine.submit_quantum t.machine ?attr:fire_attr ~prio:Cpu.prio_intr
+             ~work_us:fire_cost ~trigger:None (fun _ -> ());
            ev.handler now)
         : int)
   | Some _ | None -> ()

@@ -11,6 +11,9 @@ type mode = Interrupts | Hybrid | Softpoll
 let process_us = 10.0
 let warm = 0.7
 
+let a_rx_cold = Profile.intern [ "softintr"; "rx_process"; "cold" ]
+let a_rx_warm = Profile.intern [ "softintr"; "rx_process"; "warm" ]
+
 let goodput (cfg : Exp_config.t) ~mode ~rate_pps =
   let engine = Engine.create () in
   let machine = Machine.create engine in
@@ -25,8 +28,17 @@ let goodput (cfg : Exp_config.t) ~mode ~rate_pps =
         (List.mapi
            (fun i _pkt ->
              let cost = if i = 0 then process_us else process_us *. warm in
+             let attr = if i = 0 then a_rx_cold else a_rx_warm in
              [
-               Exec.Quantum { Kernel.prio = Cpu.prio_softintr; work_us = cost; trigger = None };
+               Exec.Quantum
+                 {
+                   Kernel.prio = Cpu.prio_softintr;
+                   work_us = cost;
+                   trigger = None;
+                   attr;
+                   entry_us = 0.0;
+                   entry_attr = attr;
+                 };
                Exec.emit (fun _ -> incr processed);
              ])
            batch)

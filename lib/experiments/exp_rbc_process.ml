@@ -13,10 +13,12 @@ type table = {
   hw_lost_pct : float;
 }
 
+let a_flow_send = Profile.intern [ "kernel"; "ip_output"; "rbc_flow" ]
+
 (* Every transmission of the measured flow is a real trip through the IP
    output loop of the busy machine (the flow's own 1 Gbps interface). *)
 let send_cost machine _now =
-  Machine.submit_quantum machine ~prio:Cpu.prio_kernel ~work_us:7.0
+  Machine.submit_quantum machine ~attr:a_flow_send ~prio:Cpu.prio_kernel ~work_us:7.0
     ~trigger:(Some Trigger.Ip_output)
     (fun _ -> ());
   true

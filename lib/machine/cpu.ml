@@ -9,7 +9,26 @@ let prio_count = 5
    software-interrupt processing: once running they are never preempted. *)
 let preemptible prio = prio >= prio_kernel
 
-type task = { prio : int; mutable remaining : Time_ns.span; cb : Time_ns.t -> unit }
+(* Fallback attributions for quanta whose submitter did not tag them:
+   unattributed work still lands in the tree, keeping the conservation
+   invariant (attributed total = busy_ns) independent of coverage. *)
+let unattributed =
+  [|
+    Profile.intern [ "unattributed"; "intr" ];
+    Profile.intern [ "unattributed"; "softintr" ];
+    Profile.intern [ "unattributed"; "kernel" ];
+    Profile.intern [ "unattributed"; "user" ];
+    Profile.intern [ "unattributed"; "background" ];
+  |]
+
+let default_attr prio = unattributed.(prio)
+
+type task = {
+  prio : int;
+  attr : Profile.attr;
+  mutable remaining : Time_ns.span;
+  cb : Time_ns.t -> unit;
+}
 
 type running = {
   task : task;
@@ -67,9 +86,12 @@ let take_next t =
   in
   scan 0
 
+(* The single point through which all busy time flows — attribution
+   here is what makes the Profile conservation invariant structural. *)
 let charge t task span =
   t.busy <- Time_ns.(t.busy + span);
-  t.busy_by_prio.(task.prio) <- Time_ns.(t.busy_by_prio.(task.prio) + span)
+  t.busy_by_prio.(task.prio) <- Time_ns.(t.busy_by_prio.(task.prio) + span);
+  Profile.charge task.attr ~cpu:t.cpu_id span
 
 let rec dispatch t =
   match take_next t with
@@ -105,11 +127,12 @@ let preempt t r =
   t.depth <- t.depth + 1;
   t.current <- None
 
-let submit t ~prio ~work cb =
+let submit t ?attr ~prio ~work cb =
   if prio < 0 || prio >= prio_count then invalid_arg "Cpu.submit: bad priority";
   if Time_ns.(work < 0L) then invalid_arg "Cpu.submit: negative work";
   let was_idle = is_idle t in
-  let task = { prio; remaining = work; cb } in
+  let attr = match attr with Some a -> a | None -> default_attr prio in
+  let task = { prio; attr; remaining = work; cb } in
   Queue.add task t.queues.(prio);
   t.depth <- t.depth + 1;
   if was_idle then begin

@@ -44,11 +44,25 @@ val create : ?id:int -> Engine.t -> t
 
 val id : t -> int
 
-val submit : t -> prio:int -> work:Time_ns.span -> (Time_ns.t -> unit) -> unit
+val submit :
+  t ->
+  ?attr:Profile.attr ->
+  prio:int ->
+  work:Time_ns.span ->
+  (Time_ns.t -> unit) ->
+  unit
 (** [submit t ~prio ~work cb] enqueues a quantum; [cb] runs when its
     cumulative execution reaches [work], receiving the completion time.
-    Zero-work quanta complete as soon as they are dispatched.
+    Zero-work quanta complete as soon as they are dispatched.  [attr]
+    names the quantum's cycle-attribution category (defaults to
+    {!default_attr} for its priority); all of the quantum's execution
+    time — including partial charges under preemption — is attributed
+    to it.
     @raise Invalid_argument for out-of-range priority or negative work. *)
+
+val default_attr : int -> Profile.attr
+(** Fallback attribution ([unattributed;<prio-name>]) used for quanta
+    submitted without [?attr]. *)
 
 val is_idle : t -> bool
 (** No quantum running and none queued. *)

@@ -16,6 +16,11 @@ type line = {
   mutable raised : int;
   mutable lost : int;
   mutable delivered : int;
+  (* Interned once per line: the paper's per-interrupt cost decomposition
+     (save/restore + cache/TLB pollution + handler body, Tables 2-4). *)
+  a_save : Profile.attr;
+  a_pollution : Profile.attr;
+  a_handler : Profile.attr;
 }
 
 type t = {
@@ -57,6 +62,9 @@ let line t ~name ~source ?(latch_depth = 2) ?(spl_blockable = false) ?(cpu = 0) 
     raised = 0;
     lost = 0;
     delivered = 0;
+    a_save = Profile.intern [ "interrupt"; name; "save_restore" ];
+    a_pollution = Profile.intern [ "interrupt"; name; "pollution" ];
+    a_handler = Profile.intern [ "interrupt"; name; "handler" ];
   }
 
 let deliver t ln handler_work =
@@ -65,7 +73,22 @@ let deliver t ln handler_work =
     Time_ns.of_us (Costs.intr_total_us t.profile ~locality:t.locality.Cache.sensitivity)
   in
   let work = Time_ns.(overhead + Time_ns.max handler_work 0L) in
-  Cpu.submit t.cpus.(ln.cpu) ~prio:Cpu.prio_intr ~work (fun now ->
+  let attr =
+    (* Split the delivery into save/restore, pollution refill and handler
+       body.  The pollution share is [overhead - save] so the parts sum
+       exactly to the charged overhead regardless of float rounding. *)
+    if Profile.enabled () then begin
+      let save =
+        Time_ns.min (Time_ns.of_us t.profile.Costs.intr_save_restore_us) overhead
+      in
+      Some
+        (Profile.seq
+           [ (ln.a_save, save); (ln.a_pollution, Time_ns.(overhead - save)) ]
+           ~tail:ln.a_handler)
+    end
+    else None
+  in
+  Cpu.submit t.cpus.(ln.cpu) ?attr ~prio:Cpu.prio_intr ~work (fun now ->
       ln.in_flight <- ln.in_flight - 1;
       ln.delivered <- ln.delivered + 1;
       Metrics.incr m_delivered;

@@ -8,7 +8,22 @@
     steps — exactly the granularity at which real kernels reach trigger
     states. *)
 
-type step = { prio : int; work_us : float; trigger : Trigger.kind option }
+type step = {
+  prio : int;
+  work_us : float;
+  trigger : Trigger.kind option;
+  attr : Profile.attr;  (** cycle-attribution category of the step's body *)
+  entry_us : float;
+      (** leading microseconds attributed to [entry_attr] instead (kernel
+          entry cost); [0.] when the step has no entry split *)
+  entry_attr : Profile.attr;
+}
+
+val step_attr : step -> Profile.attr option
+(** Per-submission attribution for a step: [Some] (a fresh entry/body
+    split when [entry_us > 0.]) while profiling is enabled, [None]
+    otherwise.  Must be called once per submitted quantum — seqs consume
+    their parts statefully. *)
 
 val syscall : Machine.t -> work_us:float -> (Time_ns.t -> unit) -> unit
 (** One system call: kernel entry cost + [work_us] of kernel work, ends

@@ -18,7 +18,7 @@ type t = {
   mutable checker : int option;  (* the one idle CPU checking (§5.2) *)
   mutable intc : Interrupt.t option;  (* set right after creation *)
   mutable locality : Cache.locality;
-  mutable check_hook : (Time_ns.t -> unit) option;
+  mutable check_hook : (Trigger.kind -> Time_ns.t -> unit) option;
   (* Observers in registration order in [observers.(0 .. n_observers-1)];
      a growable array keeps registration O(1) amortised and notification
      an indexed loop (this runs at every trigger state). *)
@@ -64,7 +64,7 @@ let fire_trigger t kind =
   for i = 0 to t.n_observers - 1 do
     t.observers.(i) kind now
   done;
-  match t.check_hook with Some f -> f now | None -> ()
+  match t.check_hook with Some f -> f kind now | None -> ()
 
 let add_observer t f =
   let cap = Array.length t.observers in
@@ -80,16 +80,31 @@ let check_hook_attached t = t.check_hook <> None
 let trigger_count t kind = t.counts.(kind_index kind)
 let trigger_total t = Array.fold_left ( + ) 0 t.counts
 
-let submit_quantum t ?(cpu = 0) ~prio ~work_us ~trigger cb =
+let check_attr = Profile.intern [ "softtimer"; "check" ]
+
+let submit_quantum t ?(cpu = 0) ?attr ~prio ~work_us ~trigger cb =
   if cpu < 0 || cpu >= Array.length t.cpus then
     invalid_arg "Machine.submit_quantum: bad cpu";
+  let checked =
+    match (trigger, t.check_hook) with Some _, Some _ -> true | _ -> false
+  in
   let work_us =
-    match (trigger, t.check_hook) with
-    | Some _, Some _ -> work_us +. t.profile.Costs.softtimer_check_us
-    | _ -> work_us
+    if checked then work_us +. t.profile.Costs.softtimer_check_us else work_us
+  in
+  let attr =
+    (* Split the trigger-state check surcharge out of the quantum so it
+       shows up under softtimer;check rather than inflating the work's
+       own category.  Only allocate the seq when profiling is live. *)
+    if checked && Profile.enabled () then
+      let base = match attr with Some a -> a | None -> Cpu.default_attr prio in
+      Some
+        (Profile.seq
+           [ (check_attr, Time_ns.of_us t.profile.Costs.softtimer_check_us) ]
+           ~tail:base)
+    else attr
   in
   let work = Time_ns.of_us (Float.max 0.0 work_us) in
-  Cpu.submit t.cpus.(cpu) ~prio ~work (fun now ->
+  Cpu.submit t.cpus.(cpu) ?attr ~prio ~work (fun now ->
       (match trigger with Some kind -> fire_trigger t kind | None -> ());
       cb now)
 

@@ -55,11 +55,13 @@ val add_observer : t -> (Trigger.kind -> Time_ns.t -> unit) -> unit
 (** Measurement tap: called at every trigger state, before the check
     hook. *)
 
-val set_check_hook : t -> (Time_ns.t -> unit) option -> unit
-(** The soft-timer facility's per-trigger-state check.  While a hook is
+val set_check_hook : t -> (Trigger.kind -> Time_ns.t -> unit) option -> unit
+(** The soft-timer facility's per-trigger-state check; it receives the
+    kind of the trigger state that reached it, so dispatches can be
+    attributed to their trigger source (paper Table 1).  While a hook is
     attached, every trigger-bearing quantum is lengthened by the
     profile's [softtimer_check_us] so the check's (tiny) cost is
-    accounted. *)
+    accounted (and, when profiling, attributed to [softtimer;check]). *)
 
 val check_hook_attached : t -> bool
 
@@ -73,6 +75,7 @@ val trigger_total : t -> int
 val submit_quantum :
   t ->
   ?cpu:int ->
+  ?attr:Profile.attr ->
   prio:int ->
   work_us:float ->
   trigger:Trigger.kind option ->
@@ -81,7 +84,10 @@ val submit_quantum :
 (** Submit CPU work (to CPU 0 unless [cpu] says otherwise); when it
     completes, fire the given trigger kind (if any) and then run the
     callback.  The soft-timer check surcharge is added automatically
-    when a hook is attached and [trigger] is [Some _]. *)
+    when a hook is attached and [trigger] is [Some _]; with profiling
+    live the surcharge is attributed to [softtimer;check] and the rest
+    of the quantum to [attr] (default: the priority's
+    {!Cpu.default_attr}). *)
 
 val interrupt_line :
   t ->

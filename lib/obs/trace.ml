@@ -56,13 +56,19 @@ let clear t =
   t.len <- 0;
   t.dropped <- 0
 
+(* Ring overflow is easy to miss (the trace still looks complete); the
+   metric makes it visible in every metrics dump, and the exporters add
+   a warning banner keyed off [dropped t]. *)
+let m_dropped = Metrics.counter Metrics.default "trace.dropped"
+
 let push t r =
   let cap = Array.length t.buf in
   if t.len = cap then begin
     (* Full: overwrite the oldest record. *)
     t.buf.(t.head) <- r;
     t.head <- (t.head + 1) mod cap;
-    t.dropped <- t.dropped + 1
+    t.dropped <- t.dropped + 1;
+    Metrics.incr m_dropped
   end
   else begin
     t.buf.((t.head + t.len) mod cap) <- r;

@@ -111,10 +111,22 @@ let to_chrome_json t =
   Buffer.add_string b "{\"traceEvents\":[";
   Buffer.add_string b
     "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"softtimers-sim\"}}";
+  (* Ring overflow: without a banner a truncated trace masquerades as a
+     complete run.  The instant event is the first thing a viewer shows;
+     the top-level field is for programmatic consumers. *)
+  if Trace.dropped t > 0 then
+    Buffer.add_string b
+      (Printf.sprintf
+         ",{\"name\":\"TRACE TRUNCATED: %d oldest events dropped (ring \
+          overflow)\",\"cat\":\"warning\",\"ph\":\"i\",\"ts\":0,\"pid\":1,\"tid\":0,\"s\":\"g\"}"
+         (Trace.dropped t));
   Trace.iter t (fun r ->
       Buffer.add_char b ',';
       Buffer.add_string b (json_of_ev (ev_of_record r)));
-  Buffer.add_string b "],\"displayTimeUnit\":\"ns\"}";
+  Buffer.add_string b "],\"displayTimeUnit\":\"ns\"";
+  if Trace.dropped t > 0 then
+    Buffer.add_string b (Printf.sprintf ",\"droppedEvents\":%d" (Trace.dropped t));
+  Buffer.add_string b "}";
   Buffer.contents b
 
 let csv_row { Trace.at; ev } =
@@ -144,6 +156,10 @@ let csv_row { Trace.at; ev } =
 
 let to_csv t =
   let b = Buffer.create 4096 in
+  if Trace.dropped t > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "# WARNING: trace truncated, %d oldest events dropped (ring overflow)\n"
+         (Trace.dropped t));
   Buffer.add_string b "time_ns,event,detail\n";
   Trace.iter t (fun r ->
       Buffer.add_string b (csv_row r);

@@ -34,9 +34,14 @@ let create engine params ~total_segments ~transmit ?(on_complete = fun _ -> ()) 
     rto_handle = None;
   }
 
+let e_retransmit = Profile.intern [ "tcp"; "retransmit" ]
+let e_rto_fired = Profile.intern [ "tcp"; "rto_fired" ]
+let e_fast_retransmit = Profile.intern [ "tcp"; "fast_retransmit" ]
+
 let retransmit_first_unacked t =
   let now = Engine.now t.engine in
   t.retransmits <- t.retransmits + 1;
+  Profile.event e_retransmit;
   t.transmit now (Tcp_types.make_data t.params ~seq:t.acked ~born:now)
 
 let cancel_rto t =
@@ -51,6 +56,7 @@ let rec arm_rto t =
         (Engine.schedule_after t.engine t.params.Tcp_types.rto (fun () ->
              t.rto_handle <- None;
              if (not t.done_) && t.acked < t.sent then begin
+               Profile.event e_rto_fired;
                Cwnd.on_timeout t.cwnd ~flight:(t.sent - t.acked);
                t.recover <- t.sent;
                t.dupacks <- 0;
@@ -88,6 +94,7 @@ let on_ack t ~ack_upto =
       t.dupacks <- t.dupacks + 1;
       if t.dupacks = 3 && t.acked >= t.recover then begin
         (* Fast retransmit + Reno halving; at most once per window. *)
+        Profile.event e_fast_retransmit;
         Cwnd.on_fast_retransmit t.cwnd ~flight:(t.sent - t.acked);
         t.recover <- t.sent;
         retransmit_first_unacked t;

@@ -48,7 +48,11 @@ let slot_of t tk = Int64.to_int (Int64.rem tk (Int64.of_int t.slots_n))
    and the slot count, one O(resident) pass removes them all; the
    thresholds make that pass amortized O(1) per cancellation while
    keeping [resident t <= 2 * max (pending t) (slots t)]. *)
+let e_compact = Profile.intern [ "wheel"; "compact_pass" ]
+let e_sweep = Profile.intern [ "wheel"; "sweep_min_scan" ]
+
 let compact t =
+  Profile.event e_compact;
   for i = 0 to t.slots_n - 1 do
     t.buckets.(i) <- List.filter (fun e -> e.h.hstate = Pending) t.buckets.(i)
   done;
@@ -88,6 +92,7 @@ let cancel t h =
    a handful of slots; a full pass (visiting every bucket once) is the
    worst case and yields the exact minimum. *)
 let sweep_min t =
+  Profile.event e_sweep;
   let best = ref None in
   let consider e =
     if e.h.hstate = Pending then

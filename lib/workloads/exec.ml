@@ -6,8 +6,8 @@ let run m items k =
   let rec go = function
     | [] -> k (Engine.now (Machine.engine m))
     | Quantum s :: rest ->
-      Machine.submit_quantum m ~prio:s.Kernel.prio ~work_us:s.Kernel.work_us
-        ~trigger:s.Kernel.trigger (fun _now -> go rest)
+      Machine.submit_quantum m ?attr:(Kernel.step_attr s) ~prio:s.Kernel.prio
+        ~work_us:s.Kernel.work_us ~trigger:s.Kernel.trigger (fun _now -> go rest)
     | Emit f :: rest ->
       f (Engine.now (Machine.engine m));
       go rest

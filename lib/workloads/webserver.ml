@@ -241,11 +241,26 @@ let client_send t conn ~after wkind =
 (* ------------------------------------------------------------------ *)
 (* Server-side scripts.                                                *)
 
-let step_kernel_work m ~work_us =
+(* Attribution categories for this workload's inline submissions. *)
+let a_kernel_work = Profile.intern [ "kernel"; "work" ]
+let a_socket_copy = Profile.intern [ "kernel"; "socket_copy" ]
+let a_conn_setup = Profile.intern [ "kernel"; "conn_setup" ]
+let a_ip_output_handler = Profile.intern [ "kernel"; "ip_output"; "in_handler" ]
+let a_rx_cold = Profile.intern [ "softintr"; "rx_process"; "cold" ]
+let a_rx_warm = Profile.intern [ "softintr"; "rx_process"; "warm" ]
+let a_tcp_sweep = Profile.intern [ "softintr"; "tcp_timer"; "sweep" ]
+let a_background = Profile.intern [ "user"; "background" ]
+let a_poll_status = Profile.intern [ "softtimer"; "net_poll"; "status_read" ]
+let a_pace_touch = Profile.intern [ "softtimer"; "rbc"; "handler_touch" ]
+
+let step_kernel_work ?(attr = a_kernel_work) m ~work_us =
   {
     Kernel.prio = Cpu.prio_kernel;
     work_us = Costs.scale_us (Machine.profile m) work_us;
     trigger = None;
+    attr;
+    entry_us = 0.0;
+    entry_attr = attr;
   }
 
 let syscall_steps t n body =
@@ -301,6 +316,9 @@ let tx_items_in_handler t conn pkt =
         Kernel.prio = Cpu.prio_kernel;
         work_us = Costs.scale_us (Machine.profile t.machine) 7.0;
         trigger = None;
+        attr = a_ip_output_handler;
+        entry_us = 0.0;
+        entry_attr = a_ip_output_handler;
       };
     Exec.emit (fun _now -> Nic.transmit (nic_of t conn) pkt);
   ]
@@ -327,7 +345,10 @@ let write_phase_items t conn =
       items :=
         Exec.quantum (Kernel.step_syscall ~work_us:(Dist.draw a.pre_syscall_body t.rng) t.machine)
         :: !items;
-    items := Exec.quantum (step_kernel_work t.machine ~work_us:a.copy_per_packet_us) :: !items;
+    items :=
+      Exec.quantum
+        (step_kernel_work ~attr:a_socket_copy t.machine ~work_us:a.copy_per_packet_us)
+      :: !items;
     items := List.rev_append (List.rev (data_tx_item t conn i)) !items
   done;
   List.rev !items
@@ -362,7 +383,10 @@ let setup_items t =
   let a = t.anatomy in
   ctx_steps t (match t.cfg.kind with Apache -> 1 | Flash -> 0)
   @ interleave (user_steps t a.setup_user_segments a.setup_user) (syscall_steps t a.setup_syscalls a.setup_syscall_body)
-  @ [ Exec.quantum (step_kernel_work t.machine ~work_us:a.setup_kernel_extra_us) ]
+  @ [
+      Exec.quantum
+        (step_kernel_work ~attr:a_conn_setup t.machine ~work_us:a.setup_kernel_extra_us);
+    ]
   @ maybe_trap t a.setup_traps
 
 let teardown_items t conn =
@@ -470,8 +494,17 @@ let on_rx_batch t _now batch =
            let trigger =
              if Prng.float t.rng < a.p_tcpip_trigger then Some Trigger.Tcpip_other else None
            in
+           let attr = if i = 0 then a_rx_cold else a_rx_warm in
            [
-             Exec.Quantum { Kernel.prio = Cpu.prio_softintr; work_us = cost; trigger };
+             Exec.Quantum
+               {
+                 Kernel.prio = Cpu.prio_softintr;
+                 work_us = cost;
+                 trigger;
+                 attr;
+                 entry_us = 0.0;
+                 entry_attr = attr;
+               };
              Exec.emit (fun _ -> server_dispatch t pkt);
            ])
          batch)
@@ -484,7 +517,8 @@ let start_tcp_timer_sweeps t =
   let period = Time_ns.of_ms 200.0 in
   let rec sweep () =
     for _ = 1 to t.cfg.connections do
-      Machine.submit_quantum t.machine ~prio:Cpu.prio_softintr ~work_us:1.5
+      Machine.submit_quantum t.machine ~attr:a_tcp_sweep ~prio:Cpu.prio_softintr
+        ~work_us:1.5
         ~trigger:(Some Trigger.Tcpip_other)
         (fun _ -> ())
     done;
@@ -495,8 +529,8 @@ let start_tcp_timer_sweeps t =
 let start_background_compute t =
   (* An endless CPU hog at background priority: big syscall-free quanta. *)
   let rec churn _now =
-    Machine.submit_quantum t.machine ~prio:Cpu.prio_background ~work_us:400.0 ~trigger:None
-      churn
+    Machine.submit_quantum t.machine ~attr:a_background ~prio:Cpu.prio_background
+      ~work_us:400.0 ~trigger:None churn
   in
   churn Time_ns.zero
 
@@ -567,7 +601,7 @@ let create cfg =
     let poll _now =
       (* Reading the interfaces' status registers costs a little even
          when nothing is found. *)
-      Machine.submit_quantum machine ~prio:Cpu.prio_intr
+      Machine.submit_quantum machine ~attr:a_poll_status ~prio:Cpu.prio_intr
         ~work_us:(0.4 *. float_of_int (Array.length nics))
         ~trigger:None
         (fun _ -> ());
@@ -589,8 +623,8 @@ let create cfg =
     let rec arm () =
       ignore
         (Softtimer.schedule_soft_event st ~ticks:0L (fun now ->
-             Machine.submit_quantum machine ~prio:Cpu.prio_intr ~work_us:handler_touch_us
-               ~trigger:None (fun _ -> ());
+             Machine.submit_quantum machine ~attr:a_pace_touch ~prio:Cpu.prio_intr
+               ~work_us:handler_touch_us ~trigger:None (fun _ -> ());
              ignore (pace_send t now : bool);
              arm ())
           : Softtimer.handle)

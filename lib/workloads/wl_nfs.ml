@@ -12,6 +12,8 @@ let kernel_segment =
       (0.035, Dist.Uniform (400.0, 880.0));
     ]
 
+let a_nfsd_segment = Profile.intern [ "kernel"; "nfsd_segment" ]
+
 let start machine ~seed =
   Machine.start_interrupt_clock machine;
   Machine.set_idle_poll machine (Some (Time_ns.of_us (Machine.profile machine).Costs.idle_loop_us));
@@ -37,6 +39,9 @@ let start machine ~seed =
             Kernel.prio = Cpu.prio_kernel;
             work_us = Dist.draw kernel_segment rng;
             trigger = None;
+            attr = a_nfsd_segment;
+            entry_us = 0.0;
+            entry_attr = a_nfsd_segment;
           };
         Exec.quantum (Kernel.step_syscall ~work_us:(Dist.draw nfsd_syscall_body rng) machine);
       ]

@@ -213,7 +213,7 @@ let test_trigger_observers_and_counts () =
 let test_check_hook_runs_at_triggers () =
   let e, m = fresh () in
   let checks = ref 0 in
-  Machine.set_check_hook m (Some (fun _ -> incr checks));
+  Machine.set_check_hook m (Some (fun _kind _now -> incr checks));
   Alcotest.(check bool) "attached" true (Machine.check_hook_attached m);
   Kernel.syscall m ~work_us:3.0 (fun _ -> ());
   Engine.run e;
@@ -290,7 +290,7 @@ let test_idle_deadline_fires_exactly () =
   let fired_at = ref None in
   Machine.set_check_hook m
     (Some
-       (fun now ->
+       (fun _kind now ->
          match !armed with
          | Some d when Time_ns.(now >= d) ->
            armed := None;

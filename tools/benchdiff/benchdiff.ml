@@ -1,0 +1,303 @@
+(* benchdiff: compare two BENCH_*.json baselines written by
+   [bench/main.exe --json].
+
+   Flattens both documents to dotted-path leaves and reports, leaf by
+   leaf, relative drift above a threshold plus keys present on only one
+   side.  Wall-clock fields ([*.wall_clock_s]) vary between machines
+   and are never compared.
+
+   By default the diff is informational (exit 0 even when values
+   drifted) so CI can surface regressions without blocking merges on
+   expected simulation changes; [--strict] turns drift or missing keys
+   into exit 1.  Unreadable or malformed input always exits 2.
+
+   Usage: benchdiff.exe [--threshold PCT] [--strict] OLD.json NEW.json
+
+   The parser below is a minimal recursive-descent JSON reader — just
+   enough for the subset the bench harness emits (no scientific-string
+   corner cases beyond what [float_of_string] accepts; objects with
+   duplicate keys keep the last). *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+type state = { s : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.s
+    && match st.s.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | Some c' -> parse_error "offset %d: expected %c, found %c" st.pos c c'
+  | None -> parse_error "offset %d: expected %c, found end of input" st.pos c
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.s && String.sub st.s st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else parse_error "offset %d: expected %s" st.pos word
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> parse_error "unterminated string"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' -> (
+      st.pos <- st.pos + 1;
+      match peek st with
+      | None -> parse_error "unterminated escape"
+      | Some c ->
+        st.pos <- st.pos + 1;
+        (match c with
+        | '"' | '\\' | '/' -> Buffer.add_char b c
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+          if st.pos + 4 > String.length st.s then parse_error "truncated \\u escape";
+          let hex = String.sub st.s st.pos 4 in
+          st.pos <- st.pos + 4;
+          let code =
+            match int_of_string_opt ("0x" ^ hex) with
+            | Some c -> c
+            | None -> parse_error "bad \\u escape %S" hex
+          in
+          (* Paths only need to stay distinct; a literal escape of the
+             code point is fine for non-ASCII. *)
+          if code < 0x80 then Buffer.add_char b (Char.chr code)
+          else Buffer.add_string b (Printf.sprintf "\\u%04x" code)
+        | c -> parse_error "bad escape \\%c" c);
+        go ())
+    | Some c ->
+      st.pos <- st.pos + 1;
+      Buffer.add_char b c;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number st =
+  let start = st.pos in
+  let numchar c =
+    match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  while match peek st with Some c when numchar c -> true | _ -> false do
+    st.pos <- st.pos + 1
+  done;
+  let txt = String.sub st.s start (st.pos - start) in
+  match float_of_string_opt txt with
+  | Some v -> Num v
+  | None -> parse_error "offset %d: bad number %S" start txt
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> parse_error "unexpected end of input"
+  | Some '{' ->
+    expect st '{';
+    skip_ws st;
+    if peek st = Some '}' then begin
+      st.pos <- st.pos + 1;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        fields := (k, v) :: !fields;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          members ()
+        | _ -> expect st '}'
+      in
+      members ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    expect st '[';
+    skip_ws st;
+    if peek st = Some ']' then begin
+      st.pos <- st.pos + 1;
+      Arr []
+    end
+    else begin
+      let items = ref [] in
+      let rec elements () =
+        let v = parse_value st in
+        items := v :: !items;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          elements ()
+        | _ -> expect st ']'
+      in
+      elements ();
+      Arr (List.rev !items)
+    end
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some _ -> parse_number st
+
+let parse_document s =
+  let st = { s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then parse_error "trailing garbage at offset %d" st.pos;
+  v
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* Flattening: every scalar leaf becomes (dotted path, leaf).          *)
+
+type leaf = Lnum of float | Lstr of string
+
+let flatten root =
+  let acc = ref [] in
+  let rec go path v =
+    match v with
+    | Null -> acc := (path, Lstr "null") :: !acc
+    | Bool b -> acc := (path, Lstr (string_of_bool b)) :: !acc
+    | Num n -> acc := (path, Lnum n) :: !acc
+    | Str s -> acc := (path, Lstr s) :: !acc
+    | Arr items -> List.iteri (fun i v -> go (Printf.sprintf "%s[%d]" path i) v) items
+    | Obj fields ->
+      List.iter (fun (k, v) -> go (if path = "" then k else path ^ "." ^ k) v) fields
+  in
+  go "" root;
+  List.rev !acc
+
+(* Wall-clock leaves depend on the machine the baseline was taken on;
+   comparing them across hosts is pure noise. *)
+let machine_dependent path =
+  let needle = "wall_clock" in
+  let n = String.length needle and m = String.length path in
+  let rec at i = i + n <= m && (String.sub path i n = needle || at (i + 1)) in
+  at 0
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let threshold = ref 5.0 in
+  let strict = ref false in
+  let files = ref [] in
+  let usage () =
+    prerr_endline "usage: benchdiff.exe [--threshold PCT] [--strict] OLD.json NEW.json";
+    exit 2
+  in
+  let rec parse_args = function
+    | [] -> ()
+    | "--strict" :: rest ->
+      strict := true;
+      parse_args rest
+    | "--threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some t when t >= 0.0 -> threshold := t
+      | _ ->
+        Printf.eprintf "benchdiff: --threshold expects a percentage, got %S\n" v;
+        usage ());
+      parse_args rest
+    | [ "--threshold" ] -> usage ()
+    | a :: rest ->
+      files := a :: !files;
+      parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let old_path, new_path =
+    match List.rev !files with [ a; b ] -> (a, b) | _ -> usage ()
+  in
+  let load path =
+    match parse_document (read_file path) with
+    | v -> flatten v
+    | exception Parse_error msg ->
+      Printf.eprintf "benchdiff: %s: %s\n" path msg;
+      exit 2
+    | exception Sys_error msg ->
+      Printf.eprintf "benchdiff: %s\n" msg;
+      exit 2
+  in
+  let old_leaves = load old_path in
+  let new_leaves = load new_path in
+  let drifted = ref 0 and missing = ref 0 and compared = ref 0 in
+  let tbl = Hashtbl.create 256 in
+  List.iter (fun (path, leaf) -> Hashtbl.replace tbl path leaf) old_leaves;
+  List.iter
+    (fun (path, nv) ->
+      match Hashtbl.find_opt tbl path with
+      | None ->
+        if not (machine_dependent path) then begin
+          incr missing;
+          Printf.printf "only in %s: %s\n" new_path path
+        end
+      | Some ov ->
+        Hashtbl.remove tbl path;
+        if not (machine_dependent path) then begin
+          incr compared;
+          match (ov, nv) with
+          | Lnum a, Lnum b ->
+            let denom = Float.max (Float.abs a) (Float.abs b) in
+            let drift_pct = if denom = 0.0 then 0.0 else Float.abs (b -. a) /. denom *. 100.0 in
+            if drift_pct > !threshold then begin
+              incr drifted;
+              Printf.printf "drift %6.1f%%  %-60s %g -> %g\n" drift_pct path a b
+            end
+          | Lstr a, Lstr b ->
+            if a <> b then begin
+              incr drifted;
+              Printf.printf "changed        %-60s %S -> %S\n" path a b
+            end
+          | _ ->
+            incr drifted;
+            Printf.printf "type changed   %s\n" path
+        end)
+    new_leaves;
+  (* Leaves left in [tbl] existed only in the old baseline.  Hashtbl
+     order is unspecified; sort for a stable report. *)
+  let stale =
+    Hashtbl.fold (fun path _ acc -> if machine_dependent path then acc else path :: acc) tbl []
+    |> List.sort String.compare
+  in
+  List.iter
+    (fun path ->
+      incr missing;
+      Printf.printf "only in %s: %s\n" old_path path)
+    stale;
+  Printf.printf "benchdiff: %d leaves compared, %d drifted >%g%%, %d missing\n" !compared
+    !drifted !threshold !missing;
+  if !strict && (!drifted > 0 || !missing > 0) then exit 1

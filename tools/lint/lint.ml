@@ -48,10 +48,11 @@ open Parsetree
 
 (* DET001 allowlist: files whose whole point is measuring real elapsed
    time.  bench/timer_ablation.ml reports wall-clock ns/op of the
-   competing timer backends — there the wall clock is the measurand,
-   not an input to the simulation, so reading it cannot perturb any
-   simulated result. *)
-let det001_allow = [ "bench/timer_ablation.ml" ]
+   competing timer backends; bench/main.ml stamps per-experiment
+   wall_clock_s into the --json baseline.  In both the wall clock is
+   the measurand, not an input to the simulation, so reading it cannot
+   perturb any simulated result. *)
+let det001_allow = [ "bench/timer_ablation.ml"; "bench/main.ml" ]
 
 (* Directories whose modules produce results (tables, exported traces,
    metric dumps): Hashtbl iteration order must not reach their output. *)

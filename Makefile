@@ -1,4 +1,4 @@
-.PHONY: all build test bench profile-smoke bench-json benchdiff trace-smoke lint sanitize-smoke determinism clean
+.PHONY: all build test bench bench-parallel microbench profile-smoke bench-json benchdiff trace-smoke lint sanitize-smoke determinism clean
 
 all: build
 
@@ -10,6 +10,18 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Quick suite fanned over one domain per core.  Tables and JSON are
+# byte-identical to the sequential run (wall-clock fields aside); on a
+# single-core host this only adds contention, so it is a determinism
+# exercise there, not a speedup.
+bench-parallel: build
+	dune exec bench/main.exe -- --quick --jobs 0
+
+# Bechamel microbenchmarks of the engine/event-queue hot path (the
+# numbers the PR-4 overhaul is judged by; table in EXPERIMENTS.md).
+microbench: build
+	dune exec bench/microbench.exe -- --quota 2
 
 # Cycle-attribution profiler smoke: run table3 under the profiler and
 # export both the text report and a collapsed-stack flamegraph.
@@ -25,11 +37,13 @@ BENCH_JSON ?= BENCH_quick.json
 bench-json: build
 	dune exec bench/main.exe -- --quick --json $(BENCH_JSON) table2 table3 table8
 
-# Compare a freshly generated baseline against the committed one
-# (informational: nonzero only on malformed input; wall-clock keys are
-# never compared).
+# Compare a freshly generated baseline against the committed one.
+# Gating since PR 4: the compared cells are deterministic simulation
+# results (wall-clock keys are never compared), so any drift is a real
+# behaviour change — regenerate bench/BENCH_baseline.json deliberately
+# when one is intended.
 benchdiff: bench-json
-	dune exec tools/benchdiff/benchdiff.exe -- bench/BENCH_baseline.json $(BENCH_JSON)
+	dune exec tools/benchdiff/benchdiff.exe -- --strict --threshold 0 bench/BENCH_baseline.json $(BENCH_JSON)
 
 # Export a quick fig1 trace and check the Chrome trace_event JSON is
 # well-formed (Perfetto/chrome://tracing will accept what json.tool
@@ -51,11 +65,15 @@ sanitize-smoke: build
 	dune exec bin/softtimers_cli.exe -- table8 --quick --sanitize
 
 # Replay-diff: each experiment runs twice with the same seed; the
-# emitted tables and the trace digests must match bit-for-bit.
+# emitted tables and the trace digests must match bit-for-bit.  The
+# sensitivity run repeats at --jobs 4 to check that parallel fan-out
+# (lib/parallel) leaves tables and digests byte-identical.
 determinism: build
 	dune exec bin/softtimers_cli.exe -- verify-determinism table3 --quick
 	dune exec bin/softtimers_cli.exe -- verify-determinism table8 --quick
 	dune exec bin/softtimers_cli.exe -- verify-determinism livelock --quick
+	dune exec bin/softtimers_cli.exe -- verify-determinism sensitivity --quick
+	dune exec bin/softtimers_cli.exe -- verify-determinism sensitivity --quick --jobs 4
 
 clean:
 	dune clean

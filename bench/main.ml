@@ -236,13 +236,15 @@ let emit_json ~path ~cfg ~quick ~timings ~profile =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--quick|-q] [--metrics] [--seed N] [--json FILE] [EXPERIMENT...]";
+    "usage: main.exe [--quick|-q] [--metrics] [--seed N] [--jobs N] [--json FILE] \
+     [EXPERIMENT...]";
   exit 2
 
 let () =
   let quick = ref false in
   let metrics = ref false in
   let seed = ref None in
+  let jobs = ref None in
   let json = ref None in
   let wanted = ref [] in
   let rec parse = function
@@ -260,10 +262,17 @@ let () =
         Printf.eprintf "bench: --seed expects an integer, got %S\n" v;
         usage ());
       parse rest
+    | "--jobs" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n when n >= 0 -> jobs := Some n
+      | Some _ | None ->
+        Printf.eprintf "bench: --jobs expects a non-negative integer (0 = auto), got %S\n" v;
+        usage ());
+      parse rest
     | "--json" :: path :: rest ->
       json := Some path;
       parse rest
-    | [ ("--seed" | "--json") ] -> usage ()
+    | [ ("--seed" | "--json" | "--jobs") ] -> usage ()
     | a :: rest ->
       wanted := a :: !wanted;
       parse rest
@@ -277,35 +286,52 @@ let () =
     | [] -> experiments
     | ids -> List.filter (fun (n, _) -> List.mem n ids) experiments
   in
+  (* --jobs 0 (or the flag's absence) lets the runtime pick; the value
+     becomes the default for every Runner.map in this process,
+     including the per-cell fan-out inside exp_sensitivity. *)
+  (match !jobs with Some n -> Runner.set_default_jobs n | None -> ());
   if !metrics then begin
+    (* Exact metric counts need single-threaded runs: shared counters
+       are bumped racily (hence approximately) by parallel workers. *)
+    if Runner.default_jobs () > 1 then
+      prerr_endline "bench: --metrics forces --jobs 1 (counters must be exact)";
+    Runner.set_default_jobs 1;
     Metrics.reset Metrics.default;
     Metrics.set_sampling true
   end;
-  let profiler =
-    match !json with
-    | None -> None
-    | Some _ ->
-      let p = Profile.create () in
-      Profile.install p;
-      Some p
+  (* Every experiment is an independent deterministic simulation;
+     fan the cells across domains and print in list order.  Wall-clock
+     timings are taken inside each job (they overlap under parallelism
+     and are excluded from benchdiff comparisons either way). *)
+  let outputs =
+    Runner.map_sim
+      (fun (name, f) ->
+        let t0 = Unix.gettimeofday () in
+        let out = f cfg in
+        (name, out, Unix.gettimeofday () -. t0))
+      to_run
   in
-  let timings = ref [] in
+  let timings = List.map (fun (name, _, dt) -> (name, dt)) outputs in
   List.iter
-    (fun (name, f) ->
-      let t0 = Unix.gettimeofday () in
-      print_string (f cfg);
-      timings := (name, Unix.gettimeofday () -. t0) :: !timings;
+    (fun (_, out, _) ->
+      print_string out;
       print_newline ())
-    to_run;
+    outputs;
   if !metrics then begin
     print_string (Exp_config.header "Metrics registry (lib/obs) after the runs");
     print_string (Metrics.dump Metrics.default);
     print_newline ()
   end;
-  (match (!json, profiler) with
-  | Some path, Some p ->
-    emit_json ~path ~cfg ~quick:!quick ~timings:(List.rev !timings) ~profile:p;
-    Profile.uninstall ();
-    Printf.printf "wrote %s\n" path
-  | _ -> ());
+  (match !json with
+  | None -> ()
+  | Some path ->
+    (* The profiler is installed only around emit_json's sequential
+       compute replays (below, in this domain), never around the
+       possibly-parallel display runs: attribution stays exact and the
+       emitted JSON is byte-identical at every --jobs value. *)
+    let p = Profile.create () in
+    Profile.install p;
+    Fun.protect ~finally:Profile.uninstall (fun () ->
+        emit_json ~path ~cfg ~quick:!quick ~timings ~profile:p);
+    Printf.printf "wrote %s\n" path);
   if wanted = [] then run_microbenchmarks ()

@@ -1,0 +1,127 @@
+(* Focused Bechamel microbenchmarks of the discrete-event hot path:
+   the operations every experiment cell spends most of its cycles in
+   (Engine.schedule / fire / cancel and the backing event queue).
+
+   dune exec bench/microbench.exe [-- --quota SECONDS]
+
+   These are the numbers the PR-4 engine overhaul is judged by; the
+   before/after table lives in EXPERIMENTS.md. *)
+
+let bench_engine_schedule_fire () =
+  (* Steady-state schedule+fire through the public API: one event in
+     flight, no cancellations. *)
+  let e = Engine.create () in
+  let t = ref 0L in
+  Bechamel.Staged.stage (fun () ->
+      t := Int64.add !t 100L;
+      ignore (Engine.schedule_at e !t (fun () -> ()) : Engine.handle);
+      ignore (Engine.step e : bool))
+
+let bench_engine_churn () =
+  (* The rate-based-clocking pattern: schedule then cancel/reschedule,
+     so the queue sees a stream of dead entries. *)
+  let e = Engine.create () in
+  let t = ref 0L in
+  Bechamel.Staged.stage (fun () ->
+      t := Int64.add !t 100L;
+      let h = Engine.schedule_at e !t (fun () -> ()) in
+      Engine.cancel e h;
+      ignore (Engine.schedule_at e !t (fun () -> ()) : Engine.handle);
+      ignore (Engine.step e : bool))
+
+let bench_engine_pending64 () =
+  (* schedule+fire with a resident population of 64 pending events, so
+     sift depth is realistic rather than trivial. *)
+  let e = Engine.create () in
+  for i = 1 to 64 do
+    ignore (Engine.schedule_at e (Int64.of_int (1_000_000_000 + i)) (fun () -> ()) : Engine.handle)
+  done;
+  let t = ref 0L in
+  Bechamel.Staged.stage (fun () ->
+      t := Int64.add !t 100L;
+      ignore (Engine.schedule_at e !t (fun () -> ()) : Engine.handle);
+      ignore (Engine.step e : bool))
+
+let bench_engine_churn64 () =
+  (* Churn with a resident population: the case lazy cancellation +
+     compaction is designed for.  The old engine paid a full-depth
+     sift per dead entry popped; the new one amortizes. *)
+  let e = Engine.create () in
+  for i = 1 to 64 do
+    ignore (Engine.schedule_at e (Int64.of_int (1_000_000_000 + i)) (fun () -> ()) : Engine.handle)
+  done;
+  let t = ref 0L in
+  Bechamel.Staged.stage (fun () ->
+      t := Int64.add !t 100L;
+      let h = Engine.schedule_at e !t (fun () -> ()) in
+      Engine.cancel e h;
+      ignore (Engine.schedule_at e !t (fun () -> ()) : Engine.handle);
+      ignore (Engine.step e : bool))
+
+let bench_eventq_push_pop () =
+  (* The specialized int-keyed 4-ary heap, same shape as heap.push+pop
+     below: 64 resident entries, one push+pop per iteration. *)
+  let q = Eventq.create () in
+  for i = 1 to 64 do
+    Eventq.push q ~time:(1_000_000_000 + i) ~seq:i ~payload:i
+  done;
+  let counter = ref 0 in
+  Bechamel.Staged.stage (fun () ->
+      counter := !counter + 7_919;
+      Eventq.push q ~time:!counter ~seq:!counter ~payload:0;
+      Eventq.drop_min q)
+
+let bench_heap_push_pop () =
+  (* The generic closure-compared heap, for comparison. *)
+  let heap = Heap.create ~cmp:Int64.compare in
+  for i = 1 to 64 do
+    Heap.push heap (Int64.of_int (1_000_000_000 + i))
+  done;
+  let counter = ref 0L in
+  Bechamel.Staged.stage (fun () ->
+      counter := Int64.add !counter 7_919L;
+      Heap.push heap !counter;
+      ignore (Heap.pop heap : int64 option))
+
+let () =
+  let quota = ref 1.0 in
+  (match Array.to_list Sys.argv with
+  | _ :: "--quota" :: v :: _ -> (
+    match float_of_string_opt v with Some q when q > 0.0 -> quota := q | _ -> ())
+  | _ -> ());
+  let open Bechamel in
+  let open Toolkit in
+  let test =
+    Test.make_grouped ~name:"engine"
+      [
+        Test.make ~name:"engine.schedule+fire" (bench_engine_schedule_fire ());
+        Test.make ~name:"engine.churn(sched+cancel+sched+fire)" (bench_engine_churn ());
+        Test.make ~name:"engine.schedule+fire@64pending" (bench_engine_pending64 ());
+        Test.make ~name:"engine.churn@64pending" (bench_engine_churn64 ());
+        Test.make ~name:"eventq.push+pop@64" (bench_eventq_push_pop ());
+        Test.make ~name:"heap.push+pop@64" (bench_heap_push_pop ());
+      ]
+  in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second !quota) ~kde:(Some 1000) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    Analyze.all ols Instance.monotonic_clock results
+  in
+  let results = analyze (benchmark test) in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> rows := (name, Some est) :: !rows
+      | Some _ | None -> rows := (name, None) :: !rows)
+    results;
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | Some est -> Printf.printf "%-45s %10.1f ns/op\n" name est
+      | None -> Printf.printf "%-45s (no estimate)\n" name)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows)

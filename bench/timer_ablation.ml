@@ -47,6 +47,20 @@ let run_mix (module B : Timer_backend.S) ~n ~seed =
   dt /. float_of_int mix_iters *. 1e9
 
 let () =
+  (* Cells run sequentially by default: the measurand is real ns/op,
+     and concurrent cells would contend for the core(s) and skew it.
+     --jobs N (0 = auto) fans the (backend x N) grid out for a quick
+     shape check when exact constants don't matter. *)
+  let jobs = ref 1 in
+  (match Array.to_list Sys.argv with
+  | _ :: "--jobs" :: v :: _ -> (
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> jobs := n
+    | Some _ | None ->
+      prerr_endline "usage: timer_ablation.exe [--jobs N]";
+      exit 2)
+  | _ -> ());
+  Runner.set_default_jobs !jobs;
   let populations = [ 0; 16; 128; 1024; 8192 ] in
   Printf.printf
     "Timer-backend ablation: one trigger-state check + timer churn per op\n\
@@ -54,16 +68,28 @@ let () =
   Printf.printf "%-20s" "pending timers N:";
   List.iter (fun n -> Printf.printf "%10d" n) populations;
   print_newline ();
-  List.iter
-    (fun (module B : Timer_backend.S) ->
+  let grid =
+    List.concat_map
+      (fun (module B : Timer_backend.S) -> List.map (fun n -> ((module B : Timer_backend.S), n)) populations)
+      Timer_backend.all
+  in
+  let cells =
+    Runner.map (fun ((module B : Timer_backend.S), n) -> run_mix (module B) ~n ~seed:(7 + n)) grid
+  in
+  let rec rows backends cells =
+    match backends with
+    | [] -> ()
+    | (module B : Timer_backend.S) :: rest ->
+      let mine, others =
+        (List.filteri (fun i _ -> i < List.length populations) cells,
+         List.filteri (fun i _ -> i >= List.length populations) cells)
+      in
       Printf.printf "%-20s" B.name;
-      List.iter
-        (fun n ->
-          let ns = run_mix (module B) ~n ~seed:(7 + n) in
-          Printf.printf "%10.0f" ns)
-        populations;
-      print_newline ())
-    Timer_backend.all;
+      List.iter (fun ns -> Printf.printf "%10.0f" ns) mine;
+      print_newline ();
+      rows rest others
+  in
+  rows Timer_backend.all cells;
   print_newline ();
   print_endline
     "Shape: the sorted list degrades to tens of microseconds per operation\n\

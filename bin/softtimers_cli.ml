@@ -63,11 +63,13 @@ let run_one cfg sanitize id =
 
 let run_all cfg sanitize =
   with_sanitizer sanitize (fun () ->
-      List.iter
-        (fun (_, _, f) ->
-          print_string (f cfg);
-          print_newline ())
-        experiments;
+      (* Independent deterministic sims: fan out, print in list order.
+         (With --sanitize the tap forces sequential execution inside
+         map_sim; output is identical either way.) *)
+      Runner.map_sim (fun (_, _, f) -> f cfg) experiments
+      |> List.iter (fun out ->
+             print_string out;
+             print_newline ());
       `Ok ())
 
 (* Replay-diff harness: run one experiment twice from the same seed and
@@ -75,12 +77,13 @@ let run_all cfg sanitize =
    order-sensitive hash of every event).  Any divergence means some
    hidden state — wall clock, global Random, hash order — leaked into
    the run, which is exactly what the determinism contract forbids. *)
-let run_verify cfg buf id =
+let run_verify cfg buf jobs id =
   match List.find_opt (fun (name, _, _) -> name = id) experiments with
   | None -> unknown_experiment id
   | Some _ when buf <= 0 -> `Error (false, "--buf must be positive")
   | Some (_, _, f) ->
-    let once () =
+    let once ~jobs =
+      Runner.set_default_jobs jobs;
       let tr = Trace.create ~capacity:buf () in
       Metrics.reset Metrics.default;
       Trace.install tr;
@@ -88,12 +91,17 @@ let run_verify cfg buf id =
       Trace.uninstall ();
       (out, Trace_digest.digest tr, Trace.total tr)
     in
-    let o1, d1, n1 = once () in
-    let o2, d2, n2 = once () in
+    (* Run 1 is always sequential; run 2 uses the requested job count,
+       so `--jobs 4` directly proves a parallel run is bit-identical
+       to the sequential reference, not merely self-consistent. *)
+    let o1, d1, n1 = once ~jobs:1 in
+    let o2, d2, n2 = once ~jobs in
     Printf.printf "verify-determinism %s (seed %d%s)\n" id cfg.Exp_config.seed
       (if cfg.Exp_config.quick then ", quick" else "");
-    Printf.printf "  run 1: trace digest %s (%d events)\n" (Trace_digest.hex d1) n1;
-    Printf.printf "  run 2: trace digest %s (%d events)\n" (Trace_digest.hex d2) n2;
+    Printf.printf "  run 1 (jobs 1): trace digest %s (%d events)\n" (Trace_digest.hex d1) n1;
+    Printf.printf "  run 2 (jobs %s): trace digest %s (%d events)\n"
+      (if jobs = 0 then "auto" else string_of_int jobs)
+      (Trace_digest.hex d2) n2;
     let tables_eq = String.equal o1 o2 in
     let traces_eq = Int64.equal d1 d2 && n1 = n2 in
     Printf.printf "  tables: %s\n" (if tables_eq then "identical" else "DIFFER");
@@ -212,6 +220,14 @@ let seed =
   let doc = "Simulation seed (runs are deterministic per seed)." in
   Arg.(value & opt int 7 & info [ "seed"; "s" ] ~doc ~docv:"SEED")
 
+let jobs =
+  let doc =
+    "Number of worker domains for parallelizable work (independent experiment cells). \
+     1 = sequential, 0 = one per core.  Results, tables and trace digests are identical \
+     at every value; only wall-clock time changes."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~doc ~docv:"N")
+
 let sanitize =
   let doc =
     "Arm the runtime invariant sanitizer: every trace event is checked for causality, \
@@ -262,10 +278,11 @@ let trace_cmd =
   let term =
     Term.(
       ret
-        (const (fun quick seed id out csv buf metrics sanitize ->
+        (const (fun quick seed jobs id out csv buf metrics sanitize ->
+             Runner.set_default_jobs jobs;
              with_sanitizer sanitize (fun () ->
                  run_trace (cfg_of quick seed) id out csv buf metrics))
-        $ quick $ seed $ exp_id $ out $ csv $ buf $ metrics $ sanitize))
+        $ quick $ seed $ jobs $ exp_id $ out $ csv $ buf $ metrics $ sanitize))
   in
   Cmd.v (Cmd.info "trace" ~doc ~man) term
 
@@ -304,10 +321,11 @@ let profile_cmd =
   let term =
     Term.(
       ret
-        (const (fun quick seed id out flame metrics sanitize ->
+        (const (fun quick seed jobs id out flame metrics sanitize ->
+             Runner.set_default_jobs jobs;
              with_sanitizer sanitize (fun () ->
                  run_profile (cfg_of quick seed) id out flame metrics))
-        $ quick $ seed $ exp_id $ out $ flame $ metrics $ sanitize))
+        $ quick $ seed $ jobs $ exp_id $ out $ flame $ metrics $ sanitize))
   in
   Cmd.v (Cmd.info "profile" ~doc ~man) term
 
@@ -320,7 +338,9 @@ let verify_cmd =
         "Runs the given experiment twice with identical configuration, capturing the full \
          event trace of each run, then compares the emitted table byte-for-byte and the \
          trace digests (an order-sensitive FNV-1a over every event).  Exits nonzero on any \
-         divergence: two same-seed runs of a correct simulation are bit-for-bit identical.";
+         divergence: two same-seed runs of a correct simulation are bit-for-bit identical.  \
+         Run 1 is always sequential; with --jobs N the second run fans parallelizable work \
+         across N domains, so a pass also proves parallel execution changes nothing.";
     ]
   in
   let exp_id =
@@ -334,8 +354,8 @@ let verify_cmd =
   let term =
     Term.(
       ret
-        (const (fun quick seed buf id -> run_verify (cfg_of quick seed) buf id)
-        $ quick $ seed $ buf $ exp_id))
+        (const (fun quick seed jobs buf id -> run_verify (cfg_of quick seed) buf jobs id)
+        $ quick $ seed $ jobs $ buf $ exp_id))
   in
   Cmd.v (Cmd.info "verify-determinism" ~doc ~man) term
 
@@ -356,10 +376,11 @@ let man =
 let default =
   Term.(
     ret
-      (const (fun quick seed sanitize id ->
+      (const (fun quick seed jobs sanitize id ->
+           Runner.set_default_jobs jobs;
            let cfg = cfg_of quick seed in
            if id = "all" then run_all cfg sanitize else run_one cfg sanitize id)
-      $ quick $ seed $ sanitize $ id))
+      $ quick $ seed $ jobs $ sanitize $ id))
 
 let group_cmd =
   Cmd.group ~default
@@ -378,7 +399,7 @@ let () =
   (* Find the first true positional.  Separated-value flags consume the
      following argv slot, so `--seed 9 table3` must skip the "9" — and a
      seed value must never be mistaken for a subcommand name. *)
-  let value_flags = [ "--seed"; "-s"; "--out"; "-o"; "--buf" ] in
+  let value_flags = [ "--seed"; "-s"; "--out"; "-o"; "--buf"; "--jobs"; "-j" ] in
   let first_positional =
     let rec go i =
       if i >= Array.length argv then None

@@ -57,10 +57,14 @@ let scales (cfg : Exp_config.t) =
 let sensitivities (cfg : Exp_config.t) =
   if cfg.Exp_config.quick then [ 0.0; 2.0 ] else [ 0.0; 0.5; 1.0; 2.0; 3.0 ]
 
+(* Each cell is an independent simulation from an explicit seed, so
+   the sweep fans out across domains; [Runner.map_sim] returns results
+   in input order (and merges any captured traces in the same order),
+   keeping the table and trace digest identical to a sequential run. *)
 let compute cfg =
   {
-    pacing = List.map (fun s -> pacing_at cfg ~scale:s) (scales cfg);
-    polling = List.map (fun s -> polling_at cfg ~sensitivity:s) (sensitivities cfg);
+    pacing = Runner.map_sim (fun s -> pacing_at cfg ~scale:s) (scales cfg);
+    polling = Runner.map_sim (fun s -> polling_at cfg ~sensitivity:s) (sensitivities cfg);
   }
 
 let render _cfg r =

@@ -118,7 +118,7 @@ and complete t task =
   if t.current = None then dispatch t
 
 let preempt t r =
-  Engine.cancel r.handle;
+  Engine.cancel t.engine r.handle;
   let now = Engine.now t.engine in
   let elapsed = Time_ns.(now - r.started) in
   charge t r.task elapsed;

@@ -112,11 +112,15 @@ type t = {
 
 let create () = { cells = [||]; events = [||]; disp = []; ndisp = 0 }
 
-let sink : t option ref = ref None
-let install p = sink := Some p
-let uninstall () = sink := None
-let installed () = !sink
-let enabled () = Option.is_some !sink
+(* The installed profiler is domain-local: each domain of the parallel
+   experiment runner (lib/parallel) profiles — or, usually, doesn't —
+   independently, and worker simulations can never race on a profiler
+   installed by the main domain. *)
+let sink : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+let install p = Domain.DLS.get sink := Some p
+let uninstall () = Domain.DLS.get sink := None
+let installed () = !(Domain.DLS.get sink)
+let enabled () = Option.is_some !(Domain.DLS.get sink)
 
 let cpu_row p cpu =
   if cpu >= Array.length p.cells then begin
@@ -162,7 +166,7 @@ let rec charge_inner p ~cpu attr span =
         charge_inner p ~cpu attr Time_ns.(span - used))
 
 let charge attr ~cpu span =
-  match !sink with None -> () | Some p -> charge_inner p ~cpu attr span
+  match !(Domain.DLS.get sink) with None -> () | Some p -> charge_inner p ~cpu attr span
 
 let record_event p id =
   if id >= Array.length p.events then begin
@@ -173,12 +177,12 @@ let record_event p id =
   p.events.(id) <- p.events.(id) + 1
 
 let event attr =
-  match !sink with
+  match !(Domain.DLS.get sink) with
   | None -> ()
   | Some p -> ( match attr with Leaf id -> record_event p id | Seq _ -> ())
 
 let dispatch ~source ~delay =
-  match !sink with
+  match !(Domain.DLS.get sink) with
   | None -> ()
   | Some p ->
     let row =

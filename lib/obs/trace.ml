@@ -32,19 +32,24 @@ let create ?(capacity = 65536) () =
   { buf = Array.make capacity dummy; head = 0; len = 0; dropped = 0 }
 
 (* The installed sink.  Emitters read this once; [None] is the disabled
-   fast path. *)
-let sink : t option ref = ref None
+   fast path.  Both the sink and the tap are domain-local: a freshly
+   spawned domain starts with neither, so parallel experiment workers
+   (lib/parallel) never write into a ring installed by the main domain
+   — each worker captures into its own ring, which the runner then
+   {!absorb}s into the parent's in deterministic job order. *)
+let sink : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
 
 (* A synchronous tap (the runtime sanitizer, lib/check): sees every
    emitted event whether or not a ring buffer is installed. *)
-let tap : (at:Time_ns.t -> event -> unit) option ref = ref None
+let tap : (at:Time_ns.t -> event -> unit) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let install t = sink := Some t
-let uninstall () = sink := None
-let installed () = !sink
-let enabled () = !sink <> None
-let set_tap f = tap := f
-let tap_installed () = Option.is_some !tap
+let install t = Domain.DLS.get sink := Some t
+let uninstall () = Domain.DLS.get sink := None
+let installed () = !(Domain.DLS.get sink)
+let enabled () = !(Domain.DLS.get sink) <> None
+let set_tap f = Domain.DLS.get tap := f
+let tap_installed () = Option.is_some !(Domain.DLS.get tap)
 
 let capacity t = Array.length t.buf
 let length t = t.len
@@ -89,11 +94,12 @@ let to_list t =
 (* Emitters.  Each one checks for consumers before constructing the
    record, so a disabled trace costs two loads and a branch. *)
 
-let[@inline] armed () = Option.is_some !sink || Option.is_some !tap
+let[@inline] armed () =
+  Option.is_some !(Domain.DLS.get sink) || Option.is_some !(Domain.DLS.get tap)
 
 let emit ~at ev =
-  (match !tap with None -> () | Some f -> f ~at ev);
-  match !sink with None -> () | Some t -> push t { at; ev }
+  (match !(Domain.DLS.get tap) with None -> () | Some f -> f ~at ev);
+  match !(Domain.DLS.get sink) with None -> () | Some t -> push t { at; ev }
 
 let trigger ~at kind = if armed () then emit ~at (Trigger kind)
 let soft_sched ~at ~due = if armed () then emit ~at (Soft_sched { due })
@@ -117,3 +123,16 @@ let mark ~at s = if armed () then emit ~at (Mark s)
 
 let sim_start_mark = "sim.start"
 let sim_start ~at = mark ~at sim_start_mark
+
+(* Replay a worker ring into this domain's consumers, oldest first,
+   through [emit] so the tap and the installed ring both see the
+   records; then account the worker's own overflow so [dropped]/
+   [total] — and the digest that folds them — match what one shared
+   sequential ring would have reported. *)
+let absorb src =
+  iter src (fun r -> emit ~at:r.at r.ev);
+  let d = dropped src in
+  if d > 0 then
+    match !(Domain.DLS.get sink) with
+    | None -> ()
+    | Some dst -> dst.dropped <- dst.dropped + d

@@ -7,9 +7,13 @@
     branch — no allocation, no work — so instrumentation can stay in
     hot paths permanently.
 
-    Exactly one trace can be installed at a time (the simulator is
-    single-threaded); once the buffer is full the oldest records are
-    overwritten and counted in {!dropped}.
+    Exactly one trace can be installed {e per domain}: the installed
+    sink (and tap) live in domain-local storage, so a freshly spawned
+    domain starts untraced and parallel experiment workers
+    (lib/parallel) never write into a ring installed by the parent —
+    each captures into a private ring that the runner {!absorb}s in
+    deterministic job order.  Once a buffer is full the oldest records
+    are overwritten and counted in {!dropped}.
 
     Consumers read records back with {!iter}/{!to_list} (oldest first)
     or export them with {!Trace_export}. *)
@@ -117,3 +121,11 @@ val sim_start_mark : string
 
 val sim_start : at:Time_ns.t -> unit
 (** [mark ~at sim_start_mark]. *)
+
+val absorb : t -> unit
+(** [absorb src] replays every record of [src], oldest first, into the
+    calling domain's installed consumers (tap and ring) via {!emit},
+    then adds [dropped src] to the installed ring's drop count.  Used
+    by the parallel runner to merge per-worker rings in job order; the
+    merged ring's contents, {!dropped} and {!total} are identical to
+    what a single sequential run would have produced. *)

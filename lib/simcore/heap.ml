@@ -73,6 +73,7 @@ let iter_unordered t f =
   done
 
 let to_sorted_list t =
-  let copy = { cmp = t.cmp; data = Array.sub t.data 0 (Array.length t.data); size = t.size } in
+  (* Copy only the live prefix, not the heap's full capacity. *)
+  let copy = { cmp = t.cmp; data = Array.sub t.data 0 t.size; size = t.size } in
   let rec drain acc = match pop copy with None -> List.rev acc | Some x -> drain (x :: acc) in
   drain []

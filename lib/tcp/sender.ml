@@ -45,7 +45,7 @@ let retransmit_first_unacked t =
   t.transmit now (Tcp_types.make_data t.params ~seq:t.acked ~born:now)
 
 let cancel_rto t =
-  (match t.rto_handle with Some h -> Engine.cancel h | None -> ());
+  (match t.rto_handle with Some h -> Engine.cancel t.engine h | None -> ());
   t.rto_handle <- None
 
 let rec arm_rto t =

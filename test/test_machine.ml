@@ -428,7 +428,7 @@ let test_engine_event_order_property =
               (Time_ns.of_us (float_of_int at_us))
               (fun () -> fired := (at_us, i) :: !fired)
           in
-          if cancel then Engine.cancel h)
+          if cancel then Engine.cancel e h)
         specs;
       Engine.run e;
       let fired = List.rev !fired in

@@ -1,0 +1,129 @@
+(* Tests for the domain-pool runner (lib/parallel): result ordering,
+   jobs-count independence, exception propagation, nesting, and the
+   trace-merging determinism of [map_sim]. *)
+
+let test_map_preserves_order () =
+  let xs = List.init 100 Fun.id in
+  let ys = Runner.map ~jobs:4 (fun x -> x * x) xs in
+  Alcotest.(check (list int)) "squares in input order" (List.map (fun x -> x * x) xs) ys
+
+let test_map_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Runner.map ~jobs:4 Fun.id []);
+  Alcotest.(check (list int)) "singleton" [ 7 ] (Runner.map ~jobs:4 Fun.id [ 7 ])
+
+let test_map_jobs_independent () =
+  (* Each job is a self-contained mini-simulation; every jobs value
+     must give the same answer. *)
+  let job seed =
+    let e = Engine.create () in
+    let rng = Prng.create ~seed in
+    let acc = ref 0 in
+    for i = 1 to 50 do
+      ignore
+        (Engine.schedule_at e (Int64.of_int (Prng.int rng 1_000)) (fun () -> acc := !acc + i)
+          : Engine.handle)
+    done;
+    Engine.run e;
+    (!acc, Engine.now e)
+  in
+  let xs = List.init 20 Fun.id in
+  let seq = Runner.map ~jobs:1 job xs in
+  Alcotest.(check bool) "jobs=2 equals jobs=1" true (Runner.map ~jobs:2 job xs = seq);
+  Alcotest.(check bool) "jobs=4 equals jobs=1" true (Runner.map ~jobs:4 job xs = seq);
+  Alcotest.(check bool) "jobs=16 equals jobs=1" true (Runner.map ~jobs:16 job xs = seq)
+
+exception Boom of int
+
+let test_map_raises_lowest_index () =
+  (* Jobs 3 and 7 fail; the lowest-indexed failure must surface. *)
+  let f x = if x = 3 || x = 7 then raise (Boom x) else x in
+  Alcotest.check_raises "lowest-index exception" (Boom 3) (fun () ->
+      ignore (Runner.map ~jobs:4 f (List.init 10 Fun.id) : int list))
+
+let test_map_nested () =
+  (* A job that itself maps runs its inner map sequentially — and
+     correctly. *)
+  let ys =
+    Runner.map ~jobs:4
+      (fun x -> List.fold_left ( + ) 0 (Runner.map ~jobs:4 (fun y -> (x * 10) + y) [ 1; 2; 3 ]))
+      [ 1; 2 ]
+  in
+  Alcotest.(check (list int)) "nested map results" [ 36; 66 ] ys
+
+let test_default_jobs () =
+  Runner.set_default_jobs 3;
+  Alcotest.(check int) "explicit default" 3 (Runner.default_jobs ());
+  Runner.set_default_jobs 0;
+  Alcotest.(check bool) "auto resolves to >= 1" true (Runner.default_jobs () >= 1);
+  Runner.set_default_jobs 1;
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Runner.set_default_jobs: negative job count") (fun () ->
+      Runner.set_default_jobs (-1))
+
+(* One traced mini-simulation: emits a deterministic event pattern. *)
+let traced_job seed =
+  let rng = Prng.create ~seed in
+  Trace.sim_start ~at:0L;
+  for i = 1 to 40 do
+    let at = Int64.of_int ((seed * 10_000) + (i * 17)) in
+    Trace.poll ~at ~found:(Prng.int rng 8);
+    Trace.mark ~at (Printf.sprintf "job%d.%d" seed i)
+  done;
+  seed
+
+let capture_events jobs =
+  let ring = Trace.create ~capacity:4096 () in
+  Trace.install ring;
+  Fun.protect ~finally:Trace.uninstall (fun () ->
+      let r = Runner.map_sim ~jobs traced_job (List.init 6 Fun.id) in
+      (r, Trace.to_list ring, Trace.dropped ring))
+
+let test_map_sim_trace_merge () =
+  (* The parent's ring after a parallel map_sim must hold exactly the
+     sequential event stream, in order, with equal drop accounting. *)
+  let r1, ev1, d1 = capture_events 1 in
+  let r4, ev4, d4 = capture_events 4 in
+  Alcotest.(check (list int)) "results equal" r1 r4;
+  Alcotest.(check int) "dropped equal" d1 d4;
+  Alcotest.(check bool) "event streams identical" true (ev1 = ev4);
+  Alcotest.(check bool) "stream non-empty" true (ev1 <> [])
+
+let test_map_sim_no_parent_ring () =
+  (* Without an installed ring, map_sim is just map. *)
+  Trace.uninstall ();
+  let r = Runner.map_sim ~jobs:4 (fun x -> x + 1) [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "plain results" [ 2; 3; 4 ] r
+
+let test_map_sim_tap_forces_sequential () =
+  (* With a tap installed (the sanitizer case) jobs run in the calling
+     domain, so the tap sees every event synchronously. *)
+  let seen = ref 0 in
+  Trace.set_tap (Some (fun ~at:_ _ -> incr seen));
+  Fun.protect
+    ~finally:(fun () -> Trace.set_tap None)
+    (fun () ->
+      let r = Runner.map_sim ~jobs:4 traced_job [ 0; 1; 2 ] in
+      Alcotest.(check (list int)) "results" [ 0; 1; 2 ] r;
+      (* 3 jobs x (1 sim_start + 40 polls + 40 marks) *)
+      Alcotest.(check int) "tap saw every event" (3 * 81) !seen)
+
+let () =
+  Runner.set_default_jobs 1;
+  Alcotest.run "parallel"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "preserves order" `Quick test_map_preserves_order;
+          Alcotest.test_case "empty and singleton" `Quick test_map_empty_and_singleton;
+          Alcotest.test_case "results independent of jobs" `Quick test_map_jobs_independent;
+          Alcotest.test_case "raises lowest-index exception" `Quick test_map_raises_lowest_index;
+          Alcotest.test_case "nested maps" `Quick test_map_nested;
+          Alcotest.test_case "default jobs knob" `Quick test_default_jobs;
+        ] );
+      ( "map_sim",
+        [
+          Alcotest.test_case "trace merge matches sequential" `Quick test_map_sim_trace_merge;
+          Alcotest.test_case "no parent ring" `Quick test_map_sim_no_parent_ring;
+          Alcotest.test_case "tap forces sequential" `Quick test_map_sim_tap_forces_sequential;
+        ] );
+    ]

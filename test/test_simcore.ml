@@ -214,13 +214,13 @@ let test_engine_cancel () =
   let e = Engine.create () in
   let fired = ref false in
   let h = Engine.schedule_at e (Time_ns.of_us 1.0) (fun () -> fired := true) in
-  Alcotest.(check bool) "scheduled" true (Engine.is_scheduled h);
+  Alcotest.(check bool) "scheduled" true (Engine.is_scheduled e h);
   Alcotest.(check int) "pending 1" 1 (Engine.pending e);
-  Engine.cancel h;
+  Engine.cancel e h;
   Alcotest.(check int) "pending 0" 0 (Engine.pending e);
   Engine.run e;
   Alcotest.(check bool) "not fired" false !fired;
-  Engine.cancel h (* double cancel is a no-op *)
+  Engine.cancel e h (* double cancel is a no-op *)
 
 let test_engine_run_until () =
   let e = Engine.create () in
@@ -541,7 +541,7 @@ let test_engine_cancel_head_then_run_until () =
   let log = ref [] in
   let h = Engine.schedule_at e (Time_ns.of_us 10.0) (fun () -> log := "head" :: !log) in
   ignore (Engine.schedule_at e (Time_ns.of_us 20.0) (fun () -> log := "tail" :: !log) : Engine.handle);
-  Engine.cancel h;
+  Engine.cancel e h;
   Engine.run_until e (Time_ns.of_us 100.0);
   Alcotest.(check (list string)) "cancelled head skipped" [ "tail" ] (List.rev !log)
 
@@ -602,6 +602,177 @@ let test_prng_float_range_invalid () =
   Alcotest.check_raises "hi < lo" (Invalid_argument "Prng.float_range: hi < lo") (fun () ->
       ignore (Prng.float_range rng 2.0 1.0))
 
+(* ------------------------------------------------------------------ *)
+(* Eventq (the specialized 4-ary int-keyed heap behind Engine) *)
+
+let test_eventq_pops_sorted =
+  QCheck.Test.make ~name:"eventq pops in (time, seq) order" ~count:300
+    QCheck.(list_of_size Gen.(int_range 0 200) (int_range 0 50))
+    (fun times ->
+      let q = Eventq.create ~capacity:4 () in
+      List.iteri (fun seq time -> Eventq.push q ~time ~seq ~payload:(seq * 2)) times;
+      let expected =
+        List.sort compare (List.mapi (fun seq time -> (time, seq, seq * 2)) times)
+      in
+      Eventq.to_sorted q = expected)
+
+let test_eventq_rebuild_keeps_subset =
+  QCheck.Test.make ~name:"eventq rebuild keeps exactly the survivors" ~count:300
+    QCheck.(list_of_size Gen.(int_range 0 150) (pair (int_range 0 40) bool))
+    (fun entries ->
+      let q = Eventq.create ~capacity:4 () in
+      List.iteri (fun seq (time, _) -> Eventq.push q ~time ~seq ~payload:seq) entries;
+      (* Drop a few minima first so the survivors are a non-trivial
+         sub-heap, then rebuild keeping the [true]-flagged seqs. *)
+      let drops = List.length entries / 4 in
+      let dropped = ref [] in
+      for _ = 1 to drops do
+        dropped := Eventq.min_seq q :: !dropped;
+        Eventq.drop_min q
+      done;
+      let keep_flag = Array.of_list (List.map snd entries) in
+      Eventq.rebuild q ~keep:(fun ~seq ~payload:_ -> keep_flag.(seq));
+      let expected =
+        List.mapi (fun seq (time, keep) -> (time, seq, keep)) entries
+        |> List.filter (fun (_, seq, keep) -> keep && not (List.mem seq !dropped))
+        |> List.map (fun (time, seq, _) -> (time, seq, seq))
+        |> List.sort compare
+      in
+      Eventq.to_sorted q = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Engine vs reference model *)
+
+(* Obviously-correct reference: a sorted association list of
+   (time, tag) fired in lexicographic (time, tag) order — tags are
+   issued in scheduling order, so the tie-break doubles as FIFO. *)
+module Engine_model = struct
+  type t = {
+    mutable events : (int * int) list;  (* (time, tag), sorted *)
+    mutable clock : int;
+    mutable next_tag : int;
+  }
+
+  let create () = { events = []; clock = 0; next_tag = 0 }
+
+  let schedule_at m time =
+    let time = if time < m.clock then m.clock else time in
+    let tag = m.next_tag in
+    m.next_tag <- tag + 1;
+    m.events <- List.sort compare ((time, tag) :: m.events);
+    tag
+
+  let cancel m tag = m.events <- List.filter (fun (_, g) -> g <> tag) m.events
+  let is_scheduled m tag = List.exists (fun (_, g) -> g = tag) m.events
+
+  let step m log =
+    match m.events with
+    | [] -> false
+    | (time, tag) :: rest ->
+      m.events <- rest;
+      if time > m.clock then m.clock <- time;
+      log := tag :: !log;
+      true
+
+  let run_until m limit log =
+    let rec loop () =
+      match m.events with
+      | (time, tag) :: rest when time <= limit ->
+        m.events <- rest;
+        if time > m.clock then m.clock <- time;
+        log := tag :: !log;
+        loop ()
+      | _ -> ()
+    in
+    loop ();
+    if limit > m.clock then m.clock <- limit
+end
+
+let test_engine_matches_model =
+  (* Random op traces (schedule at arbitrary absolute times including
+     the past, cancel of arbitrary earlier handles incl. stale ones,
+     step, run_until) drive the real engine and the model in lockstep;
+     fire order, clock and is_scheduled must agree throughout. *)
+  QCheck.Test.make ~name:"engine matches reference model" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 120) (pair (int_range 0 9) (int_range 0 400)))
+    (fun ops ->
+      let e = Engine.create () in
+      let m = Engine_model.create () in
+      let real_log = ref [] and model_log = ref [] in
+      (* tag -> real handle, in issue order (newest first). *)
+      let handles = ref [] in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      List.iter
+        (fun (kind, v) ->
+          if !ok then begin
+            (match kind with
+            | 0 | 1 | 2 | 3 | 4 ->
+              let tag = Engine_model.schedule_at m v in
+              let h =
+                Engine.schedule_at e (Int64.of_int v) (fun () -> real_log := tag :: !real_log)
+              in
+              handles := (tag, h) :: !handles
+            | 5 | 6 ->
+              (match !handles with
+              | [] -> ()
+              | l ->
+                let tag, h = List.nth l (v mod List.length l) in
+                Engine_model.cancel m tag;
+                Engine.cancel e h)
+            | 7 | 8 -> check (Engine.step e = Engine_model.step m model_log)
+            | _ ->
+              Engine.run_until e (Int64.of_int v);
+              Engine_model.run_until m v model_log);
+            check (Engine.now e = Int64.of_int m.Engine_model.clock);
+            check (Engine.pending e = List.length m.Engine_model.events);
+            List.iter
+              (fun (tag, h) ->
+                check (Engine.is_scheduled e h = Engine_model.is_scheduled m tag))
+              !handles
+          end)
+        ops;
+      (* Drain both and compare complete fire orders. *)
+      while Engine.step e do () done;
+      while Engine_model.step m model_log do () done;
+      !ok && !real_log = !model_log)
+
+let test_engine_stale_handle_after_reuse () =
+  (* A fired/cancelled handle must stay dead even after its pool slot
+     is reused by a later event. *)
+  let e = Engine.create () in
+  let h1 = Engine.schedule_at e 10L (fun () -> ()) in
+  Engine.cancel e h1;
+  let h2 = Engine.schedule_at e 20L (fun () -> ()) in
+  Alcotest.(check bool) "stale handle not scheduled" false (Engine.is_scheduled e h1);
+  Alcotest.(check bool) "fresh handle scheduled" true (Engine.is_scheduled e h2);
+  Engine.cancel e h1 (* must be a no-op... *);
+  Alcotest.(check bool) "no-op on reused slot" true (Engine.is_scheduled e h2);
+  Alcotest.(check int) "pending" 1 (Engine.pending e)
+
+let test_engine_churn_residency () =
+  (* Lazy cancellation must not accumulate: with 64 live timers being
+     cancelled and rescheduled continuously (the rate-based-clocking
+     pattern), threshold compaction keeps heap residency O(live). *)
+  let e = Engine.create () in
+  let handles =
+    Array.init 64 (fun i -> Engine.schedule_at e (Int64.of_int (1_000 + i)) (fun () -> ()))
+  in
+  let max_len = ref 0 in
+  for round = 1 to 2_000 do
+    for i = 0 to 63 do
+      Engine.cancel e handles.(i);
+      handles.(i) <-
+        Engine.schedule_at e (Int64.of_int (1_000 + (round * 64) + i)) (fun () -> ());
+      if Engine.queue_length e > !max_len then max_len := Engine.queue_length e
+    done
+  done;
+  Alcotest.(check int) "live population steady" 64 (Engine.pending e);
+  (* Compaction triggers once dead > max 64 (live/1)... bound: live +
+     threshold + slack.  128k cancels without compaction would leave
+     ~128k entries. *)
+  Alcotest.(check bool) "heap residency stays O(live)" true (!max_len <= 256)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "simcore"
@@ -636,6 +807,11 @@ let () =
           Alcotest.test_case "sorted view non-destructive" `Quick test_heap_to_sorted_nondestructive;
           qc test_heap_matches_sort;
         ] );
+      ( "eventq",
+        [
+          qc test_eventq_pops_sorted;
+          qc test_eventq_rebuild_keeps_subset;
+        ] );
       ( "engine",
         [
           Alcotest.test_case "ordering" `Quick test_engine_ordering;
@@ -647,7 +823,11 @@ let () =
           Alcotest.test_case "fifo ties incl. handler inserts" `Quick
             test_engine_fifo_ties_with_handler_inserts;
           Alcotest.test_case "past clamp inside handler" `Quick test_engine_past_clamp_in_handler;
+          Alcotest.test_case "stale handles after slot reuse" `Quick
+            test_engine_stale_handle_after_reuse;
+          Alcotest.test_case "churn keeps residency bounded" `Quick test_engine_churn_residency;
           qc test_engine_replay_deterministic;
+          qc test_engine_matches_model;
         ] );
       ( "stats",
         [

@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-parallel microbench profile-smoke bench-json benchdiff trace-smoke lint sanitize-smoke determinism clean
+.PHONY: all build test bench bench-parallel microbench profile-smoke bench-json benchdiff trace-smoke stats-smoke lint sanitize-smoke determinism clean
 
 all: build
 
@@ -47,11 +47,26 @@ benchdiff: bench-json
 
 # Export a quick fig1 trace and check the Chrome trace_event JSON is
 # well-formed (Perfetto/chrome://tracing will accept what json.tool
-# parses).
+# parses).  --window adds the time-series counter tracks and async
+# span events to the stream, so the parse covers the extended export.
 trace-smoke: build
-	dune exec bin/softtimers_cli.exe -- trace fig1 --quick --out /tmp/softtimers-fig1.json
+	dune exec bin/softtimers_cli.exe -- trace fig1 --quick --window 1000 --out /tmp/softtimers-fig1.json
 	python3 -m json.tool /tmp/softtimers-fig1.json > /dev/null
 	@echo "trace-smoke: /tmp/softtimers-fig1.json is valid trace_event JSON"
+
+# Windowed time-series smoke: run the stats subcommand on table3 and
+# validate the JSON report's shape (schema marker, non-empty window
+# list, span summaries, metrics registry).  CI uploads the report as
+# an artifact.
+stats-smoke: build
+	dune exec bin/softtimers_cli.exe -- stats table3 --quick --window 1000 --json --out /tmp/softtimers-table3-stats.json
+	python3 -c "import json; d = json.load(open('/tmp/softtimers-table3-stats.json')); \
+	assert d['schema'] == 'softtimers-stats/1', d['schema']; \
+	assert isinstance(d['windows'], list) and d['windows'], 'windows missing/empty'; \
+	assert {'timers', 'packets'} <= set(d['spans']), 'span summaries missing'; \
+	assert isinstance(d['metrics'], dict) and d['metrics'], 'metrics missing/empty'; \
+	assert d['window_us'] == 1000, d['window_us']; \
+	print('stats-smoke: %d windows, %d metrics' % (len(d['windows']), len(d['metrics'])))"
 
 # Static determinism lint (tools/lint): DET001..DET004 + MLI001 over
 # lib/ bin/ examples/ bench/, with file:line:RULE diagnostics.

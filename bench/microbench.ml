@@ -83,6 +83,40 @@ let bench_heap_push_pop () =
       Heap.push heap !counter;
       ignore (Heap.pop heap : int64 option))
 
+let bench_hdr_record () =
+  (* The PR-5 always-on histogram path: every soft-timer fire and
+     rate-clock interval records into an Hdr unconditionally, so this
+     must stay within a few tens of ns (acceptance: <= 25 ns/op). *)
+  let h = Hdr.create () in
+  let values =
+    (* Spread across linear and log bucket regions, like real delays. *)
+    [| 0.4; 1.7; 3.9; 12.5; 55.0; 240.0; 990.0; 4_321.0 |]
+  in
+  let i = ref 0 in
+  Bechamel.Staged.stage (fun () ->
+      i := (!i + 1) land 7;
+      Hdr.record h values.(!i))
+
+let bench_timeseries_event () =
+  (* Steady-state tap cost: one trace event lands in the current
+     window (1 ms) with time advancing 1 us per event, so a window
+     flush amortizes over ~1000 events. *)
+  let ts = Timeseries.create ~window:(Time_ns.of_us 1000.0) () in
+  let t = ref 0L in
+  Bechamel.Staged.stage (fun () ->
+      t := Int64.add !t 1_000L;
+      Timeseries.on_event ts ~at:!t (Trace.Poll { found = 1 }))
+
+let bench_timeseries_window_flush () =
+  (* Worst case: every event advances past the window edge, so each
+     iteration closes the previous window into the bounded ring and
+     opens a fresh one (the windowed counter flush). *)
+  let ts = Timeseries.create ~window:(Time_ns.of_us 1.0) ~max_windows:64 () in
+  let t = ref 0L in
+  Bechamel.Staged.stage (fun () ->
+      t := Int64.add !t 1_000L;
+      Timeseries.on_event ts ~at:!t (Trace.Poll { found = 1 }))
+
 let () =
   let quota = ref 1.0 in
   (match Array.to_list Sys.argv with
@@ -100,6 +134,9 @@ let () =
         Test.make ~name:"engine.churn@64pending" (bench_engine_churn64 ());
         Test.make ~name:"eventq.push+pop@64" (bench_eventq_push_pop ());
         Test.make ~name:"heap.push+pop@64" (bench_heap_push_pop ());
+        Test.make ~name:"hdr.record" (bench_hdr_record ());
+        Test.make ~name:"timeseries.on_event" (bench_timeseries_event ());
+        Test.make ~name:"timeseries.window-flush" (bench_timeseries_window_flush ());
       ]
   in
   let benchmark test =

@@ -129,8 +129,10 @@ let run_verify cfg buf jobs id =
     end
 
 (* Run one experiment with the tracing/metrics layer armed, then export
-   the ring buffer as Chrome trace_event JSON (or CSV). *)
-let run_trace cfg id out csv buf metrics =
+   the ring buffer as Chrome trace_event JSON (or CSV).  JSON exports
+   also carry async span events (timer and packet lifecycles recovered
+   from the ring) and, with --window, per-window counter tracks. *)
+let run_trace cfg id out csv buf metrics window_us max_windows =
   match List.find_opt (fun (name, _, _) -> name = id) experiments with
   | None ->
     `Error
@@ -138,20 +140,42 @@ let run_trace cfg id out csv buf metrics =
         Printf.sprintf "unknown experiment %S; known: %s" id
           (String.concat ", " (List.map (fun (n, _, _) -> n) experiments)) )
   | Some _ when buf <= 0 -> `Error (false, "--buf must be positive")
+  | Some _ when window_us < 0.0 -> `Error (false, "--window must be non-negative")
+  | Some _ when window_us > 0.0 && Trace.tap_installed () ->
+    (* Both the sanitizer and the time-series collector need the single
+       synchronous trace tap. *)
+    `Error (false, "--window cannot be combined with --sanitize (both need the trace tap)")
   | Some _ when (try close_out (open_out out); false with Sys_error _ -> true) ->
     (* Fail on an unwritable --out before spending time simulating. *)
     `Error (false, Printf.sprintf "cannot write trace output %S" out)
   | Some (_, _, f) ->
     let tr = Trace.create ~capacity:buf () in
     Metrics.reset Metrics.default;
-    Metrics.set_sampling true;
+    let series =
+      if window_us > 0.0 then
+        Some (Timeseries.create ~window:(Time_ns.of_us window_us) ~max_windows ())
+      else None
+    in
     Trace.install tr;
-    let output = f cfg in
+    (match series with Some ts -> Trace.set_tap (Some (Timeseries.on_event ts)) | None -> ());
+    let output =
+      try f cfg
+      with e ->
+        if Option.is_some series then Trace.set_tap None;
+        Trace.uninstall ();
+        raise e
+    in
+    (match series with
+    | Some ts ->
+      Trace.set_tap None;
+      Timeseries.close ts
+    | None -> ());
     Trace.uninstall ();
-    Metrics.set_sampling false;
     print_string output;
     let as_csv = csv || Filename.check_suffix out ".csv" in
-    if as_csv then Trace_export.write_csv tr out else Trace_export.write_chrome_json tr out;
+    if as_csv then Trace_export.write_csv tr out
+    else
+      Trace_export.write_chrome_json ?series ~spans:(Span.collect tr) tr out;
     Printf.printf "\ntrace: %d events captured (%d overwritten) -> %s (%s)\n" (Trace.length tr)
       (Trace.dropped tr) out
       (if as_csv then "csv" else "chrome trace_event json; open in chrome://tracing or Perfetto");
@@ -208,6 +232,141 @@ let run_profile cfg id out flame metrics =
       print_newline ();
       print_string (Metrics.dump Metrics.default)
     end;
+    `Ok ()
+
+(* --- stats: windowed time-series + span + metrics report ------------ *)
+
+let jfloat v = if Float.is_nan v then "null" else Printf.sprintf "%.6g" v
+
+let jstring s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let hdr_json h =
+  Printf.sprintf "{\"count\":%d,\"mean\":%s,\"p50\":%s,\"p99\":%s,\"max\":%s}"
+    (Hdr.count h) (jfloat (Hdr.mean h))
+    (jfloat (Hdr.quantile h 0.5))
+    (jfloat (Hdr.quantile h 0.99))
+    (jfloat (Hdr.max h))
+
+let metrics_json m =
+  let parts = ref [] in
+  Metrics.iter m (fun name v ->
+      let rendered =
+        match v with
+        | Metrics.Counter c -> string_of_int c
+        | Metrics.Gauge g | Metrics.Probe g -> jfloat g
+        | Metrics.Histogram h -> hdr_json h
+      in
+      parts := Printf.sprintf "%s:%s" (jstring name) rendered :: !parts);
+  "{" ^ String.concat "," (List.rev !parts) ^ "}"
+
+let spans_json sp =
+  Printf.sprintf
+    "{\"timers\":{\"total\":%d,\"fired\":%d,\"cancelled\":%d,\"open\":%d,\"latency_us\":%s},\"packets\":{\"total\":%d,\"delivered\":%d,\"open\":%d,\"latency_us\":%s}}"
+    (Span.timers_total sp) (Span.timers_fired sp) (Span.timers_cancelled sp)
+    (Span.timers_open sp)
+    (hdr_json (Span.timer_latency sp))
+    (Span.packets_total sp) (Span.packets_delivered sp) (Span.packets_open sp)
+    (hdr_json (Span.packet_latency sp))
+
+let stats_json cfg id window_us ts sp =
+  Printf.sprintf
+    "{\"schema\":\"softtimers-stats/1\",\"experiment\":%s,\"seed\":%d,\"quick\":%b,\"window_us\":%s,\"events\":%d,\"epochs\":%d,\"windows_dropped\":%d,\"windows\":%s,\"spans\":%s,\"metrics\":%s}"
+    (jstring id) cfg.Exp_config.seed cfg.Exp_config.quick (jfloat window_us)
+    (Timeseries.event_count ts) (Timeseries.epochs ts) (Timeseries.evicted_windows ts)
+    (Timeseries.to_json ts) (spans_json sp) (metrics_json Metrics.default)
+
+let stats_human cfg id window_us ts sp =
+  let b = Buffer.create 2048 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  addf "stats %s (seed %d%s, window %g us)\n" id cfg.Exp_config.seed
+    (if cfg.Exp_config.quick then ", quick" else "")
+    window_us;
+  let windows = Timeseries.snapshots ts in
+  addf "  events: %d across %d window(s), %d epoch(s)" (Timeseries.event_count ts)
+    (List.length windows) (Timeseries.epochs ts);
+  if Timeseries.evicted_windows ts > 0 then
+    addf " (%d oldest windows evicted)" (Timeseries.evicted_windows ts);
+  addf "\n";
+  let d = Timeseries.overall_delay ts in
+  if Hdr.count d > 0 then
+    addf "  fire delay us: n=%d p50=%.3f p99=%.3f max=%.3f\n" (Hdr.count d)
+      (Hdr.quantile d 0.5) (Hdr.quantile d 0.99) (Hdr.max d);
+  addf "  timer spans: %d scheduled, %d fired, %d cancelled, %d open\n" (Span.timers_total sp)
+    (Span.timers_fired sp) (Span.timers_cancelled sp) (Span.timers_open sp);
+  addf "  packet spans: %d enqueued, %d delivered, %d open\n" (Span.packets_total sp)
+    (Span.packets_delivered sp) (Span.packets_open sp);
+  let pl = Span.packet_latency sp in
+  if Hdr.count pl > 0 then
+    addf "  packet latency us: n=%d p50=%.3f p99=%.3f max=%.3f\n" (Hdr.count pl)
+      (Hdr.quantile pl 0.5) (Hdr.quantile pl 0.99) (Hdr.max pl);
+  addf "\n%s" (Metrics.dump Metrics.default);
+  Buffer.contents b
+
+(* Run one experiment with the windowed time-series collector tapping
+   the event stream, reconstruct spans from the ring afterwards, and
+   report: JSON (machine), Prometheus exposition, per-window CSV, or a
+   human summary.  The experiment's own table is suppressed — the
+   report is the output, so it can be byte-compared across --jobs
+   values and piped into tooling. *)
+let run_stats cfg id window_us max_windows fmt out buf =
+  match List.find_opt (fun (name, _, _) -> name = id) experiments with
+  | None -> unknown_experiment id
+  | Some _ when buf <= 0 -> `Error (false, "--buf must be positive")
+  | Some _ when window_us <= 0.0 -> `Error (false, "--window must be positive")
+  | Some _ when max_windows <= 0 -> `Error (false, "--max-windows must be positive")
+  | Some _ when Trace.tap_installed () ->
+    `Error (false, "stats needs the trace tap, which is already occupied")
+  | Some _
+    when match out with
+         | None -> false
+         | Some f -> ( try close_out (open_out f); false with Sys_error _ -> true) ->
+    `Error (false, Printf.sprintf "cannot write stats output %S" (Option.get out))
+  | Some (_, _, f) ->
+    let tr = Trace.create ~capacity:buf () in
+    Metrics.reset Metrics.default;
+    let ts = Timeseries.create ~window:(Time_ns.of_us window_us) ~max_windows () in
+    Trace.install tr;
+    Trace.set_tap (Some (Timeseries.on_event ts));
+    let table =
+      try f cfg
+      with e ->
+        Trace.set_tap None;
+        Trace.uninstall ();
+        raise e
+    in
+    Trace.set_tap None;
+    Trace.uninstall ();
+    Timeseries.close ts;
+    ignore (table : string);
+    let sp = Span.collect tr in
+    let body =
+      match fmt with
+      | `Json -> stats_json cfg id window_us ts sp
+      | `Prom -> Metrics.to_prometheus Metrics.default
+      | `Csv -> Timeseries.to_csv ts
+      | `Human -> stats_human cfg id window_us ts sp
+    in
+    (match out with
+    | None -> print_string body
+    | Some file ->
+      let oc = open_out file in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc body);
+      Printf.printf "stats: %s report -> %s\n"
+        (match fmt with `Json -> "json" | `Prom -> "prometheus" | `Csv -> "csv" | `Human -> "text")
+        file);
     `Ok ()
 
 open Cmdliner
@@ -275,16 +434,95 @@ let trace_cmd =
     let doc = "Also dump the metrics registry after the run." in
     Arg.(value & flag & info [ "metrics" ] ~doc)
   in
+  let window =
+    let doc =
+      "Also aggregate the event stream into windows of this many microseconds of simulated \
+       time and merge the result into the JSON export as Chrome counter tracks.  0 \
+       disables the time series."
+    in
+    Arg.(value & opt float 0.0 & info [ "window" ] ~doc ~docv:"US")
+  in
+  let max_windows =
+    let doc = "Retain at most this many closed windows (oldest evicted first)." in
+    Arg.(value & opt int 4096 & info [ "max-windows" ] ~doc ~docv:"N")
+  in
   let term =
     Term.(
       ret
-        (const (fun quick seed jobs id out csv buf metrics sanitize ->
+        (const (fun quick seed jobs id out csv buf metrics window max_windows sanitize ->
              Runner.set_default_jobs jobs;
              with_sanitizer sanitize (fun () ->
-                 run_trace (cfg_of quick seed) id out csv buf metrics))
-        $ quick $ seed $ jobs $ exp_id $ out $ csv $ buf $ metrics $ sanitize))
+                 run_trace (cfg_of quick seed) id out csv buf metrics window max_windows))
+        $ quick $ seed $ jobs $ exp_id $ out $ csv $ buf $ metrics $ window $ max_windows
+        $ sanitize))
   in
   Cmd.v (Cmd.info "trace" ~doc ~man) term
+
+let stats_cmd =
+  let doc = "Run one experiment and report windowed time-series, span and metrics statistics" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Taps the simulator's event stream, aggregates it into fixed windows of simulated \
+         time (counters, gauges and a constant-memory latency histogram per window), \
+         reconstructs per-entity spans (soft timers schedule->fire/cancel, packets \
+         enqueue->rx) from the trace ring, and prints a report instead of the experiment's \
+         table.  The report contains no wall-clock data and the tap forces sequential \
+         execution, so the bytes are identical at every $(b,--jobs) value.";
+      `P
+        "Formats: $(b,--json) (schema softtimers-stats/1: windows, spans and the metrics \
+         registry), $(b,--prom) (Prometheus text exposition of the metrics registry), \
+         $(b,--csv) (one row per window), or a human summary by default.";
+    ]
+  in
+  let exp_id =
+    let doc = "Experiment id (one id, not 'all')." in
+    Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"EXPERIMENT")
+  in
+  let window =
+    let doc = "Aggregation window in microseconds of simulated time." in
+    Arg.(value & opt float 1000.0 & info [ "window" ] ~doc ~docv:"US")
+  in
+  let max_windows =
+    let doc = "Retain at most this many closed windows (oldest evicted first)." in
+    Arg.(value & opt int 4096 & info [ "max-windows" ] ~doc ~docv:"N")
+  in
+  let json =
+    let doc = "Emit the full JSON report (schema softtimers-stats/1)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let prom =
+    let doc = "Emit the metrics registry as Prometheus text exposition." in
+    Arg.(value & flag & info [ "prom" ] ~doc)
+  in
+  let csv =
+    let doc = "Emit the window table as CSV." in
+    Arg.(value & flag & info [ "csv" ] ~doc)
+  in
+  let out =
+    let doc = "Write the report to this file instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~doc ~docv:"FILE")
+  in
+  let buf =
+    let doc = "Trace ring-buffer capacity in events (spans are recovered from the ring)." in
+    Arg.(value & opt int 1_048_576 & info [ "buf" ] ~doc ~docv:"EVENTS")
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun quick seed jobs id window max_windows json prom csv out buf ->
+             Runner.set_default_jobs jobs;
+             match (json, prom, csv) with
+             | true, false, false -> run_stats (cfg_of quick seed) id window max_windows `Json out buf
+             | false, true, false -> run_stats (cfg_of quick seed) id window max_windows `Prom out buf
+             | false, false, true -> run_stats (cfg_of quick seed) id window max_windows `Csv out buf
+             | false, false, false ->
+               run_stats (cfg_of quick seed) id window max_windows `Human out buf
+             | _ -> `Error (false, "--json, --prom and --csv are mutually exclusive"))
+        $ quick $ seed $ jobs $ exp_id $ window $ max_windows $ json $ prom $ csv $ out $ buf))
+  in
+  Cmd.v (Cmd.info "stats" ~doc ~man) term
 
 let profile_cmd =
   let doc = "Run one experiment with the cycle-attribution profiler and report who spent what" in
@@ -385,7 +623,7 @@ let default =
 let group_cmd =
   Cmd.group ~default
     (Cmd.info "softtimers-cli" ~version:"1.0.0" ~doc ~man)
-    [ trace_cmd; profile_cmd; verify_cmd ]
+    [ trace_cmd; profile_cmd; verify_cmd; stats_cmd ]
 
 (* [Cmd.group ~default] rejects any first positional that is not a
    subcommand name, which would break the documented
@@ -399,7 +637,9 @@ let () =
   (* Find the first true positional.  Separated-value flags consume the
      following argv slot, so `--seed 9 table3` must skip the "9" — and a
      seed value must never be mistaken for a subcommand name. *)
-  let value_flags = [ "--seed"; "-s"; "--out"; "-o"; "--buf"; "--jobs"; "-j" ] in
+  let value_flags =
+    [ "--seed"; "-s"; "--out"; "-o"; "--buf"; "--jobs"; "-j"; "--window"; "--max-windows" ]
+  in
   let first_positional =
     let rec go i =
       if i >= Array.length argv then None
@@ -411,7 +651,7 @@ let () =
   in
   let is_subcommand =
     match first_positional with
-    | Some ("trace" | "profile" | "verify-determinism") -> true
+    | Some ("trace" | "profile" | "verify-determinism" | "stats") -> true
     | Some _ -> false
     | None -> false
   in

@@ -1,6 +1,6 @@
 let m_sends = Metrics.counter Metrics.default "rate_clock.sends"
 let m_trains = Metrics.counter Metrics.default "rate_clock.trains"
-let h_intervals = Metrics.histogram Metrics.default "rate_clock.interval_us"
+let h_intervals = Metrics.hdr Metrics.default "rate_clock.interval_us"
 
 (* A catch-up send: soft-timer dispatch latency pushed us past the ideal
    send time, so the next interval was clamped to min_interval — the
@@ -45,7 +45,7 @@ let rec on_event t now =
       if t.sent_in_train > 0 then begin
         let gap_us = Time_ns.to_us Time_ns.(now - t.last_send) in
         Stats.Sample.add t.intervals gap_us;
-        if Metrics.sampling () then Stats.Sample.add h_intervals gap_us
+        Hdr.record h_intervals gap_us
       end;
       t.last_send <- now;
       t.sent_in_train <- t.sent_in_train + 1;

@@ -2,7 +2,7 @@ let m_checks = Metrics.counter Metrics.default "softtimer.checks"
 let m_fired = Metrics.counter Metrics.default "softtimer.fired"
 let m_scheduled = Metrics.counter Metrics.default "softtimer.scheduled"
 let m_cancelled = Metrics.counter Metrics.default "softtimer.cancelled"
-let h_fire_delay = Metrics.histogram Metrics.default "softtimer.fire_delay_us"
+let h_fire_delay = Metrics.hdr Metrics.default "softtimer.fire_delay_us"
 
 type pending_event = { due : Time_ns.t; handler : Time_ns.t -> unit }
 
@@ -58,8 +58,7 @@ let check t kind now =
            Profile.dispatch ~source ~delay:Time_ns.(now - due);
            if t.record_delays then
              Stats.Sample.add t.delays (Time_ns.to_us Time_ns.(now - due));
-           if Metrics.sampling () then
-             Stats.Sample.add h_fire_delay (Time_ns.to_us Time_ns.(now - due));
+           Hdr.record h_fire_delay (Time_ns.to_us Time_ns.(now - due));
            Machine.submit_quantum t.machine ?attr:fire_attr ~prio:Cpu.prio_intr
              ~work_us:fire_cost ~trigger:None (fun _ -> ());
            ev.handler now)

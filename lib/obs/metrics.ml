@@ -9,7 +9,7 @@ type gauge = { mutable g : float }
 type instrument =
   | I_counter of counter
   | I_gauge of gauge
-  | I_hist of Stats.Sample.t
+  | I_hdr of Hdr.t
   | I_probe of (unit -> float)
 
 type t = { tbl : (string, instrument) Hashtbl.t }
@@ -20,7 +20,7 @@ let default = create ()
 let kind_name = function
   | I_counter _ -> "counter"
   | I_gauge _ -> "gauge"
-  | I_hist _ -> "histogram"
+  | I_hdr _ -> "histogram"
   | I_probe _ -> "probe"
 
 let wrong_kind name want got =
@@ -51,13 +51,13 @@ let gauge t name =
 let set_gauge g v = g.g <- v
 let gauge_value g = g.g
 
-let histogram t name =
+let hdr t name =
   match Hashtbl.find_opt t.tbl name with
-  | Some (I_hist h) -> h
+  | Some (I_hdr h) -> h
   | Some other -> wrong_kind name "histogram" other
   | None ->
-    let h = Stats.Sample.create () in
-    Hashtbl.replace t.tbl name (I_hist h);
+    let h = Hdr.create () in
+    Hashtbl.replace t.tbl name (I_hdr h);
     h
 
 let probe t name f =
@@ -65,28 +65,25 @@ let probe t name f =
   | Some (I_probe _) | None -> Hashtbl.replace t.tbl name (I_probe f)
   | Some other -> wrong_kind name "probe" other
 
-let sampling_on = ref false
-let sampling () = !sampling_on
-let set_sampling b = sampling_on := b
-
 let reset t =
   (* Instruments are held by reference at registration sites, so zero
-     them in place; probes (explicitly registered) are dropped. *)
-  let stale = ref [] in
+     them in place.  Probes are kept: they are registered explicitly
+     (often at module init or facility attach) and dropping them made
+     the second run in one process silently lose its pull-style metrics
+     — a re-registration under the same name still replaces. *)
   Hashtbl.iter
-    (fun name i ->
+    (fun _name i ->
       match i with
       | I_counter c -> c.c <- 0
       | I_gauge g -> g.g <- nan
-      | I_hist h -> Stats.Sample.clear h
-      | I_probe _ -> stale := name :: !stale)
-    t.tbl;
-  List.iter (Hashtbl.remove t.tbl) !stale
+      | I_hdr h -> Hdr.clear h
+      | I_probe _ -> ())
+    t.tbl
 
 type value =
   | Counter of int
   | Gauge of float
-  | Histogram of Stats.Sample.t
+  | Histogram of Hdr.t
   | Probe of float
 
 let iter t f =
@@ -96,7 +93,7 @@ let iter t f =
       match Hashtbl.find t.tbl name with
       | I_counter c -> f name (Counter c.c)
       | I_gauge g -> f name (Gauge g.g)
-      | I_hist h -> f name (Histogram h)
+      | I_hdr h -> f name (Histogram h)
       | I_probe p -> f name (Probe (p ())))
     (List.sort String.compare names)
 
@@ -108,11 +105,50 @@ let dump t =
       | Gauge g -> Buffer.add_string b (Printf.sprintf "%-42s %12.3f\n" name g)
       | Probe p -> Buffer.add_string b (Printf.sprintf "%-42s %12.3f\n" name p)
       | Histogram h ->
-        let n = Stats.Sample.count h in
+        let n = Hdr.count h in
         if n = 0 then Buffer.add_string b (Printf.sprintf "%-42s      (empty)\n" name)
         else
           Buffer.add_string b
             (Printf.sprintf "%-42s n=%d mean=%.3f p50=%.3f p99=%.3f max=%.3f\n" name n
-               (Stats.Sample.mean h) (Stats.Sample.median h)
-               (Stats.Sample.percentile h 99.0) (Stats.Sample.max h)));
+               (Hdr.mean h) (Hdr.quantile h 0.5) (Hdr.quantile h 0.99) (Hdr.max h)));
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition (version 0.0.4).                         *)
+
+let prom_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let prom_float v =
+  if Float.is_nan v then "NaN"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let to_prometheus t =
+  let b = Buffer.create 2048 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  iter t (fun name v ->
+      let n = prom_name name in
+      match v with
+      | Counter c ->
+        addf "# TYPE %s counter\n%s %d\n" n n c
+      | Gauge g ->
+        if not (Float.is_nan g) then addf "# TYPE %s gauge\n%s %s\n" n n (prom_float g)
+      | Probe p -> addf "# TYPE %s gauge\n%s %s\n" n n (prom_float p)
+      | Histogram h ->
+        addf "# TYPE %s summary\n" n;
+        if Hdr.count h > 0 then begin
+          List.iter
+            (fun q ->
+              addf "%s{quantile=\"%s\"} %s\n" n
+                (Printf.sprintf "%g" q)
+                (prom_float (Hdr.quantile h q)))
+            [ 0.5; 0.9; 0.99; 1.0 ]
+        end;
+        addf "%s_sum %s\n%s_count %d\n" n (prom_float (Hdr.sum h)) n (Hdr.count h));
   Buffer.contents b

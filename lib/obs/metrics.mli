@@ -3,15 +3,15 @@
     A registry maps dotted names ("softtimer.fired", "nic.rx_packets")
     to metric instruments.  Subsystems register their instruments at
     module initialisation into {!default} (or into a registry of their
-    own) and update them unconditionally: a counter bump is one mutable
-    increment, cheap enough for every hot path in the simulator.
+    own) and update them unconditionally: every instrument kind is
+    cheap enough for the simulator's hot paths.
 
     Four instrument kinds:
     - {e counters}: monotonically increasing ints ({!counter}, {!incr});
     - {e gauges}: last-written floats ({!gauge}, {!set_gauge});
-    - {e histograms}: full-sample distributions backed by
-      {!Stats.Sample} — these allocate per observation, so subsystems
-      gate them behind {!sampling};
+    - {e histograms}: constant-memory streaming distributions backed by
+      {!Hdr} — O(1) record with bounded relative error, so hot paths
+      record into them unconditionally (no sampling gate);
     - {e probes}: pull-style closures evaluated at {!dump} time, for
       values a subsystem already maintains itself.
 
@@ -44,31 +44,28 @@ val set_gauge : gauge -> float -> unit
 val gauge_value : gauge -> float
 (** [nan] until first set. *)
 
-val histogram : t -> string -> Stats.Sample.t
-(** Get or create the histogram [name].  Observe with
-    {!Stats.Sample.add}; callers on hot paths should first check
-    {!sampling}. *)
+val hdr : t -> string -> Hdr.t
+(** Get or create the streaming histogram [name] (default {!Hdr.create}
+    parameters: 1% relative error, [1e-3] lowest discernible value).
+    Observe with {!Hdr.record}: O(1) and constant-memory, safe to call
+    unconditionally on hot paths. *)
 
 val probe : t -> string -> (unit -> float) -> unit
 (** Register a pull-style metric.  Re-registering a probe name replaces
     the closure (a fresh simulation replaces a dead one's probes). *)
 
-val sampling : unit -> bool
-(** Whether histogram observation is requested.  Off by default:
-    histograms retain every observation, which is unbounded memory on
-    long runs. *)
-
-val set_sampling : bool -> unit
-
 val reset : t -> unit
-(** Zero all counters, clear gauges and histograms, drop probes. *)
+(** Zero all counters, clear gauges and histograms.  Probes are kept
+    (re-registering the same name still replaces): they are pull-style
+    views into live state, and dropping them on reset silently lost
+    wheel-residency metrics for the second run in one process. *)
 
 (** {2 Reading} *)
 
 type value =
   | Counter of int
   | Gauge of float
-  | Histogram of Stats.Sample.t
+  | Histogram of Hdr.t
   | Probe of float  (** the closure's value at read time *)
 
 val iter : t -> (string -> value -> unit) -> unit
@@ -77,3 +74,10 @@ val iter : t -> (string -> value -> unit) -> unit
 val dump : t -> string
 (** Human-readable table of every instrument, in name order; histograms
     show count/mean/p50/p99/max. *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition (format 0.0.4): counters as [counter],
+    gauges and probes as [gauge] (unset gauges skipped), histograms as
+    [summary] with p50/p90/p99/p100 quantiles plus [_sum]/[_count].
+    Dots in metric names become underscores.  Deterministic: name-sorted
+    and free of timestamps. *)

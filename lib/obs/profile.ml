@@ -100,7 +100,7 @@ type dispatch_row = {
   mutable fires : int;
   mutable delay_sum : Time_ns.span;
   mutable delay_max : Time_ns.span;
-  delays : Stats.Sample.t;
+  delays : Hdr.t;
 }
 
 type t = {
@@ -194,7 +194,7 @@ let dispatch ~source ~delay =
               fires = 0;
               delay_sum = 0L;
               delay_max = 0L;
-              delays = Stats.Sample.create ();
+              delays = Hdr.create ();
             }
           in
           p.disp <- row :: p.disp;
@@ -208,7 +208,7 @@ let dispatch ~source ~delay =
     row.fires <- row.fires + 1;
     row.delay_sum <- Time_ns.(row.delay_sum + delay);
     row.delay_max <- Time_ns.max row.delay_max delay;
-    Stats.Sample.add row.delays (Time_ns.to_us delay)
+    Hdr.record row.delays (Time_ns.to_us delay)
 
 (* ------------------------------------------------------------------ *)
 (* Readers                                                             *)
@@ -413,7 +413,7 @@ let trigger_table p =
         if r.fires = 0 then 0.0
         else Time_ns.to_us r.delay_sum /. float_of_int r.fires
       in
-      let pc p = if Stats.Sample.count r.delays = 0 then 0.0 else Stats.Sample.percentile r.delays p in
+      let pc p = if Hdr.count r.delays = 0 then 0.0 else Hdr.percentile r.delays p in
       buf_addf buf "%-16s %10d %7.1f%% %10.2f %10.2f %10.2f %10.2f\n" r.source
         r.fires share mean (pc 50.0) (pc 99.0)
         (Time_ns.to_us r.delay_max))

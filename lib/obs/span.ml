@@ -1,0 +1,131 @@
+(* Id-stamped async lifecycles reconstructed from a recorded trace.
+
+   Spans are derived post-hoc from the event stream — no new trace
+   events are emitted, so trace digests (and verify-determinism) are
+   unaffected by collecting them.  Ids are assigned in stream order of
+   the opening event, which makes them deterministic for a given trace.
+
+   Matching is FIFO per key: a [Soft_fire]/[Soft_cancel] closes the
+   oldest open timer span scheduled for the same due time; a [Pkt_rx]
+   of batch [b] closes the [b] oldest open enqueues on that NIC (the rx
+   ring is a FIFO).  [Pkt_drop] opens nothing: the NIC emits it instead
+   of [Pkt_enqueue] when the ring is full, so a dropped packet never
+   had a lifecycle to track.  The open-span tables are Hashtbls used
+   with find/replace only — no iteration order ever reaches output. *)
+
+type kind = Timer | Packet of string
+
+type outcome = Fired | Cancelled | Delivered
+
+type span = {
+  id : int;  (* stream order of the opening event *)
+  kind : kind;
+  start : Time_ns.t;
+  mutable finish : Time_ns.t option;  (* [None]: still open at end of trace *)
+  mutable outcome : outcome option;
+}
+
+type t = {
+  spans : span list;  (* creation (id) order *)
+  timer_latency : Hdr.t;  (* sched -> fire, us (fired spans only) *)
+  packet_latency : Hdr.t;  (* enqueue -> rx, us *)
+  timers_total : int;
+  timers_fired : int;
+  timers_cancelled : int;
+  timers_open : int;
+  packets_total : int;
+  packets_delivered : int;
+  packets_open : int;
+}
+
+let spans t = t.spans
+let timer_latency t = t.timer_latency
+let packet_latency t = t.packet_latency
+let timers_total t = t.timers_total
+let timers_fired t = t.timers_fired
+let timers_cancelled t = t.timers_cancelled
+let timers_open t = t.timers_open
+let packets_total t = t.packets_total
+let packets_delivered t = t.packets_delivered
+let packets_open t = t.packets_open
+
+let collect tr =
+  let next_id = ref 0 in
+  let rev_spans = ref [] in
+  let timer_latency = Hdr.create () in
+  let packet_latency = Hdr.create () in
+  let timers_total = ref 0
+  and timers_fired = ref 0
+  and timers_cancelled = ref 0
+  and packets_total = ref 0
+  and packets_delivered = ref 0 in
+  (* Open spans, FIFO per key.  find/replace only: never iterated. *)
+  let timer_open : (Time_ns.t, span Queue.t) Hashtbl.t = Hashtbl.create 256 in
+  let pkt_open : (string, span Queue.t) Hashtbl.t = Hashtbl.create 8 in
+  let open_span kind start =
+    let s = { id = !next_id; kind; start; finish = None; outcome = None } in
+    incr next_id;
+    rev_spans := s :: !rev_spans;
+    s
+  in
+  let fifo tbl key =
+    match Hashtbl.find_opt tbl key with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.replace tbl key q;
+      q
+  in
+  let close_timer ~at due outcome =
+    match Hashtbl.find_opt timer_open due with
+    | Some q when not (Queue.is_empty q) ->
+      let s = Queue.pop q in
+      s.finish <- Some at;
+      s.outcome <- Some outcome;
+      (match outcome with
+      | Fired ->
+        incr timers_fired;
+        Hdr.record timer_latency (Time_ns.to_us Time_ns.(at - s.start))
+      | Cancelled -> incr timers_cancelled
+      | Delivered -> ())
+    | _ -> () (* opening event lost to ring overflow; nothing to close *)
+  in
+  Trace.iter tr (fun { Trace.at; ev } ->
+      match ev with
+      | Trace.Soft_sched { due } ->
+        incr timers_total;
+        Queue.push (open_span Timer at) (fifo timer_open due)
+      | Trace.Soft_fire { due; _ } -> close_timer ~at due Fired
+      | Trace.Soft_cancel { due } -> close_timer ~at due Cancelled
+      | Trace.Pkt_enqueue { nic; _ } ->
+        incr packets_total;
+        Queue.push (open_span (Packet nic) at) (fifo pkt_open nic)
+      | Trace.Pkt_rx { nic; batch } ->
+        let q = fifo pkt_open nic in
+        for _ = 1 to Stdlib.min batch (Queue.length q) do
+          let s = Queue.pop q in
+          s.finish <- Some at;
+          s.outcome <- Some Delivered;
+          incr packets_delivered;
+          Hdr.record packet_latency (Time_ns.to_us Time_ns.(at - s.start))
+        done
+      | Trace.Mark m when String.equal m Trace.sim_start_mark ->
+        (* A fresh simulation: whatever is still open will never close.
+           Leave those spans open (orphans) and stop matching against
+           them so the new run's events cannot close the old run's. *)
+        Hashtbl.reset timer_open;
+        Hashtbl.reset pkt_open
+      | _ -> ());
+  let spans = List.rev !rev_spans in
+  {
+    spans;
+    timer_latency;
+    packet_latency;
+    timers_total = !timers_total;
+    timers_fired = !timers_fired;
+    timers_cancelled = !timers_cancelled;
+    timers_open = !timers_total - !timers_fired - !timers_cancelled;
+    packets_total = !packets_total;
+    packets_delivered = !packets_delivered;
+    packets_open = !packets_total - !packets_delivered;
+  }

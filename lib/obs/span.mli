@@ -1,0 +1,57 @@
+(** Async lifecycle spans reconstructed from a recorded trace.
+
+    A span tracks one entity across the simulation: a soft timer from
+    [Soft_sched] to its [Soft_fire] or [Soft_cancel], or a packet from
+    [Pkt_enqueue] to the [Pkt_rx] batch that delivered it.  Spans are
+    derived {e post-hoc} from a {!Trace.t} — nothing new is emitted
+    into the trace, so trace digests and verify-determinism results are
+    unchanged by collecting them.
+
+    Matching is FIFO per key (due time for timers, NIC for packets),
+    mirroring the simulator's own queue discipline.  [Pkt_drop] opens
+    no span: the NIC emits it {e instead of} [Pkt_enqueue] when its
+    ring is full.  Span ids are assigned in stream order of the opening
+    event, so they are deterministic for a given trace and survive
+    job-order [Trace.absorb] merges unchanged. *)
+
+type kind = Timer | Packet of string  (** [Packet nic] *)
+
+type outcome = Fired | Cancelled | Delivered
+
+type span = {
+  id : int;  (** stream order of the opening event *)
+  kind : kind;
+  start : Time_ns.t;
+  mutable finish : Time_ns.t option;  (** [None]: never closed *)
+  mutable outcome : outcome option;
+}
+
+type t
+
+val collect : Trace.t -> t
+(** Scan [tr] oldest-first and reconstruct every span.  A
+    [sim.start] mark abandons all still-open spans (they stay open
+    forever) so a second simulation in the same trace cannot close the
+    first one's entities. *)
+
+val spans : t -> span list
+(** In id (creation) order. *)
+
+val timer_latency : t -> Hdr.t
+(** Schedule-to-fire latency of fired timers, in microseconds. *)
+
+val packet_latency : t -> Hdr.t
+(** Enqueue-to-rx latency of delivered packets, in microseconds. *)
+
+val timers_total : t -> int
+val timers_fired : t -> int
+val timers_cancelled : t -> int
+
+val timers_open : t -> int
+(** Scheduled but neither fired nor cancelled within the trace. *)
+
+val packets_total : t -> int
+val packets_delivered : t -> int
+
+val packets_open : t -> int
+(** Enqueued but not yet handed to the stack within the trace. *)

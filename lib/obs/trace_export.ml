@@ -106,7 +106,64 @@ let ev_of_record { Trace.at; ev } =
   | Trace.Rbc_send -> instant ~cat:"softtimer" "rbc-send"
   | Trace.Mark s -> instant ~cat:"mark" s
 
-let to_chrome_json t =
+(* Per-window "C" counter tracks derived from a {!Timeseries}.  Each
+   window contributes one sample per track, stamped at the window's
+   start; viewers step the counter to the next sample, so the tracks
+   read as rates-per-window. *)
+let add_series_events b (ts : Timeseries.t) =
+  List.iter
+    (fun (s : Timeseries.snapshot) ->
+      let counter name args =
+        Buffer.add_char b ',';
+        Buffer.add_string b
+          (json_of_ev
+             { name; cat = "timeseries"; ph = "C"; ts = s.Timeseries.s_start_us;
+               tid = 0; dur = None; args })
+      in
+      counter "softtimer"
+        [ ("sched", i s.s_sched); ("fired", i s.s_fired); ("cancelled", i s.s_cancelled) ];
+      counter "net"
+        [ ("tx", i s.s_pkt_tx); ("rx", i s.s_pkt_rx_pkts); ("drop", i s.s_pkt_drop) ];
+      counter "polls" [ ("polls", i s.s_polls); ("found", i s.s_poll_found) ];
+      if s.s_delay_count > 0 then
+        counter "fire_delay_us"
+          [ ("p50", f s.s_delay_p50_us); ("p99", f s.s_delay_p99_us) ])
+    (Timeseries.snapshots ts)
+
+(* Closed spans become paired async "b"/"e" events (cat "span"); spans
+   still open at the end of the trace have no end and are skipped so
+   every "b" is balanced by an "e". *)
+let add_span_events b (sp : Span.t) =
+  List.iter
+    (fun (s : Span.span) ->
+      match s.Span.finish with
+      | None -> ()
+      | Some fin ->
+        let name, tid =
+          match s.Span.kind with
+          | Span.Timer -> ("timer", 0)
+          | Span.Packet nic -> ("pkt-" ^ nic, 0)
+        in
+        let outcome =
+          match s.Span.outcome with
+          | Some Span.Fired -> "fired"
+          | Some Span.Cancelled -> "cancelled"
+          | Some Span.Delivered -> "delivered"
+          | None -> "open"
+        in
+        let async ph ts args =
+          Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"id\":%d%s}"
+               (escape name) ph ts tid s.Span.id args)
+        in
+        async "b" (us_of s.Span.start)
+          (Printf.sprintf ",\"args\":{\"outcome\":\"%s\"}" outcome);
+        async "e" (us_of fin) "")
+    (Span.spans sp)
+
+let to_chrome_json ?series ?spans t =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"traceEvents\":[";
   Buffer.add_string b
@@ -123,6 +180,8 @@ let to_chrome_json t =
   Trace.iter t (fun r ->
       Buffer.add_char b ',';
       Buffer.add_string b (json_of_ev (ev_of_record r)));
+  (match series with Some ts -> add_series_events b ts | None -> ());
+  (match spans with Some sp -> add_span_events b sp | None -> ());
   Buffer.add_string b "],\"displayTimeUnit\":\"ns\"";
   if Trace.dropped t > 0 then
     Buffer.add_string b (Printf.sprintf ",\"droppedEvents\":%d" (Trace.dropped t));
@@ -170,5 +229,6 @@ let write_file path contents =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
 
-let write_chrome_json t path = write_file path (to_chrome_json t)
+let write_chrome_json ?series ?spans t path =
+  write_file path (to_chrome_json ?series ?spans t)
 let write_csv t path = write_file path (to_csv t)

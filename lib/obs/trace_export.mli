@@ -15,12 +15,22 @@
     Timestamps are microseconds (the format's unit) with nanosecond
     precision preserved as fractional digits.
 
+    Two optional overlays extend the stream:
+    - [?series] adds "C" counter tracks (cat ["timeseries"], one sample
+      per window at the window's start) for scheduled/fired/cancelled
+      timers, packet tx/rx/drop, polls and per-window fire-delay
+      p50/p99;
+    - [?spans] adds paired async "b"/"e" events (cat ["span"]) for
+      every {e closed} span, id-stamped so viewers nest concurrent
+      lifecycles; spans still open at the end of the trace are skipped
+      so begins and ends always balance.
+
     {!to_csv} renders one record per line —
     [time_ns,event,field=value;...] — for ad-hoc processing. *)
 
-val to_chrome_json : Trace.t -> string
+val to_chrome_json : ?series:Timeseries.t -> ?spans:Span.t -> Trace.t -> string
 
-val write_chrome_json : Trace.t -> string -> unit
+val write_chrome_json : ?series:Timeseries.t -> ?spans:Span.t -> Trace.t -> string -> unit
 (** [write_chrome_json t path] writes {!to_chrome_json} to [path]. *)
 
 val to_csv : Trace.t -> string

@@ -4,27 +4,40 @@ type t = {
   bins : int;
   width : float;
   counts : int array;  (* length bins + 1; last is overflow *)
+  mutable underflow : int;  (* observations below lo *)
   mutable total : int;
 }
 
 let create ~lo ~hi ~bins =
   if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
   if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
-  { lo; hi; bins; width = (hi -. lo) /. float_of_int bins; counts = Array.make (bins + 1) 0; total = 0 }
+  {
+    lo;
+    hi;
+    bins;
+    width = (hi -. lo) /. float_of_int bins;
+    counts = Array.make (bins + 1) 0;
+    underflow = 0;
+    total = 0;
+  }
 
+(* Bin index for an in-range or overflowing value; callers route x < lo
+   to the underflow bucket first.  Folding underflow into bin 0 (the old
+   behaviour) silently inflated the first CDF step. *)
 let index t x =
   if x >= t.hi then t.bins
-  else if x < t.lo then 0
   else begin
     let i = int_of_float ((x -. t.lo) /. t.width) in
-    if i >= t.bins then t.bins - 1 else i
+    if i >= t.bins then t.bins - 1 else if i < 0 then 0 else i
   end
 
 let add t x =
-  t.counts.(index t x) <- t.counts.(index t x) + 1;
+  if x < t.lo then t.underflow <- t.underflow + 1
+  else t.counts.(index t x) <- t.counts.(index t x) + 1;
   t.total <- t.total + 1
 
 let count t = t.total
+let underflow_count t = t.underflow
 
 let bin_count t i =
   if i < 0 || i > t.bins then invalid_arg "Histogram.bin_count: index out of range";
@@ -38,7 +51,9 @@ let bin_edges t i =
 let cdf_at t x =
   if t.total = 0 then 0.0
   else begin
-    let acc = ref 0 in
+    (* The underflow bucket covers (-inf, lo): entirely at or below [x]
+       exactly when [lo <= x]. *)
+    let acc = ref (if t.lo <= x then t.underflow else 0) in
     for i = 0 to t.bins do
       let _, hi_edge = bin_edges t i in
       if hi_edge <= x then acc := !acc + t.counts.(i)
@@ -47,13 +62,13 @@ let cdf_at t x =
   end
 
 let cdf_points t =
-  let acc = ref 0 in
-  let points = ref [] in
+  let acc = ref t.underflow in
+  let frac n = if t.total = 0 then 0.0 else float_of_int n /. float_of_int t.total in
+  let points = ref [ (t.lo, frac t.underflow) ] in
   for i = 0 to t.bins do
     acc := !acc + t.counts.(i);
     let edge = if i = t.bins then t.hi else snd (bin_edges t i) in
-    let frac = if t.total = 0 then 0.0 else float_of_int !acc /. float_of_int t.total in
-    points := (edge, frac) :: !points
+    points := (edge, frac !acc) :: !points
   done;
   List.rev !points
 

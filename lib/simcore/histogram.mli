@@ -2,8 +2,10 @@
 
     Used to render the paper's cumulative-distribution figures (Figs. 4
     and 6) from trigger-interval samples.  Bins are uniform over
-    [\[lo, hi)]; values below [lo] are clamped into the first bin and
-    values at or above [hi] into a dedicated overflow bin. *)
+    [\[lo, hi)]; values below [lo] go to a dedicated underflow bucket
+    and values at or above [hi] to a dedicated overflow bin, so
+    out-of-range observations never distort the first or last in-range
+    step of the CDF. *)
 
 type t
 
@@ -13,7 +15,10 @@ val create : lo:float -> hi:float -> bins:int -> t
 val add : t -> float -> unit
 
 val count : t -> int
-(** Total observations recorded. *)
+(** Total observations recorded, including under- and overflow. *)
+
+val underflow_count : t -> int
+(** Observations below [lo]. *)
 
 val bin_count : t -> int -> int
 (** Observations in bin [i] (the overflow bin is index [bins]).
@@ -29,8 +34,10 @@ val cdf_at : t -> float -> float
     resolution equal to the bin width. *)
 
 val cdf_points : t -> (float * float) list
-(** [(upper_edge, cumulative_fraction)] for every bin with the overflow
-    bin last (its edge reported as [hi]); suitable for plotting. *)
+(** [(upper_edge, cumulative_fraction)] for every bucket: the underflow
+    bucket first (its edge reported as [lo]), then every bin, with the
+    overflow bin last (its edge reported as [hi]); [bins + 2] points,
+    suitable for plotting. *)
 
 val render_ascii :
   ?width:int -> ?height:int -> series:(string * t) list -> unit -> string

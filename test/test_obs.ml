@@ -88,24 +88,290 @@ let test_metrics_reset () =
   let m = Metrics.create () in
   let c = Metrics.counter m "c" in
   let g = Metrics.gauge m "g" in
-  let h = Metrics.histogram m "h" in
+  let h = Metrics.hdr m "h" in
   Metrics.incr ~by:5 c;
   Metrics.set_gauge g 1.0;
-  Stats.Sample.add h 3.0;
+  Hdr.record h 3.0;
   Metrics.reset m;
   (* Instruments held by registration sites stay valid after reset. *)
   Alcotest.(check int) "counter zeroed" 0 (Metrics.counter_value c);
   Alcotest.(check bool) "gauge cleared" true (Float.is_nan (Metrics.gauge_value g));
-  Alcotest.(check int) "histogram emptied" 0 (Stats.Sample.count h);
+  Alcotest.(check int) "histogram emptied" 0 (Hdr.count h);
   Metrics.incr c;
   Alcotest.(check int) "still wired to the registry" 1
     (Metrics.counter_value (Metrics.counter m "c"))
 
-let test_metrics_sampling_flag () =
-  Alcotest.(check bool) "off by default" false (Metrics.sampling ());
-  Metrics.set_sampling true;
-  Alcotest.(check bool) "on" true (Metrics.sampling ());
-  Metrics.set_sampling false
+(* Regression: [reset] used to drop pull-style probes, so the second
+   experiment run in one process (softtimers-cli all) silently lost
+   every probe registered when its facility was created — notably the
+   softtimer.wheel_* residency metrics. *)
+let test_metrics_reset_keeps_probes () =
+  let m = Metrics.create () in
+  (* "Run 1" registers a probe over live state, as Wheel.create does. *)
+  let resident = ref 7 in
+  Metrics.probe m "wheel.resident" (fun () -> float_of_int !resident);
+  let read () =
+    let seen = ref None in
+    Metrics.iter m (fun name v ->
+        match (name, v) with
+        | "wheel.resident", Metrics.Probe p -> seen := Some p
+        | _ -> ());
+    !seen
+  in
+  Alcotest.(check (option (float 0.0))) "probe live in run 1" (Some 7.0) (read ());
+  (* "Run 2": the CLI resets the shared registry between experiments. *)
+  Metrics.reset m;
+  resident := 3;
+  Alcotest.(check (option (float 0.0))) "probe survives reset" (Some 3.0) (read ());
+  (* A fresh facility re-registering the same name still replaces. *)
+  let resident' = ref 11 in
+  Metrics.probe m "wheel.resident" (fun () -> float_of_int !resident');
+  Alcotest.(check (option (float 0.0))) "re-registration replaces" (Some 11.0) (read ())
+
+let test_metrics_prometheus () =
+  let m = Metrics.create () in
+  Metrics.incr ~by:42 (Metrics.counter m "softtimer.fired");
+  Metrics.set_gauge (Metrics.gauge m "cpu.load") 0.5;
+  Metrics.probe m "wheel.resident" (fun () -> 9.0);
+  ignore (Metrics.gauge m "never.set" : Metrics.gauge);
+  let h = Metrics.hdr m "softtimer.fire_delay_us" in
+  List.iter (Hdr.record h) [ 1.0; 2.0; 3.0; 4.0 ];
+  let text = Metrics.to_prometheus m in
+  let has needle =
+    let n = String.length needle and m' = String.length text in
+    let rec go i = i + n <= m' && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter typed" true (has "# TYPE softtimer_fired counter");
+  Alcotest.(check bool) "counter value" true (has "softtimer_fired 42");
+  Alcotest.(check bool) "gauge" true (has "cpu_load 0.5");
+  Alcotest.(check bool) "probe as gauge" true (has "# TYPE wheel_resident gauge");
+  Alcotest.(check bool) "unset gauge skipped" false (has "never_set");
+  Alcotest.(check bool) "summary typed" true
+    (has "# TYPE softtimer_fire_delay_us summary");
+  Alcotest.(check bool) "quantile label" true
+    (has "softtimer_fire_delay_us{quantile=\"0.5\"}");
+  Alcotest.(check bool) "count series" true (has "softtimer_fire_delay_us_count 4");
+  Alcotest.(check bool) "sum series" true (has "softtimer_fire_delay_us_sum 10");
+  (* Byte-identical on a second rendering: no timestamps, name-sorted. *)
+  Alcotest.(check string) "deterministic" text (Metrics.to_prometheus m)
+
+(* ------------------------------------------------------------------ *)
+(* Hdr: constant-memory streaming histogram. *)
+
+let test_hdr_basics () =
+  let h = Hdr.create ~rel_error:0.01 ~lowest:1e-3 () in
+  Alcotest.(check bool) "empty quantile is nan" true (Float.is_nan (Hdr.quantile h 0.5));
+  List.iter (Hdr.record h) [ 5.0; 1.0; 3.0; -2.0 ];
+  Alcotest.(check int) "count" 4 (Hdr.count h);
+  Alcotest.(check (float 1e-9)) "min (negative clamped to 0)" (-2.0) (Hdr.min h);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Hdr.max h);
+  Alcotest.(check (float 1e-9)) "mean is exact" 1.75 (Hdr.mean h);
+  Alcotest.(check bool) "p99 near max" true (Float.abs (Hdr.quantile h 0.99 -. 5.0) <= 0.06);
+  Hdr.clear h;
+  Alcotest.(check int) "cleared" 0 (Hdr.count h);
+  Alcotest.check_raises "bad rel_error"
+    (Invalid_argument "Hdr.create: rel_error must be in (0, 0.5]") (fun () ->
+      ignore (Hdr.create ~rel_error:0.0 () : Hdr.t));
+  Alcotest.check_raises "bad quantile" (Invalid_argument "Hdr.quantile: q out of [0,1]")
+    (fun () -> ignore (Hdr.quantile h 1.5 : float))
+
+let test_hdr_constant_memory () =
+  let h = Hdr.create () in
+  for i = 1 to 100_000 do
+    Hdr.record h (float_of_int (i mod 1000))
+  done;
+  let buckets = Hdr.bucket_count h in
+  for i = 1 to 100_000 do
+    Hdr.record h (float_of_int (i mod 1000))
+  done;
+  Alcotest.(check int) "bucket count independent of observations" buckets
+    (Hdr.bucket_count h);
+  Alcotest.(check int) "all recorded" 200_000 (Hdr.count h)
+
+let test_hdr_cdf_points () =
+  let h = Hdr.create () in
+  List.iter (Hdr.record h) [ 1.0; 1.0; 2.0; 10.0 ];
+  let pts = Hdr.cdf_points h in
+  Alcotest.(check bool) "non-empty" true (List.length pts >= 3);
+  let fracs = List.map snd pts in
+  let rec mono = function a :: b :: r -> a <= b && mono (b :: r) | _ -> true in
+  Alcotest.(check bool) "monotone" true (mono fracs);
+  Alcotest.(check (float 1e-9)) "ends at 1" 1.0 (List.nth fracs (List.length fracs - 1))
+
+(* Nearest-rank exact answer from the full sample: the ground truth the
+   streaming histogram is allowed to be rel_error away from. *)
+let exact_nearest_rank sorted q =
+  let n = Array.length sorted in
+  let rank = Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+  sorted.(rank - 1)
+
+let hdr_values_gen =
+  QCheck.(list_of_size Gen.(int_range 1 400) (float_range 0.0 50_000.0))
+
+let test_hdr_quantile_accuracy =
+  QCheck.Test.make ~name:"hdr quantile within rel_error of exact sample answer" ~count:200
+    hdr_values_gen (fun xs ->
+      let h = Hdr.create () in
+      let s = Stats.Sample.create () in
+      List.iter
+        (fun x ->
+          Hdr.record h x;
+          Stats.Sample.add s x)
+        xs;
+      let sorted = Stats.Sample.sorted s in
+      let eps = Hdr.rel_error h and quantum = Hdr.lowest h in
+      List.for_all
+        (fun q ->
+          let exact = exact_nearest_rank sorted q in
+          let got = Hdr.quantile h q in
+          (* Relative bound from the bucket width plus an absolute slack
+             of two quantization units (rounding to multiples of
+             [lowest] can move a value across a bucket edge). *)
+          Float.abs (got -. exact) <= (eps *. exact) +. (2.0 *. quantum))
+        [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ])
+
+let test_hdr_merge_is_concat =
+  QCheck.Test.make ~name:"hdr merge a b == recording the concatenated stream" ~count:100
+    QCheck.(pair hdr_values_gen hdr_values_gen)
+    (fun (xs, ys) ->
+      let ha = Hdr.create () and hb = Hdr.create () and hc = Hdr.create () in
+      List.iter (Hdr.record ha) xs;
+      List.iter (Hdr.record hb) ys;
+      List.iter (Hdr.record hc) (xs @ ys);
+      let m = Hdr.merge ha hb in
+      Hdr.count m = Hdr.count hc
+      && Float.equal (Hdr.min m) (Hdr.min hc)
+      && Float.equal (Hdr.max m) (Hdr.max hc)
+      && List.for_all
+           (fun q -> Float.equal (Hdr.quantile m q) (Hdr.quantile hc q))
+           [ 0.0; 0.1; 0.5; 0.9; 0.99; 1.0 ]
+      (* Bucket-wise equality, via the CDF: same counts in same buckets. *)
+      && Hdr.cdf_points m = Hdr.cdf_points hc)
+
+let test_hdr_merge_layout_mismatch () =
+  let a = Hdr.create ~rel_error:0.01 () and b = Hdr.create ~rel_error:0.1 () in
+  Alcotest.check_raises "layout mismatch"
+    (Invalid_argument "Hdr.merge: histograms have different bucket layouts") (fun () ->
+      ignore (Hdr.merge a b : Hdr.t))
+
+(* ------------------------------------------------------------------ *)
+(* Timeseries: windowed aggregation over simulated time. *)
+
+let test_timeseries_windows () =
+  let ts = Timeseries.create ~window:(us 10.0) () in
+  let ev at e = Timeseries.on_event ts ~at e in
+  (* Window 0: [0, 10us). *)
+  ev (us 1.0) (Trace.Soft_sched { due = us 5.0 });
+  ev (us 5.5) (Trace.Soft_fire { due = us 5.0; delay = us 0.5 });
+  ev (us 7.0) (Trace.Poll { found = 3 });
+  (* Window 2: [20, 30us) — window 1 is simply absent (no events). *)
+  ev (us 21.0) (Trace.Pkt_enqueue { nic = "nic0"; qlen = 4 });
+  ev (us 22.0) (Trace.Pkt_rx { nic = "nic0"; batch = 2 });
+  Timeseries.close ts;
+  Alcotest.(check int) "events" 5 (Timeseries.event_count ts);
+  Alcotest.(check int) "one epoch" 1 (Timeseries.epochs ts);
+  match Timeseries.snapshots ts with
+  | [ w0; w2 ] ->
+    Alcotest.(check int) "w0 index" 0 w0.Timeseries.s_index;
+    Alcotest.(check int) "w0 sched" 1 w0.Timeseries.s_sched;
+    Alcotest.(check int) "w0 fired" 1 w0.Timeseries.s_fired;
+    Alcotest.(check int) "w0 polls" 1 w0.Timeseries.s_polls;
+    Alcotest.(check int) "w0 poll found" 3 w0.Timeseries.s_poll_found;
+    Alcotest.(check (float 1e-6)) "w0 delay p50" 0.5 w0.Timeseries.s_delay_p50_us;
+    Alcotest.(check int) "w2 index" 2 w2.Timeseries.s_index;
+    Alcotest.(check int) "w2 enq" 1 w2.Timeseries.s_pkt_enqueued;
+    Alcotest.(check int) "w2 rx pkts" 2 w2.Timeseries.s_pkt_rx_pkts;
+    Alcotest.(check (option int)) "w2 qlen gauge" (Some 4) w2.Timeseries.s_qlen_last
+  | l -> Alcotest.failf "expected 2 windows, got %d" (List.length l)
+
+let test_timeseries_epoch_rollover () =
+  let ts = Timeseries.create ~window:(us 10.0) () in
+  Timeseries.on_event ts ~at:(us 55.0) (Trace.Poll { found = 0 });
+  (* Simulated time jumps backwards: a fresh simulation started. *)
+  Timeseries.on_event ts ~at:(us 3.0) (Trace.Poll { found = 0 });
+  Timeseries.close ts;
+  Alcotest.(check int) "two epochs" 2 (Timeseries.epochs ts);
+  match Timeseries.snapshots ts with
+  | [ a; b ] ->
+    Alcotest.(check int) "epoch 0 window" 0 a.Timeseries.s_epoch;
+    Alcotest.(check int) "epoch 1 window" 1 b.Timeseries.s_epoch;
+    Alcotest.(check bool) "indices restart" true (b.Timeseries.s_index < a.Timeseries.s_index)
+  | l -> Alcotest.failf "expected 2 windows, got %d" (List.length l)
+
+let test_timeseries_bounded_ring () =
+  let ts = Timeseries.create ~window:(us 1.0) ~max_windows:4 () in
+  for i = 0 to 9 do
+    Timeseries.on_event ts ~at:(us (float_of_int i)) (Trace.Poll { found = 0 })
+  done;
+  Timeseries.close ts;
+  Alcotest.(check int) "evicted oldest" 6 (Timeseries.evicted_windows ts);
+  let snaps = Timeseries.snapshots ts in
+  Alcotest.(check int) "ring bounded" 4 (List.length snaps);
+  Alcotest.(check int) "keeps newest" 9
+    (List.nth snaps 3).Timeseries.s_index;
+  (* The CSV export banners the eviction so truncation is never silent. *)
+  let csv = Timeseries.to_csv ts in
+  Alcotest.(check bool) "csv warns" true
+    (String.length csv > 0 && csv.[0] = '#')
+
+let test_timeseries_csv_json_shape () =
+  let ts = Timeseries.create ~window:(us 10.0) () in
+  Timeseries.on_event ts ~at:(us 1.0) (Trace.Soft_fire { due = us 1.0; delay = Time_ns.zero });
+  Timeseries.close ts;
+  let csv = Timeseries.to_csv ts in
+  (match String.split_on_char '\n' (String.trim csv) with
+  | header :: rows ->
+    let cols s = List.length (String.split_on_char ',' s) in
+    Alcotest.(check int) "one row" 1 (List.length rows);
+    List.iter
+      (fun r -> Alcotest.(check int) "row arity matches header" (cols header) (cols r))
+      rows
+  | [] -> Alcotest.fail "empty csv");
+  let json = Timeseries.to_json ts in
+  Alcotest.(check bool) "json array" true
+    (String.length json >= 2 && json.[0] = '[' && json.[String.length json - 1] = ']')
+
+(* ------------------------------------------------------------------ *)
+(* Span: async lifecycles recovered from the trace ring. *)
+
+let test_span_timers_and_packets () =
+  with_trace (fun tr ->
+      Trace.soft_sched ~at:(us 1.0) ~due:(us 5.0);
+      Trace.soft_sched ~at:(us 2.0) ~due:(us 5.0);
+      Trace.soft_sched ~at:(us 3.0) ~due:(us 9.0);
+      (* FIFO per due time: the fire at due=5 closes the span opened at 1us. *)
+      Trace.soft_fire ~at:(us 6.0) ~due:(us 5.0);
+      Trace.soft_cancel ~at:(us 7.0) ~due:(us 5.0);
+      Trace.pkt_enqueue ~at:(us 1.0) ~nic:"nic0" ~qlen:1;
+      Trace.pkt_enqueue ~at:(us 2.0) ~nic:"nic0" ~qlen:2;
+      Trace.pkt_drop ~at:(us 2.5) ~nic:"nic0";
+      Trace.pkt_rx ~at:(us 4.0) ~nic:"nic0" ~batch:2;
+      let sp = Span.collect tr in
+      Alcotest.(check int) "timers total" 3 (Span.timers_total sp);
+      Alcotest.(check int) "timers fired" 1 (Span.timers_fired sp);
+      Alcotest.(check int) "timers cancelled" 1 (Span.timers_cancelled sp);
+      Alcotest.(check int) "timers open" 1 (Span.timers_open sp);
+      Alcotest.(check int) "packets total (drop opens nothing)" 2 (Span.packets_total sp);
+      Alcotest.(check int) "packets delivered" 2 (Span.packets_delivered sp);
+      Alcotest.(check int) "packets open" 0 (Span.packets_open sp);
+      Alcotest.(check int) "one fired latency" 1 (Hdr.count (Span.timer_latency sp));
+      Alcotest.(check (float 0.05)) "sched->fire latency us" 5.0
+        (Hdr.quantile (Span.timer_latency sp) 0.5);
+      Alcotest.(check int) "two delivery latencies" 2 (Hdr.count (Span.packet_latency sp));
+      (* Ids are assigned in stream order of the opening event. *)
+      let ids = List.map (fun s -> s.Span.id) (Span.spans sp) in
+      Alcotest.(check (list int)) "ids in stream order" [ 0; 1; 2; 3; 4 ] ids)
+
+let test_span_epoch_reset () =
+  with_trace (fun tr ->
+      Trace.soft_sched ~at:(us 1.0) ~due:(us 5.0);
+      (* A fresh simulation begins: the old open span must stay open. *)
+      Trace.sim_start ~at:Time_ns.zero;
+      Trace.soft_fire ~at:(us 5.0) ~due:(us 5.0);
+      let sp = Span.collect tr in
+      Alcotest.(check int) "old span stays open" 1 (Span.timers_open sp);
+      Alcotest.(check int) "new run's fire closes nothing" 0 (Span.timers_fired sp))
 
 (* ------------------------------------------------------------------ *)
 (* Exporters. *)
@@ -156,6 +422,74 @@ let test_export_csv () =
       Alcotest.(check string) "fire row carries delay" "6000,soft-fire,due_ns=5000;delay_ns=1000"
         (List.nth lines 2))
 
+(* Golden shape test for the extended Chrome export: counter tracks
+   (cat "timeseries") and async span events (cat "span") interleave
+   with the existing instant/complete events, the stream stays
+   structurally valid, and the trace.dropped banner is preserved. *)
+let test_export_chrome_extended () =
+  with_trace (fun tr ->
+      let ts = Timeseries.create ~window:(us 10.0) () in
+      Trace.set_tap (Some (Timeseries.on_event ts));
+      Fun.protect
+        ~finally:(fun () -> Trace.set_tap None)
+        (fun () ->
+          Trace.trigger ~at:(us 1.0) "syscall";
+          Trace.soft_sched ~at:(us 2.0) ~due:(us 8.0);
+          Trace.irq ~at:(us 5.0) ~line:"nic0" ~cpu:0 ~dur:(us 1.0);
+          Trace.soft_fire ~at:(us 8.5) ~due:(us 8.0);
+          Trace.pkt_enqueue ~at:(us 11.0) ~nic:"nic0" ~qlen:1;
+          Trace.pkt_rx ~at:(us 13.0) ~nic:"nic0" ~batch:1);
+      Timeseries.close ts;
+      let sp = Span.collect tr in
+      let json = Trace_export.to_chrome_json ~series:ts ~spans:sp tr in
+      let count needle =
+        let n = String.length needle and m = String.length json in
+        let rec go acc i =
+          if i + n > m then acc
+          else go (if String.sub json i n = needle then acc + 1 else acc) (i + 1)
+        in
+        go 0 0
+      in
+      Alcotest.(check bool) "existing instant events kept" true (count "\"ph\":\"i\"" > 0);
+      Alcotest.(check bool) "existing complete slices kept" true (count "\"ph\":\"X\"" > 0);
+      Alcotest.(check bool) "counter tracks present" true
+        (count "\"cat\":\"timeseries\",\"ph\":\"C\"" >= 2);
+      Alcotest.(check bool) "span cat present" true (count "\"cat\":\"span\"" > 0);
+      (* Both the timer and the packet lifecycle closed, so two b/e pairs;
+         async begins and ends always balance. *)
+      Alcotest.(check int) "async begins" 2 (count "\"ph\":\"b\"");
+      Alcotest.(check int) "async ends balance" (count "\"ph\":\"b\"") (count "\"ph\":\"e\"");
+      Alcotest.(check bool) "span ids stamped" true (count "\"id\":" >= 4);
+      Alcotest.(check bool) "no drops, no banner" false (count "droppedEvents" > 0);
+      let depth = ref 0 and ok = ref true in
+      String.iter
+        (fun c ->
+          match c with
+          | '{' | '[' -> incr depth
+          | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then ok := false
+          | _ -> ())
+        json;
+      Alcotest.(check bool) "balanced nesting" true (!ok && !depth = 0))
+
+let test_export_chrome_dropped_banner () =
+  with_trace ~capacity:4 (fun tr ->
+      for i = 1 to 10 do
+        Trace.soft_sched ~at:(us (float_of_int i)) ~due:(us (float_of_int (i + 5)))
+      done;
+      let sp = Span.collect tr in
+      let json = Trace_export.to_chrome_json ~spans:sp tr in
+      let contains needle =
+        let n = String.length needle and m = String.length json in
+        let rec go i = i + n <= m && (String.sub json i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "dropped banner preserved with overlays" true
+        (contains "\"droppedEvents\":6"))
+
+let qc = QCheck_alcotest.to_alcotest
+
 let () =
   Alcotest.run "obs"
     [
@@ -171,11 +505,37 @@ let () =
           Alcotest.test_case "counters get-or-create" `Quick test_metrics_counters;
           Alcotest.test_case "gauges and probes" `Quick test_metrics_gauges_probes;
           Alcotest.test_case "reset keeps instruments live" `Quick test_metrics_reset;
-          Alcotest.test_case "sampling flag" `Quick test_metrics_sampling_flag;
+          Alcotest.test_case "reset keeps probes" `Quick test_metrics_reset_keeps_probes;
+          Alcotest.test_case "prometheus exposition" `Quick test_metrics_prometheus;
+        ] );
+      ( "hdr",
+        [
+          Alcotest.test_case "basics" `Quick test_hdr_basics;
+          Alcotest.test_case "constant memory" `Quick test_hdr_constant_memory;
+          Alcotest.test_case "cdf points" `Quick test_hdr_cdf_points;
+          Alcotest.test_case "merge layout mismatch" `Quick test_hdr_merge_layout_mismatch;
+          qc test_hdr_quantile_accuracy;
+          qc test_hdr_merge_is_concat;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "windowing" `Quick test_timeseries_windows;
+          Alcotest.test_case "epoch rollover" `Quick test_timeseries_epoch_rollover;
+          Alcotest.test_case "bounded ring" `Quick test_timeseries_bounded_ring;
+          Alcotest.test_case "csv/json shape" `Quick test_timeseries_csv_json_shape;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "timers and packets" `Quick test_span_timers_and_packets;
+          Alcotest.test_case "epoch reset" `Quick test_span_epoch_reset;
         ] );
       ( "export",
         [
           Alcotest.test_case "chrome trace_event json" `Quick test_export_chrome_json;
           Alcotest.test_case "csv" `Quick test_export_csv;
+          Alcotest.test_case "chrome extended (counters + spans)" `Quick
+            test_export_chrome_extended;
+          Alcotest.test_case "dropped banner with overlays" `Quick
+            test_export_chrome_dropped_banner;
         ] );
     ]

@@ -429,7 +429,8 @@ let test_histogram_binning () =
   let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
   List.iter (Histogram.add h) [ 0.5; 1.5; 1.7; 9.9; 10.0; 25.0; -1.0 ];
   Alcotest.(check int) "count" 7 (Histogram.count h);
-  Alcotest.(check int) "bin 0 (incl clamped -1)" 2 (Histogram.bin_count h 0);
+  Alcotest.(check int) "bin 0 excludes x < lo" 1 (Histogram.bin_count h 0);
+  Alcotest.(check int) "underflow" 1 (Histogram.underflow_count h);
   Alcotest.(check int) "bin 1" 2 (Histogram.bin_count h 1);
   Alcotest.(check int) "bin 9" 1 (Histogram.bin_count h 9);
   Alcotest.(check int) "overflow" 2 (Histogram.bin_count h 10)
@@ -442,9 +443,31 @@ let test_histogram_cdf () =
   check_float_eps 1e-9 "cdf at 50" 0.5 (Histogram.cdf_at h 50.0);
   check_float_eps 1e-9 "cdf at 100" 1.0 (Histogram.cdf_at h 100.0);
   let pts = Histogram.cdf_points h in
-  Alcotest.(check int) "points = bins+1" 101 (List.length pts);
-  let last_y = snd (List.nth pts 100) in
+  Alcotest.(check int) "points = bins+2 (underflow + bins + overflow)" 102 (List.length pts);
+  let last_y = snd (List.nth pts 101) in
   check_float_eps 1e-9 "cdf reaches 1" 1.0 last_y
+
+(* Regression: values below [lo] used to be folded into bin 0, which
+   inflated the first CDF step; they must go to a dedicated underflow
+   bucket that the CDF only counts at or above [lo]. *)
+let test_histogram_underflow () =
+  let h = Histogram.create ~lo:10.0 ~hi:20.0 ~bins:10 in
+  List.iter (Histogram.add h) [ -5.0; 0.0; 9.99; 10.5; 19.0; 25.0 ];
+  Alcotest.(check int) "count includes out-of-range" 6 (Histogram.count h);
+  Alcotest.(check int) "underflow holds x < lo" 3 (Histogram.underflow_count h);
+  Alcotest.(check int) "bin 0 holds only in-range values" 1 (Histogram.bin_count h 0);
+  Alcotest.(check int) "overflow" 1 (Histogram.bin_count h 10);
+  (* Below lo the in-range CDF contributes nothing... *)
+  check_float_eps 1e-9 "cdf below lo" 0.0 (Histogram.cdf_at h 9.0);
+  (* ...at lo the whole underflow bucket is <= x... *)
+  check_float_eps 1e-9 "cdf at lo counts underflow" 0.5 (Histogram.cdf_at h 10.0);
+  (* ...and the first in-range step is underflow + bin 0, not doubled. *)
+  check_float_eps 1e-9 "cdf after bin 0" (4.0 /. 6.0) (Histogram.cdf_at h 11.0);
+  let pts = Histogram.cdf_points h in
+  let x0, y0 = List.hd pts in
+  check_float_eps 1e-9 "first point sits at lo" 10.0 x0;
+  check_float_eps 1e-9 "first point is the underflow fraction" 0.5 y0;
+  check_float_eps 1e-9 "last point reaches 1" 1.0 (snd (List.nth pts (List.length pts - 1)))
 
 let test_histogram_render_smoke () =
   let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
@@ -844,6 +867,7 @@ let () =
         [
           Alcotest.test_case "binning" `Quick test_histogram_binning;
           Alcotest.test_case "cdf" `Quick test_histogram_cdf;
+          Alcotest.test_case "underflow bucket" `Quick test_histogram_underflow;
           Alcotest.test_case "render smoke" `Quick test_histogram_render_smoke;
           Alcotest.test_case "invalid args" `Quick test_histogram_invalid_args;
         ] );

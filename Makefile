@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-parallel microbench profile-smoke bench-json benchdiff trace-smoke stats-smoke lint sanitize-smoke determinism clean
+.PHONY: all build test bench bench-parallel microbench arena-bench profile-smoke bench-json benchdiff trace-smoke stats-smoke lint sanitize-smoke determinism clean
 
 all: build
 
@@ -22,6 +22,16 @@ bench-parallel: build
 # numbers the PR-4 overhaul is judged by; table in EXPERIMENTS.md).
 microbench: build
 	dune exec bench/microbench.exe -- --quota 2
+
+# Timer-store arena: every Timer_store backend head-to-head under
+# schedule_fire / rearm_churn / cancel_churn at ARENA_N live timers
+# (the EXPERIMENTS.md table ran at 1M and 4M).  Writes a markdown table
+# to ARENA_OUT; CI runs a smaller population and uploads the table.
+ARENA_N ?= 1000000
+ARENA_OPS ?= 100000
+ARENA_OUT ?= /tmp/softtimers-arena.md
+arena-bench: build
+	dune exec bench/store_arena.exe -- --n $(ARENA_N) --ops $(ARENA_OPS) --out $(ARENA_OUT)
 
 # Cycle-attribution profiler smoke: run table3 under the profiler and
 # export both the text report and a collapsed-stack flamegraph.

@@ -202,6 +202,57 @@ let attribution_json p =
              (List.sort by_name (Profile.dispatch_rows p))) );
     ]
 
+(* Deterministic per-store workload counts: every Timer_store backend
+   runs the same small churn mix (schedule / cancel / re-arm / expiry)
+   in simulated time — no wall clock — so the cells gate under
+   benchdiff --strict like any table cell.  The fired and rearm counts
+   must agree across stores (the equivalence contract); the residency
+   cells are per-store (lazy-cancel stores carry bounded corpses). *)
+let stores_json cfg =
+  let durations_us = [| 50.0; 100.0; 250.0; 500.0; 1_000.0; 2_500.0; 5_000.0; 10_000.0 |] in
+  let run (module M : Timer_store.S) =
+    let rng = Prng.create ~seed:(cfg.Exp_config.seed + 101) in
+    let t = M.create ~tick:(Time_ns.of_us 10.0) () in
+    let n = 1024 and ops = 8192 in
+    let now = ref Time_ns.zero in
+    let fired = ref 0 and rearms = ref 0 and max_resident = ref 0 in
+    let pick () = Time_ns.of_us durations_us.(Prng.int rng (Array.length durations_us)) in
+    let handles = Array.make n None in
+    for i = 0 to n - 1 do
+      handles.(i) <- Some (M.schedule t ~at:Time_ns.(!now + pick ()) i)
+    done;
+    for k = 1 to ops do
+      let i = Prng.int rng n in
+      (match handles.(i) with
+      | Some h when k land 3 = 0 ->
+        M.cancel t h;
+        handles.(i) <- Some (M.schedule t ~at:Time_ns.(!now + pick ()) i)
+      | Some h -> if M.rearm t h ~at:Time_ns.(!now + pick ()) then incr rearms
+      | None -> ());
+      (if k land 7 = 0 then begin
+         now := Time_ns.(!now + Time_ns.of_us 20.0);
+         match M.next_deadline t with
+         | Some d when Time_ns.(d <= !now) ->
+           fired :=
+             !fired
+             + M.fire_due t ~now:!now (fun _ i ->
+                   handles.(i) <- Some (M.schedule t ~at:Time_ns.(!now + pick ()) i))
+         | Some _ | None -> ()
+       end);
+      let r = M.resident t in
+      if r > !max_resident then max_resident := r
+    done;
+    jobj
+      [
+        ("store", jstr M.name);
+        ("fired", string_of_int !fired);
+        ("rearms", string_of_int !rearms);
+        ("max_resident", string_of_int !max_resident);
+        ("final_pending", string_of_int (M.pending t));
+      ]
+  in
+  jlist (List.map run Store_registry.all)
+
 let emit_json ~path ~cfg ~quick ~timings ~profile =
   (* The structured computes replay deterministically from the same
      (seed, quick) the rendered tables used, so the JSON cells always
@@ -224,6 +275,7 @@ let emit_json ~path ~cfg ~quick ~timings ~profile =
         ("table3", table3_json t3);
         ("table8", table8_json t8);
         ("table2_sources", table2_json t2);
+        ("stores", stores_json cfg);
         ("attribution", attribution_json profile);
       ]
   in

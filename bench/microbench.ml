@@ -117,6 +117,58 @@ let bench_timeseries_window_flush () =
       t := Int64.add !t 1_000L;
       Timeseries.on_event ts ~at:!t (Trace.Poll { found = 1 }))
 
+(* Per-store fast-path costs at a steady 1024-timer population — the
+   arena bench (store_arena.exe) covers the million-timer regime; these
+   catch constant-factor regressions in any single backend. *)
+
+let store_population = 1024
+
+let bench_store_schedule_fire (module M : Timer_store.S) () =
+  let t = M.create ~tick:(Time_ns.of_us 10.0) () in
+  let now = ref 0L in
+  (* 16 discrete deadline classes (distinct durations are duration-store
+     buckets, so a 1024-way spread would be a degenerate setup, not a
+     fast path): ~64 timers expire per class boundary, one iteration per
+     10 us, replacements at the horizon. *)
+  for i = 1 to store_population do
+    ignore (M.schedule t ~at:(Int64.of_int (((i mod 16) + 1) * 640_000)) 0 : int M.handle)
+  done;
+  let horizon = Int64.of_int (store_population * 10_000) in
+  Bechamel.Staged.stage (fun () ->
+      now := Int64.add !now 10_000L;
+      ignore (M.schedule t ~at:(Int64.add !now horizon) 0 : int M.handle);
+      ignore (M.fire_due t ~now:!now (fun _ _ -> ()) : int))
+
+let bench_store_rearm_churn (module M : Timer_store.S) () =
+  let t = M.create ~tick:(Time_ns.of_us 10.0) () in
+  let handles =
+    Array.init store_population (fun i ->
+        M.schedule t ~at:(Int64.of_int ((i + 1) * 10_000)) 0)
+  in
+  let i = ref 0 in
+  let bump = ref 0L in
+  Bechamel.Staged.stage (fun () ->
+      i := (!i + 1) land (store_population - 1);
+      (* Deadlines shuffle within the same horizon, so nothing expires:
+         pure re-arm cost (in-place for grouped sorting, cancel+schedule
+         for the wheel, stale-entry + compaction for the heaps). *)
+      bump := Int64.rem (Int64.add !bump 70_001L) 10_000_000L;
+      ignore (M.rearm t handles.(!i) ~at:(Int64.add 10_000L !bump) : bool))
+
+let store_benches () =
+  List.concat_map
+    (fun (module M : Timer_store.S) ->
+      let open Bechamel in
+      [
+        Test.make
+          ~name:(Printf.sprintf "store.%s.schedule_fire" M.name)
+          (bench_store_schedule_fire (module M) ());
+        Test.make
+          ~name:(Printf.sprintf "store.%s.rearm_churn" M.name)
+          (bench_store_rearm_churn (module M) ());
+      ])
+    Store_registry.all
+
 let () =
   let quota = ref 1.0 in
   (match Array.to_list Sys.argv with
@@ -127,7 +179,7 @@ let () =
   let open Toolkit in
   let test =
     Test.make_grouped ~name:"engine"
-      [
+      ([
         Test.make ~name:"engine.schedule+fire" (bench_engine_schedule_fire ());
         Test.make ~name:"engine.churn(sched+cancel+sched+fire)" (bench_engine_churn ());
         Test.make ~name:"engine.schedule+fire@64pending" (bench_engine_pending64 ());
@@ -138,6 +190,7 @@ let () =
         Test.make ~name:"timeseries.on_event" (bench_timeseries_event ());
         Test.make ~name:"timeseries.window-flush" (bench_timeseries_window_flush ());
       ]
+      @ store_benches ())
   in
   let benchmark test =
     let instances = Instance.[ monotonic_clock ] in

@@ -395,6 +395,32 @@ let sanitize =
   in
   Arg.(value & flag & info [ "sanitize" ] ~doc)
 
+let store_arg =
+  let doc =
+    Printf.sprintf
+      "Timer store backing the soft-timer facility for this run: one of %s.  Every \
+       experiment produces the same tables and trace digests under every store (only \
+       internal bookkeeping differs); see the arena bench for the performance comparison."
+      (String.concat ", " Store_registry.names)
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~doc ~docv:"NAME")
+
+(* Install the requested store process-wide for the duration of [k]:
+   every [Softtimer.attach] inside the run picks it up. *)
+let with_store name k =
+  match name with
+  | None -> k ()
+  | Some n -> (
+    match Store_registry.find n with
+    | None ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown timer store %s (available: %s)" n
+            (String.concat ", " Store_registry.names) )
+    | Some s ->
+      Softtimer.set_default_store (Some s);
+      Fun.protect ~finally:(fun () -> Softtimer.set_default_store None) k)
+
 let id =
   let doc = "Experiment id, or 'all'." in
   Arg.(value & pos 0 string "all" & info [] ~doc ~docv:"EXPERIMENT")
@@ -449,12 +475,13 @@ let trace_cmd =
   let term =
     Term.(
       ret
-        (const (fun quick seed jobs id out csv buf metrics window max_windows sanitize ->
+        (const (fun quick seed jobs store id out csv buf metrics window max_windows sanitize ->
              Runner.set_default_jobs jobs;
-             with_sanitizer sanitize (fun () ->
-                 run_trace (cfg_of quick seed) id out csv buf metrics window max_windows))
-        $ quick $ seed $ jobs $ exp_id $ out $ csv $ buf $ metrics $ window $ max_windows
-        $ sanitize))
+             with_store store (fun () ->
+                 with_sanitizer sanitize (fun () ->
+                     run_trace (cfg_of quick seed) id out csv buf metrics window max_windows)))
+        $ quick $ seed $ jobs $ store_arg $ exp_id $ out $ csv $ buf $ metrics $ window
+        $ max_windows $ sanitize))
   in
   Cmd.v (Cmd.info "trace" ~doc ~man) term
 
@@ -511,16 +538,21 @@ let stats_cmd =
   let term =
     Term.(
       ret
-        (const (fun quick seed jobs id window max_windows json prom csv out buf ->
+        (const (fun quick seed jobs store id window max_windows json prom csv out buf ->
              Runner.set_default_jobs jobs;
-             match (json, prom, csv) with
-             | true, false, false -> run_stats (cfg_of quick seed) id window max_windows `Json out buf
-             | false, true, false -> run_stats (cfg_of quick seed) id window max_windows `Prom out buf
-             | false, false, true -> run_stats (cfg_of quick seed) id window max_windows `Csv out buf
-             | false, false, false ->
-               run_stats (cfg_of quick seed) id window max_windows `Human out buf
-             | _ -> `Error (false, "--json, --prom and --csv are mutually exclusive"))
-        $ quick $ seed $ jobs $ exp_id $ window $ max_windows $ json $ prom $ csv $ out $ buf))
+             with_store store (fun () ->
+                 match (json, prom, csv) with
+                 | true, false, false ->
+                   run_stats (cfg_of quick seed) id window max_windows `Json out buf
+                 | false, true, false ->
+                   run_stats (cfg_of quick seed) id window max_windows `Prom out buf
+                 | false, false, true ->
+                   run_stats (cfg_of quick seed) id window max_windows `Csv out buf
+                 | false, false, false ->
+                   run_stats (cfg_of quick seed) id window max_windows `Human out buf
+                 | _ -> `Error (false, "--json, --prom and --csv are mutually exclusive")))
+        $ quick $ seed $ jobs $ store_arg $ exp_id $ window $ max_windows $ json $ prom $ csv
+        $ out $ buf))
   in
   Cmd.v (Cmd.info "stats" ~doc ~man) term
 
@@ -559,11 +591,12 @@ let profile_cmd =
   let term =
     Term.(
       ret
-        (const (fun quick seed jobs id out flame metrics sanitize ->
+        (const (fun quick seed jobs store id out flame metrics sanitize ->
              Runner.set_default_jobs jobs;
-             with_sanitizer sanitize (fun () ->
-                 run_profile (cfg_of quick seed) id out flame metrics))
-        $ quick $ seed $ jobs $ exp_id $ out $ flame $ metrics $ sanitize))
+             with_store store (fun () ->
+                 with_sanitizer sanitize (fun () ->
+                     run_profile (cfg_of quick seed) id out flame metrics)))
+        $ quick $ seed $ jobs $ store_arg $ exp_id $ out $ flame $ metrics $ sanitize))
   in
   Cmd.v (Cmd.info "profile" ~doc ~man) term
 
@@ -592,8 +625,9 @@ let verify_cmd =
   let term =
     Term.(
       ret
-        (const (fun quick seed jobs buf id -> run_verify (cfg_of quick seed) buf jobs id)
-        $ quick $ seed $ jobs $ buf $ exp_id))
+        (const (fun quick seed jobs store buf id ->
+             with_store store (fun () -> run_verify (cfg_of quick seed) buf jobs id))
+        $ quick $ seed $ jobs $ store_arg $ buf $ exp_id))
   in
   Cmd.v (Cmd.info "verify-determinism" ~doc ~man) term
 
@@ -614,11 +648,12 @@ let man =
 let default =
   Term.(
     ret
-      (const (fun quick seed jobs sanitize id ->
+      (const (fun quick seed jobs store sanitize id ->
            Runner.set_default_jobs jobs;
            let cfg = cfg_of quick seed in
-           if id = "all" then run_all cfg sanitize else run_one cfg sanitize id)
-      $ quick $ seed $ jobs $ sanitize $ id))
+           with_store store (fun () ->
+               if id = "all" then run_all cfg sanitize else run_one cfg sanitize id))
+      $ quick $ seed $ jobs $ store_arg $ sanitize $ id))
 
 let group_cmd =
   Cmd.group ~default
@@ -638,7 +673,10 @@ let () =
      following argv slot, so `--seed 9 table3` must skip the "9" — and a
      seed value must never be mistaken for a subcommand name. *)
   let value_flags =
-    [ "--seed"; "-s"; "--out"; "-o"; "--buf"; "--jobs"; "-j"; "--window"; "--max-windows" ]
+    [
+      "--seed"; "-s"; "--out"; "-o"; "--buf"; "--jobs"; "-j"; "--window"; "--max-windows";
+      "--store";
+    ]
   in
   let first_positional =
     let rec go i =

@@ -9,7 +9,7 @@ type t = {
   mutable epoch : int;
   mutable sends : int;
   mutable last_send : Time_ns.t option;
-  intervals : Stats.Sample.t;
+  intervals : Hdr.t;  (* constant-memory, like Rate_clock.intervals *)
 }
 
 let a_dispatch = Profile.intern [ "softintr"; "hw_pacer" ]
@@ -30,7 +30,7 @@ let on_tick t _now =
         t.dispatch_pending <- false;
         if t.running && t.send now then begin
         (match t.last_send with
-        | Some prev -> Stats.Sample.add t.intervals (Time_ns.to_us Time_ns.(now - prev))
+        | Some prev -> Hdr.record t.intervals (Time_ns.to_us Time_ns.(now - prev))
         | None -> ());
           t.last_send <- Some now;
           t.sends <- t.sends + 1
@@ -51,7 +51,7 @@ let create machine ~interval ~send ?(dispatch_work_us = 1.2) () =
       epoch = 0;
       sends = 0;
       last_send = None;
-      intervals = Stats.Sample.create ();
+      intervals = Hdr.create ~lowest:0.01 ();
     }
   in
   let line =

@@ -29,5 +29,6 @@ val sends : t -> int
 val ticks_raised : t -> int
 val ticks_lost : t -> int
 
-val intervals : t -> Stats.Sample.t
-(** Inter-transmission gaps in microseconds. *)
+val intervals : t -> Hdr.t
+(** Inter-transmission gaps in microseconds (constant-memory
+    histogram). *)

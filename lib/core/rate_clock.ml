@@ -18,7 +18,10 @@ type t = {
   mutable last_send : Time_ns.t;
   mutable sends : int;
   mutable outstanding : Softtimer.handle option;
-  intervals : Stats.Sample.t;
+  intervals : Hdr.t;
+      (* Constant-memory: a clock sends once per interval for the whole
+         run, so retaining every gap (the old [Stats.Sample.t]) grew
+         without bound — one float per packet, forever. *)
 }
 
 let create st ~target_interval ~min_interval ~send () =
@@ -35,7 +38,9 @@ let create st ~target_interval ~min_interval ~send () =
     last_send = Time_ns.zero;
     sends = 0;
     outstanding = None;
-    intervals = Stats.Sample.create ();
+    (* Values are microseconds; 10 ns absolute resolution is far below
+       the 1% relative bound and keeps the bucket array small. *)
+    intervals = Hdr.create ~lowest:0.01 ();
   }
 
 let rec on_event t now =
@@ -44,7 +49,7 @@ let rec on_event t now =
     if t.send now then begin
       if t.sent_in_train > 0 then begin
         let gap_us = Time_ns.to_us Time_ns.(now - t.last_send) in
-        Stats.Sample.add t.intervals gap_us;
+        Hdr.record t.intervals gap_us;
         Hdr.record h_intervals gap_us
       end;
       t.last_send <- now;

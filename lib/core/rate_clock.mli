@@ -40,6 +40,8 @@ val stop : t -> unit
 val active : t -> bool
 val sends : t -> int
 
-val intervals : t -> Stats.Sample.t
+val intervals : t -> Hdr.t
 (** Inter-transmission gaps within trains, in microseconds — the
-    statistic of the paper's Tables 4 and 5. *)
+    statistic of the paper's Tables 4 and 5.  A constant-memory
+    histogram: memory is bounded by the number of distinct buckets, not
+    by the number of sends, so a long-lived clock never grows. *)

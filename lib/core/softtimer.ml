@@ -8,7 +8,8 @@ type pending_event = { due : Time_ns.t; handler : Time_ns.t -> unit }
 
 type t = {
   machine : Machine.t;
-  wheel : pending_event Timing_wheel.t;
+  store : pending_event Timer_store.inst;
+  store_slots : int;  (* slot figure reported to the sanitizer *)
   measure_hz : int64;
   intr_hz : int64;
   ns_per_tick : float;
@@ -19,7 +20,14 @@ type t = {
   delays : Stats.Sample.t;
 }
 
-type handle = Timing_wheel.handle
+type handle = Timer_store.ticket
+
+(* Process-wide default store, consulted when [attach] is not given an
+   explicit one.  Lets the CLI (or a test) swap the facility's pending
+   set without threading a parameter through every experiment. *)
+let default_store : (module Timer_store.S) option ref = ref None
+
+let set_default_store s = default_store := s
 
 let machine t = t.machine
 let measure_resolution t = t.measure_hz
@@ -45,13 +53,13 @@ let a_fire = Profile.intern [ "softtimer"; "fire" ]
 let check t kind now =
   t.checks <- t.checks + 1;
   Metrics.incr m_checks;
-  match Timing_wheel.next_deadline t.wheel with
+  match t.store.Timer_store.i_next_deadline () with
   | Some d when Time_ns.(d <= now) ->
     let fire_cost = (Machine.profile t.machine).Costs.softtimer_fire_us in
     let fire_attr = if Profile.enabled () then Some a_fire else None in
     let source = Trigger.name kind in
     ignore
-      (Timing_wheel.fire_due t.wheel ~now (fun due ev ->
+      (t.store.Timer_store.i_fire_due ~now (fun due ev ->
            t.fired <- t.fired + 1;
            Metrics.incr m_fired;
            Trace.soft_fire ~at:now ~due;
@@ -65,14 +73,23 @@ let check t kind now =
         : int)
   | Some _ | None -> ()
 
-let attach ?(wheel_tick = Time_ns.of_us 10.0) ?(wheel_slots = 512) machine =
+let attach ?store ?(wheel_tick = Time_ns.of_us 10.0) ?(wheel_slots = 512) machine =
   if Machine.check_hook_attached machine then
     invalid_arg "Softtimer.attach: a facility is already attached to this machine";
   let profile = Machine.profile machine in
+  let store_mod =
+    match store with
+    | Some s -> s
+    | None -> (
+      match !default_store with
+      | Some s -> s
+      | None -> Timer_store.wheel ~slots:wheel_slots ())
+  in
   let t =
     {
       machine;
-      wheel = Timing_wheel.create ~slots:wheel_slots ~tick:wheel_tick ();
+      store = Timer_store.instantiate store_mod ~tick:wheel_tick ();
+      store_slots = wheel_slots;
       measure_hz = Int64.of_float (profile.Costs.cpu_mhz *. 1e6);
       intr_hz = Int64.of_float profile.Costs.interrupt_clock_hz;
       ns_per_tick = 1e9 /. (profile.Costs.cpu_mhz *. 1e6);
@@ -84,16 +101,19 @@ let attach ?(wheel_tick = Time_ns.of_us 10.0) ?(wheel_slots = 512) machine =
     }
   in
   Machine.set_check_hook machine (Some (check t));
-  Machine.set_idle_deadline_fn machine (Some (fun () -> Timing_wheel.next_deadline t.wheel));
+  Machine.set_idle_deadline_fn machine (Some (fun () -> t.store.Timer_store.i_next_deadline ()));
   Machine.start_interrupt_clock machine;
-  (* Pull-style wheel stats: the sanitizer (lib/check) reads these to
-     assert the residency bound during runs. *)
+  (* Pull-style store stats: the sanitizer (lib/check) reads these to
+     assert the residency bound during runs.  The slots figure is the
+     configured wheel size; every store's compaction floor is at or
+     below it, so the sanitizer's [resident <= 2 * max pending slots]
+     invariant is store-independent. *)
   Metrics.probe Metrics.default "softtimer.wheel_resident" (fun () ->
-      float_of_int (Timing_wheel.resident t.wheel));
+      float_of_int (t.store.Timer_store.i_resident ()));
   Metrics.probe Metrics.default "softtimer.wheel_pending" (fun () ->
-      float_of_int (Timing_wheel.pending t.wheel));
+      float_of_int (t.store.Timer_store.i_pending ()));
   Metrics.probe Metrics.default "softtimer.wheel_slots" (fun () ->
-      float_of_int (Timing_wheel.slots t.wheel));
+      float_of_int t.store_slots);
   t
 
 let detach t =
@@ -103,6 +123,15 @@ let detach t =
     Machine.set_idle_deadline_fn t.machine None
   end
 
+let store_name t = t.store.Timer_store.i_name
+
+let notify_if_earliest t due =
+  (* If this event became the earliest, an idle checking CPU may be
+     armed for a later (or no) deadline: wake it up for this one. *)
+  match t.store.Timer_store.i_next_deadline () with
+  | Some d when t.attached && Time_ns.(d = due) -> Machine.notify_deadline_changed t.machine
+  | _ -> ()
+
 let schedule_soft_event t ~ticks handler =
   if Int64.compare ticks 0L < 0 then
     invalid_arg "Softtimer.schedule_soft_event: negative ticks";
@@ -111,12 +140,8 @@ let schedule_soft_event t ~ticks handler =
   let due = ns_of_tick t (Int64.add sched (Int64.add ticks 1L)) in
   Metrics.incr m_scheduled;
   Trace.soft_sched ~at:(Engine.now (Machine.engine t.machine)) ~due;
-  let h = Timing_wheel.schedule t.wheel ~at:due { due; handler } in
-  (* If this event became the earliest, an idle checking CPU may be
-     armed for a later (or no) deadline: wake it up for this one. *)
-  (match Timing_wheel.next_deadline t.wheel with
-  | Some d when t.attached && Time_ns.(d = due) -> Machine.notify_deadline_changed t.machine
-  | _ -> ());
+  let h = t.store.Timer_store.i_schedule ~at:due { due; handler } in
+  notify_if_earliest t due;
   h
 
 let schedule_after t span handler =
@@ -125,17 +150,36 @@ let schedule_after t span handler =
   schedule_soft_event t ~ticks handler
 
 let cancel t h =
-  if Timing_wheel.handle_pending h then begin
+  if h.Timer_store.tk_pending () then begin
     Metrics.incr m_cancelled;
     Trace.soft_cancel
       ~at:(Engine.now (Machine.engine t.machine))
-      ~due:(Timing_wheel.handle_deadline h)
+      ~due:(h.Timer_store.tk_deadline ())
   end;
-  Timing_wheel.cancel t.wheel h
-let pending t = Timing_wheel.pending t.wheel
+  h.Timer_store.tk_cancel ()
+
+let rearm t h ~ticks =
+  if Int64.compare ticks 0L < 0 then invalid_arg "Softtimer.rearm: negative ticks";
+  if not (h.Timer_store.tk_pending ()) then false
+  else begin
+    let at = Engine.now (Machine.engine t.machine) in
+    Trace.soft_cancel ~at ~due:(h.Timer_store.tk_deadline ());
+    let sched = measure_time t in
+    let due = ns_of_tick t (Int64.add sched (Int64.add ticks 1L)) in
+    (* A re-arm is cancel + schedule with the handle kept; the trace
+       records it as exactly that pair, so digests are independent of
+       whether a client re-arms or reschedules. *)
+    Trace.soft_sched ~at ~due;
+    Metrics.incr m_scheduled;
+    let moved = h.Timer_store.tk_rearm due in
+    if moved then notify_if_earliest t due;
+    moved
+  end
+
+let pending t = t.store.Timer_store.i_pending ()
 
 let wheel_stats t =
-  (Timing_wheel.resident t.wheel, Timing_wheel.pending t.wheel, Timing_wheel.slots t.wheel)
+  (t.store.Timer_store.i_resident (), t.store.Timer_store.i_pending (), t.store_slots)
 let fired t = t.fired
 let checks t = t.checks
 let set_record_delays t b = t.record_delays <- b

@@ -13,21 +13,37 @@
 
     The facility's interface is the paper's, verbatim:
     {!measure_resolution}, {!measure_time}, {!schedule_soft_event} and
-    {!interrupt_clock_resolution}.  Pending events live in a hashed
-    timing wheel ({!Timing_wheel}); the per-trigger check costs one
-    cached comparison. *)
+    {!interrupt_clock_resolution}.  Pending events live in a pluggable
+    {!Timer_store} (the paper's modified hashed timing wheel by
+    default); the per-trigger check costs one cached comparison
+    whichever store backs it. *)
 
 type t
 
 type handle
-(** A scheduled event; cancellable until it fires. *)
+(** A scheduled event; cancellable (and re-armable) until it fires. *)
 
-val attach : ?wheel_tick:Time_ns.span -> ?wheel_slots:int -> Machine.t -> t
+val set_default_store : (module Timer_store.S) option -> unit
+(** Process-wide store used by {!attach} when no explicit [?store] is
+    given; [None] restores the built-in default (the hashed wheel).
+    Lets the CLI swap the facility's pending set for a whole run. *)
+
+val attach :
+  ?store:(module Timer_store.S) ->
+  ?wheel_tick:Time_ns.span ->
+  ?wheel_slots:int ->
+  Machine.t ->
+  t
 (** Install the facility on a machine: hooks the per-trigger-state
     check, provides the idle loop's next-deadline oracle and starts the
     machine's periodic interrupt clock (the backup).  At most one
     facility may be attached to a machine at a time.
-    [wheel_tick] defaults to 10 us, [wheel_slots] to 512. *)
+    [store] defaults to the store set via {!set_default_store}, falling
+    back to the hashed wheel with [wheel_slots] slots.  [wheel_tick]
+    (every store's [tick]) defaults to 10 us, [wheel_slots] to 512. *)
+
+val store_name : t -> string
+(** Name of the store backing this facility (see {!Store_registry}). *)
 
 val detach : t -> unit
 (** Unhook the facility.  Pending events never fire afterwards. *)
@@ -68,12 +84,23 @@ val x_ratio : t -> int64
     the firing window in measurement ticks. *)
 
 val cancel : t -> handle -> unit
+
+val rearm : t -> handle -> ticks:int64 -> bool
+(** [rearm t h ~ticks] moves a pending event to a new deadline [ticks]
+    measurement ticks ahead, exactly as if it were cancelled and
+    rescheduled (the trace records that pair) but keeping [h] valid —
+    the TCP retransmit push-out operation.  [false] when the event
+    already fired or was cancelled.
+    @raise Invalid_argument if [ticks < 0]. *)
+
 val pending : t -> int
 
-(** [(resident, pending, slots)] of the backing timing wheel — the
-    figures behind the sanitizer's residency invariant
-    [resident <= 2 * max pending slots].  Also published as the
-    [softtimer.wheel_*] probes in {!Metrics.default}. *)
+(** [(resident, pending, slots)] of the backing store — the figures
+    behind the sanitizer's residency invariant
+    [resident <= 2 * max pending slots] ([slots] is the configured
+    wheel size; every store's compaction floor is at or below it).
+    Also published as the [softtimer.wheel_*] probes in
+    {!Metrics.default}. *)
 val wheel_stats : t -> int * int * int
 val fired : t -> int
 (** Events fired so far. *)

@@ -45,8 +45,8 @@ let soft_cell (cfg : Exp_config.t) ~target_us ~min_us =
   let s = Rate_clock.intervals clock in
   {
     min_interval_us = min_us;
-    avg_interval_us = Stats.Sample.mean s;
-    stddev_us = Stats.Sample.stddev s;
+    avg_interval_us = Hdr.mean s;
+    stddev_us = Hdr.stddev s;
     sends = Rate_clock.sends clock;
   }
 
@@ -63,8 +63,8 @@ let hw_cell (cfg : Exp_config.t) ~target_us =
       : Engine.handle);
   Webserver.run t ~warmup:(Exp_config.warmup cfg) ~measure:(Exp_config.measure cfg);
   let s = Hw_pacer.intervals pacer in
-  ( Stats.Sample.mean s,
-    Stats.Sample.stddev s,
+  ( Hdr.mean s,
+    Hdr.stddev s,
     100.0 *. float_of_int (Hw_pacer.ticks_lost pacer)
     /. float_of_int (max 1 (Hw_pacer.ticks_raised pacer)) )
 

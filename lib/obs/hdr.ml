@@ -23,6 +23,7 @@ type t = {
   mutable counts : int array;
   mutable total : int;
   mutable sum : float;  (* of raw values: mean stays exact *)
+  mutable sum_sq : float;  (* of squared raw values: stddev stays exact *)
   mutable min_v : float;
   mutable max_v : float;
 }
@@ -43,6 +44,7 @@ let create ?(rel_error = 0.01) ?(lowest = 1e-3) () =
     counts = Array.make (1 lsl !k) 0;
     total = 0;
     sum = 0.0;
+    sum_sq = 0.0;
     min_v = infinity;
     max_v = neg_infinity;
   }
@@ -52,6 +54,16 @@ let lowest t = t.lowest
 let count t = t.total
 let sum t = t.sum
 let mean t = if t.total = 0 then nan else t.sum /. float_of_int t.total
+
+(* Population stddev from the running moments — exact (up to float
+   rounding), not bucket-quantized. *)
+let stddev t =
+  if t.total = 0 then nan
+  else begin
+    let n = float_of_int t.total in
+    let m = t.sum /. n in
+    Float.sqrt (Float.max 0.0 ((t.sum_sq /. n) -. (m *. m)))
+  end
 let min t = if t.total = 0 then nan else t.min_v
 let max t = if t.total = 0 then nan else t.max_v
 let bucket_count t = Array.length t.counts
@@ -122,6 +134,7 @@ let record t x =
   t.counts.(i) <- t.counts.(i) + 1;
   t.total <- t.total + 1;
   t.sum <- t.sum +. x;
+  t.sum_sq <- t.sum_sq +. (x *. x);
   if x < t.min_v then t.min_v <- x;
   if x > t.max_v then t.max_v <- x
 
@@ -129,6 +142,7 @@ let clear t =
   Array.fill t.counts 0 (Array.length t.counts) 0;
   t.total <- 0;
   t.sum <- 0.0;
+  t.sum_sq <- 0.0;
   t.min_v <- infinity;
   t.max_v <- neg_infinity
 
@@ -184,6 +198,7 @@ let merge a b =
       counts = Array.make (Stdlib.max (Array.length a.counts) (Array.length b.counts)) 0;
       total = a.total + b.total;
       sum = a.sum +. b.sum;
+      sum_sq = a.sum_sq +. b.sum_sq;
       min_v = Float.min a.min_v b.min_v;
       max_v = Float.max a.max_v b.max_v;
     }

@@ -44,6 +44,11 @@ val sum : t -> float
 val mean : t -> float
 (** Exact (from the running sum), [nan] when empty. *)
 
+val stddev : t -> float
+(** Population standard deviation, exact up to float rounding (from the
+    running first and second moments, not the buckets).  [nan] when
+    empty. *)
+
 val min : t -> float
 (** Exact smallest recorded value, [nan] when empty. *)
 

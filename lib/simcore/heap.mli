@@ -31,6 +31,11 @@ val pop_exn : 'a t -> 'a
 val clear : 'a t -> unit
 (** Remove all elements (keeps the backing array). *)
 
+val filter_in_place : 'a t -> ('a -> bool) -> unit
+(** Drop every element [keep] rejects, then restore the heap invariant
+    in place (Floyd heapify).  O(n); the lazy-cancellation compaction
+    choke point of the flag-cancelling timer backends. *)
+
 val iter_unordered : 'a t -> ('a -> unit) -> unit
 (** Visit every element in unspecified order. *)
 

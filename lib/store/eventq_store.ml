@@ -1,0 +1,174 @@
+let name = "eventq"
+
+(* Compaction threshold, mirroring the engine's slot table. *)
+let compact_floor = 64
+
+type 'a slot = {
+  mutable sseq : int;  (* current generation; -1 when free *)
+  mutable sat : Time_ns.t;
+  mutable sval : 'a option;
+}
+
+type 'a handle = {
+  hidx : int;
+  mutable hseq : int;  (* generation this handle tracks; -1 when dead *)
+  mutable hat : Time_ns.t;
+}
+
+type 'a t = {
+  q : Eventq.t;
+  mutable slots : 'a slot array;
+  mutable nslots : int;  (* slots ever allocated (high-water mark) *)
+  mutable free : int list;
+  mutable live : int;
+  mutable dead : int;  (* stale queue entries awaiting compaction *)
+  mutable next_seq : int;
+}
+
+let create ~tick () =
+  ignore tick;
+  {
+    q = Eventq.create ();
+    slots = [||];
+    nslots = 0;
+    free = [];
+    live = 0;
+    dead = 0;
+    next_seq = 0;
+  }
+
+let fresh_seq t =
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  s
+
+let alloc_slot t =
+  match t.free with
+  | idx :: rest ->
+    t.free <- rest;
+    idx
+  | [] ->
+    let cap = Array.length t.slots in
+    if t.nslots = cap then begin
+      let ncap = if cap = 0 then 16 else 2 * cap in
+      (* Fresh record per cell: [Array.make] would alias one. *)
+      t.slots <-
+        Array.init ncap (fun i ->
+            if i < cap then t.slots.(i) else { sseq = -1; sat = Time_ns.zero; sval = None })
+    end;
+    let idx = t.nslots in
+    t.nslots <- idx + 1;
+    idx
+
+let free_slot t idx =
+  let s = t.slots.(idx) in
+  s.sseq <- -1;
+  s.sval <- None;
+  t.free <- idx :: t.free
+
+(* A handle is pending iff its generation still matches its slot's:
+   cancel/fire free the slot (generation -1) and any reuse stamps a
+   fresh generation, so stale handles can never match. *)
+let valid t h = h.hseq >= 0 && t.slots.(h.hidx).sseq = h.hseq
+
+let note_dead t =
+  t.dead <- t.dead + 1;
+  if t.dead >= compact_floor && t.dead >= t.live then begin
+    Eventq.rebuild t.q ~keep:(fun ~seq ~payload -> t.slots.(payload).sseq = seq);
+    t.dead <- 0
+  end
+
+let schedule t ~at v =
+  let idx = alloc_slot t in
+  let s = t.slots.(idx) in
+  let seq = fresh_seq t in
+  s.sseq <- seq;
+  s.sat <- at;
+  s.sval <- Some v;
+  Eventq.push t.q ~time:(Int64.to_int at) ~seq ~payload:idx;
+  t.live <- t.live + 1;
+  { hidx = idx; hseq = seq; hat = at }
+
+let cancel t h =
+  if valid t h then begin
+    free_slot t h.hidx;
+    h.hseq <- -1;
+    t.live <- t.live - 1;
+    note_dead t
+  end
+
+let rearm t h ~at =
+  if not (valid t h) then false
+  else begin
+    (* The old queue entry goes stale (its generation no longer matches)
+       and a fresh one is pushed: cancel + schedule in one slot, handle
+       untouched. *)
+    let s = t.slots.(h.hidx) in
+    let seq = fresh_seq t in
+    s.sseq <- seq;
+    s.sat <- at;
+    h.hseq <- seq;
+    h.hat <- at;
+    Eventq.push t.q ~time:(Int64.to_int at) ~seq ~payload:h.hidx;
+    note_dead t;
+    true
+  end
+
+let pending t = t.live
+let resident t = Eventq.length t.q
+
+let handle_pending t h = valid t h
+let handle_deadline _t h = h.hat
+
+(* Pop stale entries (cancelled or re-armed away) off the top. *)
+let rec shed_stale t =
+  if not (Eventq.is_empty t.q) then begin
+    let idx = Eventq.min_payload t.q in
+    if t.slots.(idx).sseq <> Eventq.min_seq t.q then begin
+      Eventq.drop_min t.q;
+      if t.dead > 0 then t.dead <- t.dead - 1;
+      shed_stale t
+    end
+  end
+
+let next_deadline t =
+  shed_stale t;
+  if Eventq.is_empty t.q then None else Some (Int64.of_int (Eventq.min_time t.q))
+
+let fire_due t ~now f =
+  let now_i = Int64.to_int now in
+  (* Pop the whole due prefix before running any callback: the popped
+     list is the snapshot, already in (deadline, tie) order; entries
+     pushed by callbacks land in the queue for the next call. *)
+  let rec collect acc =
+    shed_stale t;
+    (* Immediate-int key comparison (DET003 targets boxed Time_ns). *)
+    let head = if Eventq.is_empty t.q then max_int else Eventq.min_time t.q in
+    if head <= now_i then begin
+      let time = Eventq.min_time t.q in
+      let seq = Eventq.min_seq t.q in
+      let idx = Eventq.min_payload t.q in
+      Eventq.drop_min t.q;
+      collect ((time, seq, idx) :: acc)
+    end
+    else List.rev acc
+  in
+  let batch = collect [] in
+  let fired = ref 0 in
+  List.iter
+    (fun (time, seq, idx) ->
+      let s = t.slots.(idx) in
+      (* Generation still matching = not cancelled or re-armed by an
+         earlier callback in this batch. *)
+      if s.sseq = seq then begin
+        let v = match s.sval with Some v -> v | None -> assert false in
+        free_slot t idx;
+        t.live <- t.live - 1;
+        incr fired;
+        f (Int64.of_int time) v
+      end
+      else if t.dead > 0 then
+        (* The cancel/re-arm counted a corpse we had already popped. *)
+        t.dead <- t.dead - 1)
+    batch;
+  !fired

@@ -1,0 +1,23 @@
+(** Grouped sorting queue with dynamic in-place deadline updates
+    (after Wang et al.'s NIC timer-management queue).
+
+    Entries live in {e groups} whose deadline ranges partition time:
+    groups are ordered by range, {e unsorted inside}.  Insert binary- /
+    linear-searches the group covering the deadline and appends — no
+    comparison against the group's members.  Sorting is deferred to
+    expiry: a group is sorted only when time reaches it, so entries that
+    are cancelled or re-armed away first are never sorted at all.  A
+    group outgrowing ~256 entries splits at its median deadline.
+
+    The headline operation is {e re-arm}: when the new deadline falls
+    within the node's current group range the update is truly in place —
+    the node does not move (it does take a fresh tie position, keeping
+    re-arm equivalent to cancel + schedule).  TCP retransmit timers,
+    which are pushed out by a few RTOs at a time, hit this case almost
+    always.  Cancellation is a physical O(1) swap-pop: no corpses,
+    [resident = pending].
+
+    Conforms to the {!Timer_store.S} contract; see [timer_store.mli] for
+    the fire/re-arm semantics. *)
+
+include Timer_store.S

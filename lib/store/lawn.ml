@@ -1,0 +1,245 @@
+let name = "lawn"
+
+type nstate =
+  | Linked  (* in its bucket's FIFO *)
+  | Extracted  (* pulled into a fire batch, callback not yet run *)
+  | Done  (* fired or cancelled *)
+
+type 'a node = {
+  mutable nat : Time_ns.t;
+  mutable nseq : int;
+  nval : 'a;
+  mutable nstate : nstate;
+  mutable nprev : 'a node option;
+  mutable nnext : 'a node option;
+  mutable nbucket : 'a bucket;
+}
+
+and 'a bucket = {
+  bdur : Time_ns.span;
+  mutable bhead : 'a node option;
+  mutable btail : 'a node option;
+}
+
+type 'a t = {
+  tbl : (Time_ns.span, 'a bucket) Hashtbl.t;  (* lookup only (DET004) *)
+  mutable buckets_rev : 'a bucket list;  (* creation order, reversed *)
+  mutable last_now : Time_ns.t;
+  mutable count : int;
+  mutable next_seq : int;
+  mutable cached_min : Time_ns.t;
+  mutable min_valid : bool;
+}
+
+type 'a handle = 'a node
+
+let create ~tick () =
+  ignore tick;
+  {
+    tbl = Hashtbl.create 16;
+    buckets_rev = [];
+    last_now = Time_ns.zero;
+    count = 0;
+    next_seq = 0;
+    cached_min = Time_ns.zero;
+    min_valid = true;  (* vacuously: empty *)
+  }
+
+let fresh_seq t =
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  s
+
+let bucket_for t dur =
+  match Hashtbl.find_opt t.tbl dur with
+  | Some b -> b
+  | None ->
+    let b = { bdur = dur; bhead = None; btail = None } in
+    Hashtbl.replace t.tbl dur b;
+    t.buckets_rev <- b :: t.buckets_rev;
+    b
+
+(* Append at the tail.  Within a bucket, deadlines are non-decreasing in
+   insertion order: equal durations inserted under a monotone [last_now]
+   produce monotone deadlines.  The only exception is the zero-duration
+   bucket, which absorbs clamped past deadlines — but those are all
+   already due, so head-popping still never strands a due entry (the
+   zero bucket is walked in full instead of popped, see below). *)
+let link_tail b n =
+  n.nprev <- b.btail;
+  n.nnext <- None;
+  (match b.btail with Some tl -> tl.nnext <- Some n | None -> b.bhead <- Some n);
+  b.btail <- Some n
+
+let unlink b n =
+  (match n.nprev with Some p -> p.nnext <- n.nnext | None -> b.bhead <- n.nnext);
+  (match n.nnext with Some s -> s.nprev <- n.nprev | None -> b.btail <- n.nprev);
+  n.nprev <- None;
+  n.nnext <- None
+
+let note_scheduled t at =
+  if t.min_valid then
+    if t.count = 0 then t.cached_min <- at else t.cached_min <- Time_ns.min t.cached_min at
+
+let insert t n at =
+  let dur = Time_ns.max (Time_ns.( - ) at t.last_now) 0L in
+  let b = bucket_for t dur in
+  n.nat <- at;
+  n.nbucket <- b;
+  link_tail b n
+
+let schedule t ~at v =
+  let dur = Time_ns.max (Time_ns.( - ) at t.last_now) 0L in
+  let b = bucket_for t dur in
+  let n =
+    {
+      nat = at;
+      nseq = fresh_seq t;
+      nval = v;
+      nstate = Linked;
+      nprev = None;
+      nnext = None;
+      nbucket = b;
+    }
+  in
+  link_tail b n;
+  note_scheduled t at;
+  t.count <- t.count + 1;
+  n
+
+let cancel t n =
+  match n.nstate with
+  | Done -> ()
+  | Linked ->
+    unlink n.nbucket n;
+    n.nstate <- Done;
+    t.count <- t.count - 1;
+    if t.min_valid && t.count > 0 && Time_ns.(n.nat <= t.cached_min) then t.min_valid <- false
+  | Extracted ->
+    (* Already pulled into the current fire batch; the dispatch loop
+       will skip it. *)
+    n.nstate <- Done;
+    t.count <- t.count - 1
+
+let rearm t n ~at =
+  match n.nstate with
+  | Done -> false
+  | Linked ->
+    unlink n.nbucket n;
+    (* The departing deadline may have been the cached minimum. *)
+    if t.min_valid && Time_ns.(n.nat <= t.cached_min) then t.min_valid <- false;
+    n.nseq <- fresh_seq t;
+    insert t n at;
+    note_scheduled t at;
+    true
+  | Extracted ->
+    (* Re-arming a batch member: it leaves the batch (the dispatch loop
+       skips non-Extracted nodes) and re-enters a bucket with a fresh
+       tie position, exactly cancel + schedule. *)
+    n.nseq <- fresh_seq t;
+    n.nstate <- Linked;
+    insert t n at;
+    note_scheduled t at;
+    true
+
+let pending t = t.count
+let resident t = t.count  (* cancellation unlinks physically: no corpses *)
+
+let handle_pending _t n = n.nstate <> Done
+let handle_deadline _t n = n.nat
+
+let scan_min t =
+  let best = ref None in
+  let consider at =
+    match !best with
+    | None -> best := Some at
+    | Some m -> if Time_ns.(at < m) then best := Some at
+  in
+  List.iter
+    (fun b ->
+      if Time_ns.(b.bdur = 0L) then begin
+        (* The zero bucket may hold clamped past deadlines out of order;
+           walk it in full.  It is drained at every fire_due, so it is
+           short-lived. *)
+        let rec walk = function
+          | None -> ()
+          | Some n ->
+            consider n.nat;
+            walk n.nnext
+        in
+        walk b.bhead
+      end
+      else match b.bhead with Some n -> consider n.nat | None -> ())
+    (List.rev t.buckets_rev);
+  !best
+
+let next_deadline t =
+  if t.count = 0 then None
+  else if t.min_valid then Some t.cached_min
+  else begin
+    match scan_min t with
+    | Some m ->
+      t.cached_min <- m;
+      t.min_valid <- true;
+      Some m
+    | None -> None  (* unreachable: count > 0 implies a linked node *)
+  end
+
+let fire_due t ~now f =
+  t.last_now <- Time_ns.max t.last_now now;
+  (* Collect the due snapshot: pop each positive-duration bucket from the
+     head while due (FIFO order = deadline order within a bucket), walk
+     the zero bucket in full. *)
+  let batch = ref [] in
+  let extract n =
+    n.nstate <- Extracted;
+    batch := n :: !batch
+  in
+  List.iter
+    (fun b ->
+      if Time_ns.(b.bdur = 0L) then begin
+        let rec walk = function
+          | None -> ()
+          | Some n ->
+            let next = n.nnext in
+            if Time_ns.(n.nat <= now) then begin
+              unlink b n;
+              extract n
+            end;
+            walk next
+        in
+        walk b.bhead
+      end
+      else begin
+        let rec pop () =
+          match b.bhead with
+          | Some n when Time_ns.(n.nat <= now) ->
+            unlink b n;
+            extract n;
+            pop ()
+          | _ -> ()
+        in
+        pop ()
+      end)
+    (List.rev t.buckets_rev);
+  let due =
+    List.sort
+      (fun a b ->
+        let c = Time_ns.compare a.nat b.nat in
+        if c <> 0 then c else compare a.nseq b.nseq)
+      !batch
+  in
+  (match due with [] -> () | _ :: _ -> t.min_valid <- false);
+  let fired = ref 0 in
+  List.iter
+    (fun n ->
+      (* Still Extracted = not cancelled or re-armed by an earlier
+         callback in this batch. *)
+      if n.nstate = Extracted then begin
+        n.nstate <- Done;
+        t.count <- t.count - 1;
+        incr fired;
+        f n.nat n.nval
+      end)
+    due;
+  !fired

@@ -1,0 +1,16 @@
+let all : (module Timer_store.S) list =
+  [
+    Timer_store.wheel ~slots:512 ();
+    (module Timer_store.Of_base (Timer_backend.Sorted_list));
+    (module Timer_store.Of_base (Timer_backend.Binary_heap));
+    (module Timer_store.Of_base (Timer_backend.Hier));
+    (module Eventq_store);
+    (module Lawn);
+    (module Grouped_sorting);
+  ]
+
+let names =
+  List.map (fun (module M : Timer_store.S) -> M.name) all
+
+let find name =
+  List.find_opt (fun (module M : Timer_store.S) -> String.equal M.name name) all

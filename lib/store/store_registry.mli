@@ -1,0 +1,21 @@
+(** Every production timer store, by name.
+
+    The arena bench, the cross-backend equivalence suite and the CLI's
+    [--store] flag all draw from this one list:
+
+    - ["wheel"] — the production hashed {!Timing_wheel} (512 slots);
+    - ["sorted-list"], ["binary-heap"], ["hierarchical-wheel"] — the
+      [Timer_backend] references, lifted via {!Timer_store.Of_base};
+    - ["eventq"] — the engine slot-table technique ({!Eventq_store});
+    - ["lawn"] — per-duration FIFO buckets ({!Lawn});
+    - ["grouped-sorting"] — range-partitioned groups with in-place
+      deadline updates ({!Grouped_sorting}).
+
+    {!Timer_store.Reference} is deliberately absent: it is the oracle
+    the others are tested against, not a production store. *)
+
+val all : (module Timer_store.S) list
+
+val names : string list
+
+val find : string -> (module Timer_store.S) option

@@ -1,0 +1,240 @@
+module type S = sig
+  type 'a t
+
+  type 'a handle
+
+  val name : string
+
+  val create : tick:Time_ns.span -> unit -> 'a t
+  val schedule : 'a t -> at:Time_ns.t -> 'a -> 'a handle
+  val cancel : 'a t -> 'a handle -> unit
+  val rearm : 'a t -> 'a handle -> at:Time_ns.t -> bool
+  val pending : 'a t -> int
+  val resident : 'a t -> int
+  val next_deadline : 'a t -> Time_ns.t option
+  val handle_pending : 'a t -> 'a handle -> bool
+  val handle_deadline : 'a t -> 'a handle -> Time_ns.t
+  val fire_due : 'a t -> now:Time_ns.t -> (Time_ns.t -> 'a -> unit) -> int
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reference model.                                                    *)
+
+module Reference : S = struct
+  let name = "reference"
+
+  type rstate = Pending | Cancelled | Fired
+
+  type 'a handle = {
+    mutable rat : Time_ns.t;
+    mutable rseq : int;
+    mutable rstate : rstate;
+    rval : 'a;
+  }
+
+  type 'a t = {
+    mutable entries : 'a handle list;  (* pending entries, unordered *)
+    mutable next_seq : int;
+  }
+
+  let create ~tick () =
+    ignore tick;
+    { entries = []; next_seq = 0 }
+
+  let fresh_seq t =
+    let s = t.next_seq in
+    t.next_seq <- s + 1;
+    s
+
+  let schedule t ~at v =
+    let h = { rat = at; rseq = fresh_seq t; rstate = Pending; rval = v } in
+    t.entries <- h :: t.entries;
+    h
+
+  let cancel t h =
+    if h.rstate = Pending then begin
+      h.rstate <- Cancelled;
+      t.entries <- List.filter (fun e -> e != h) t.entries
+    end
+
+  let rearm t h ~at =
+    if h.rstate <> Pending then false
+    else begin
+      (* Exactly cancel + schedule(same value): new deadline, fresh tie
+         position, same handle. *)
+      h.rat <- at;
+      h.rseq <- fresh_seq t;
+      true
+    end
+
+  let pending t = List.length t.entries
+  let resident t = List.length t.entries
+
+  let next_deadline t =
+    List.fold_left
+      (fun acc h ->
+        match acc with
+        | None -> Some h.rat
+        | Some m -> if Time_ns.(h.rat < m) then Some h.rat else acc)
+      None t.entries
+
+  let handle_pending _t h = h.rstate = Pending
+  let handle_deadline _t h = h.rat
+
+  let fire_due t ~now f =
+    (* Snapshot: only entries that existed (and were due) at call time
+       are candidates; [limit] excludes anything scheduled or re-armed
+       by a callback during this call. *)
+    let limit = t.next_seq in
+    let due =
+      List.filter (fun h -> h.rseq < limit && Time_ns.(h.rat <= now)) t.entries
+      |> List.sort (fun a b ->
+             let c = Time_ns.compare a.rat b.rat in
+             if c <> 0 then c else compare a.rseq b.rseq)
+    in
+    let fired = ref 0 in
+    List.iter
+      (fun h ->
+        (* Re-check: an earlier callback may have cancelled or re-armed
+           this entry. *)
+        if h.rstate = Pending && h.rseq < limit && Time_ns.(h.rat <= now) then begin
+          h.rstate <- Fired;
+          t.entries <- List.filter (fun e -> e != h) t.entries;
+          incr fired;
+          f h.rat h.rval
+        end)
+      due;
+    !fired
+end
+
+(* ------------------------------------------------------------------ *)
+(* Lifting a Timer_backend.S into a Timer_store.S.                     *)
+
+module Of_base (B : Timer_backend.S) : S = struct
+  let name = B.name
+
+  type cstate = Pending | Cancelled | Fired
+
+  type 'a cell = {
+    mutable cat : Time_ns.t;
+    cval : 'a;
+    mutable cgen : int;  (* bumped on every re-arm *)
+    mutable cbh : B.handle option;  (* [None] only during construction *)
+    mutable cstate : cstate;
+  }
+
+  type 'a handle = 'a cell
+
+  type 'a t = { b : ('a cell * int) B.t; mutable live : int }
+
+  let create ~tick () = { b = B.create ~tick (); live = 0 }
+
+  let schedule t ~at v =
+    let cell = { cat = at; cval = v; cgen = 0; cbh = None; cstate = Pending } in
+    cell.cbh <- Some (B.schedule t.b ~at (cell, 0));
+    t.live <- t.live + 1;
+    cell
+
+  let cancel_base t cell =
+    match cell.cbh with Some bh -> B.cancel t.b bh | None -> ()
+
+  let cancel t cell =
+    if cell.cstate = Pending then begin
+      cell.cstate <- Cancelled;
+      t.live <- t.live - 1;
+      cancel_base t cell
+    end
+
+  let rearm t cell ~at =
+    if cell.cstate <> Pending then false
+    else begin
+      (* Cancel + schedule in the base store: the old entry becomes a
+         corpse (reclaimed by the base's compaction), the new one takes
+         a fresh tie position, and the generation stamp keeps any
+         already-extracted old entry from firing. *)
+      cancel_base t cell;
+      cell.cgen <- cell.cgen + 1;
+      cell.cat <- at;
+      cell.cbh <- Some (B.schedule t.b ~at (cell, cell.cgen));
+      true
+    end
+
+  let pending t = t.live
+  let resident t = B.resident t.b
+  let next_deadline t = B.next_deadline t.b
+  let handle_pending _t cell = cell.cstate = Pending
+  let handle_deadline _t cell = cell.cat
+
+  let fire_due t ~now f =
+    let fired = ref 0 in
+    let (_ : int) =
+      B.fire_due t.b ~now (fun d (cell, gen) ->
+          if gen = cell.cgen && cell.cstate = Pending then begin
+            cell.cstate <- Fired;
+            t.live <- t.live - 1;
+            incr fired;
+            f d cell.cval
+          end)
+    in
+    !fired
+end
+
+(* ------------------------------------------------------------------ *)
+(* The production wheel, with configurable slot count.                 *)
+
+let wheel ?(slots = 512) () : (module S) =
+  let module W = struct
+    let name = "wheel"
+
+    type 'a t = 'a Timing_wheel.t
+
+    type handle = Timing_wheel.handle
+
+    let create ~tick () = Timing_wheel.create ~slots ~tick ()
+    let schedule t ~at v = Timing_wheel.schedule t ~at v
+    let cancel = Timing_wheel.cancel
+    let pending = Timing_wheel.pending
+    let resident = Timing_wheel.resident
+    let next_deadline = Timing_wheel.next_deadline
+    let fire_due t ~now f = Timing_wheel.fire_due t ~now f
+  end in
+  (module Of_base (W))
+
+(* ------------------------------------------------------------------ *)
+(* Closure-based instances: let a consumer hold one store of each kind
+   without threading first-class module types through its own API.     *)
+
+type ticket = {
+  tk_cancel : unit -> unit;
+  tk_rearm : Time_ns.t -> bool;
+  tk_pending : unit -> bool;
+  tk_deadline : unit -> Time_ns.t;
+}
+
+type 'a inst = {
+  i_name : string;
+  i_schedule : at:Time_ns.t -> 'a -> ticket;
+  i_next_deadline : unit -> Time_ns.t option;
+  i_fire_due : now:Time_ns.t -> (Time_ns.t -> 'a -> unit) -> int;
+  i_pending : unit -> int;
+  i_resident : unit -> int;
+}
+
+let instantiate (type a) (module M : S) ~tick () : a inst =
+  let t : a M.t = M.create ~tick () in
+  {
+    i_name = M.name;
+    i_schedule =
+      (fun ~at v ->
+        let h = M.schedule t ~at v in
+        {
+          tk_cancel = (fun () -> M.cancel t h);
+          tk_rearm = (fun at -> M.rearm t h ~at);
+          tk_pending = (fun () -> M.handle_pending t h);
+          tk_deadline = (fun () -> M.handle_deadline t h);
+        });
+    i_next_deadline = (fun () -> M.next_deadline t);
+    i_fire_due = (fun ~now f -> M.fire_due t ~now f);
+    i_pending = (fun () -> M.pending t);
+    i_resident = (fun () -> M.resident t);
+  }

@@ -1,0 +1,112 @@
+(** The pluggable pending-timer store: the [Timer_backend] operations
+    plus {e re-arm} (dynamic deadline update) and stable per-entry
+    handles.
+
+    The soft-timer clients that matter — TCP retransmit and delayed-ACK
+    timers — re-arm far more often than they fire: every ACK pushes the
+    retransmit deadline out.  A store signature without re-arm forces
+    cancel + schedule through the public API, which both loses the O(1)
+    in-place-update opportunity of modern stores (Lawn's per-duration
+    buckets, the grouped sorting queue's in-range update) and invalidates
+    the caller's handle.  [Timer_store.S] makes re-arm first-class:
+    handles survive any number of re-arms.
+
+    {2 Semantics}
+
+    All implementations share one contract, enforced by the cross-backend
+    equivalence suite in [test/test_store.ml]:
+
+    - [schedule] assigns each entry a fresh, monotonically increasing tie
+      position; expiry order is (deadline, tie position).
+    - [rearm t h ~at] behaves exactly like [cancel t h] followed by
+      [schedule t ~at] of the same value — new deadline, {e fresh} tie
+      position — except that [h] remains valid.  Returns [false] (and
+      does nothing) when the entry already fired or was cancelled.
+    - [fire_due t ~now f] dispatches the {e snapshot} of pending entries
+      with deadline [<= now] at call time, in (deadline, tie) order.
+      Entries scheduled or re-armed by callbacks during the call are
+      never dispatched in the same call, even if already due.  Each
+      entry's state is re-checked immediately before its callback runs:
+      an entry cancelled or re-armed by an earlier callback in the same
+      batch is skipped.  Returns the number of callbacks invoked.
+      [fire_due] must not be called from within a callback.
+    - [resident] (entries physically held, including any lazily-cancelled
+      corpses) stays within [2 * max (pending t) floor] for a small
+      per-store constant [floor] — no store leaks cancelled entries.
+    - Deadlines must be non-negative and [now] must not go backwards
+      across [fire_due] calls. *)
+
+module type S = sig
+  type 'a t
+
+  type 'a handle
+  (** Stable identity of a scheduled entry; survives re-arms. *)
+
+  val name : string
+
+  val create : tick:Time_ns.span -> unit -> 'a t
+  (** [tick] is the finest scheduling granularity (used by wheel-shaped
+      stores; others ignore it). *)
+
+  val schedule : 'a t -> at:Time_ns.t -> 'a -> 'a handle
+
+  val cancel : 'a t -> 'a handle -> unit
+  (** No-op on an already-cancelled or fired entry. *)
+
+  val rearm : 'a t -> 'a handle -> at:Time_ns.t -> bool
+  (** Move a pending entry to a new deadline, equivalent to
+      cancel + schedule (fresh tie position) but keeping the handle
+      valid.  [false] when the entry is no longer pending. *)
+
+  val pending : 'a t -> int
+
+  val resident : 'a t -> int
+  (** Entries physically held, including lazily-cancelled corpses. *)
+
+  val next_deadline : 'a t -> Time_ns.t option
+  (** Exact earliest pending deadline. *)
+
+  val handle_pending : 'a t -> 'a handle -> bool
+  val handle_deadline : 'a t -> 'a handle -> Time_ns.t
+
+  val fire_due : 'a t -> now:Time_ns.t -> (Time_ns.t -> 'a -> unit) -> int
+end
+
+module Reference : S
+(** Naive model: an unordered list, linear everything.  The oracle the
+    equivalence suite compares every real store against. *)
+
+module Of_base (_ : Timer_backend.S) : S
+(** Lift a [Timer_backend.S] (ground handles, no re-arm) into the full
+    signature.  Re-arm is implemented as base-level cancel + schedule
+    behind a stable wrapper cell; a generation stamp keeps a stale base
+    entry that was already extracted into a fire batch from firing. *)
+
+val wheel : ?slots:int -> unit -> (module S)
+(** The production {!Timing_wheel} with [slots] slots (default 512),
+    lifted via {!Of_base}. *)
+
+(** {2 Closure-based instances}
+
+    [Softtimer] holds one store chosen at attach time; packing the
+    choice as closures avoids threading first-class-module types through
+    its API. *)
+
+type ticket = {
+  tk_cancel : unit -> unit;
+  tk_rearm : Time_ns.t -> bool;
+  tk_pending : unit -> bool;
+  tk_deadline : unit -> Time_ns.t;
+}
+
+type 'a inst = {
+  i_name : string;
+  i_schedule : at:Time_ns.t -> 'a -> ticket;
+  i_next_deadline : unit -> Time_ns.t option;
+  i_fire_due : now:Time_ns.t -> (Time_ns.t -> 'a -> unit) -> int;
+  i_pending : unit -> int;
+  i_resident : unit -> int;
+}
+
+val instantiate : (module S) -> tick:Time_ns.span -> unit -> 'a inst
+(** A fresh store of the given kind, packed as closures. *)

@@ -9,16 +9,35 @@ module type S = sig
   val schedule : 'a t -> at:Time_ns.t -> 'a -> handle
   val cancel : 'a t -> handle -> unit
   val pending : 'a t -> int
+  val resident : 'a t -> int
   val next_deadline : 'a t -> Time_ns.t option
   val fire_due : 'a t -> now:Time_ns.t -> (Time_ns.t -> 'a -> unit) -> int
 end
+
+(* Residency bound shared by the flag-cancelling backends below: once
+   corpses (cancelled entries not yet physically removed) reach both
+   this floor and the live count, one O(resident) compaction pass sheds
+   them all, so [resident t < 2 * max (pending t) compact_floor] holds
+   after every operation and the amortized cost per cancel is O(1).
+   The hashed wheel uses its slot count as the floor instead (see
+   [Timing_wheel]). *)
+let compact_floor = 64
 
 (* Shared bookkeeping for flag-cancelled entries. *)
 type centry_state = Pending | Cancelled | Fired
 
 type chandle = { mutable cstate : centry_state; cdeadline : Time_ns.t }
 
-let fire_sorted entries f =
+(* Dispatch a collected due batch in (deadline, seq) order.  Every
+   backend's [fire_due] is two-phase: first the due set is extracted
+   from the structure (a snapshot — entries scheduled by callbacks
+   during the call are never part of it), then each entry's state is
+   re-checked immediately before its callback runs, so a callback that
+   cancels a later same-batch entry suppresses its dispatch.  [on_skip]
+   fires for each suppressed entry so the caller can settle its corpse
+   accounting (the entry was counted cancelled while already extracted
+   from the structure). *)
+let fire_sorted ~on_skip entries f =
   let due =
     List.sort
       (fun (d1, s1, _, _) (d2, s2, _, _) ->
@@ -26,9 +45,17 @@ let fire_sorted entries f =
         if c <> 0 then c else compare s1 s2)
       entries
   in
-  List.iter (fun (_, _, h, _) -> h.cstate <- Fired) due;
-  List.iter (fun (d, _, _, v) -> f d v) due;
-  List.length due
+  let fired = ref 0 in
+  List.iter
+    (fun (d, _, h, v) ->
+      if h.cstate = Pending then begin
+        h.cstate <- Fired;
+        incr fired;
+        f d v
+      end
+      else on_skip ())
+    due;
+  !fired
 
 module Sorted_list : S = struct
   let name = "sorted-list"
@@ -38,14 +65,29 @@ module Sorted_list : S = struct
   type 'a t = {
     mutable entries : 'a entry list;  (* ascending (deadline, seq) *)
     mutable count : int;
+    mutable cancelled : int;  (* corpses still resident in [entries] *)
     mutable next_seq : int;
   }
 
-  type handle = chandle
-
   let create ~tick () =
     ignore tick;
-    { entries = []; count = 0; next_seq = 0 }
+    { entries = []; count = 0; cancelled = 0; next_seq = 0 }
+
+  type handle = chandle
+
+  (* Cancelled entries used to stay resident until [skip_dead] reached
+     their deadline: a churn loop cancelling far-future timers grew the
+     list without bound (the same cancel-leak class fixed in the wheel
+     in PR 1).  One O(resident) filter once corpses dominate keeps
+     residency O(live). *)
+  let compact t =
+    t.entries <- List.filter (fun e -> e.h.cstate = Pending) t.entries;
+    t.cancelled <- 0
+
+  let maybe_compact t =
+    if t.cancelled >= compact_floor && t.cancelled >= t.count then compact t
+
+  let drop_corpse t = if t.cancelled > 0 then t.cancelled <- t.cancelled - 1
 
   let schedule t ~at value =
     let h = { cstate = Pending; cdeadline = at } in
@@ -67,15 +109,19 @@ module Sorted_list : S = struct
   let cancel t h =
     if h.cstate = Pending then begin
       h.cstate <- Cancelled;
-      t.count <- t.count - 1
+      t.count <- t.count - 1;
+      t.cancelled <- t.cancelled + 1;
+      maybe_compact t
     end
 
   let pending t = t.count
+  let resident t = t.count + t.cancelled
 
   let rec skip_dead t =
     match t.entries with
     | e :: rest when e.h.cstate <> Pending ->
       t.entries <- rest;
+      drop_corpse t;
       skip_dead t
     | _ -> ()
 
@@ -84,20 +130,33 @@ module Sorted_list : S = struct
     match t.entries with [] -> None | e :: _ -> Some e.deadline
 
   let fire_due t ~now f =
-    let fired = ref 0 in
-    let rec go () =
-      skip_dead t;
+    (* Collect the due snapshot first; callbacks run only afterwards,
+       so entries they schedule wait for the next call. *)
+    let rec collect acc =
       match t.entries with
+      | e :: rest when e.h.cstate <> Pending ->
+        t.entries <- rest;
+        drop_corpse t;
+        collect acc
       | e :: rest when Time_ns.(e.deadline <= now) ->
         t.entries <- rest;
-        e.h.cstate <- Fired;
-        t.count <- t.count - 1;
-        incr fired;
-        f e.deadline e.value;
-        go ()
-      | _ -> ()
+        collect (e :: acc)
+      | _ -> List.rev acc
     in
-    go ();
+    let batch = collect [] in
+    let fired = ref 0 in
+    List.iter
+      (fun e ->
+        (* Re-check: an earlier callback in this batch may have
+           cancelled this entry after it left the list. *)
+        if e.h.cstate = Pending then begin
+          e.h.cstate <- Fired;
+          t.count <- t.count - 1;
+          incr fired;
+          f e.deadline e.value
+        end
+        else drop_corpse t)
+      batch;
     !fired
 end
 
@@ -106,7 +165,12 @@ module Binary_heap : S = struct
 
   type 'a entry = { deadline : Time_ns.t; seq : int; value : 'a; h : chandle }
 
-  type 'a t = { heap : 'a entry Heap.t; mutable count : int; mutable next_seq : int }
+  type 'a t = {
+    heap : 'a entry Heap.t;
+    mutable count : int;
+    mutable cancelled : int;  (* corpses still resident in [heap] *)
+    mutable next_seq : int;
+  }
 
   type handle = chandle
 
@@ -116,7 +180,19 @@ module Binary_heap : S = struct
 
   let create ~tick () =
     ignore tick;
-    { heap = Heap.create ~cmp; count = 0; next_seq = 0 }
+    { heap = Heap.create ~cmp; count = 0; cancelled = 0; next_seq = 0 }
+
+  (* Same cancel-leak as the sorted list: a corpse deep in the heap
+     stays until its deadline surfaces.  Filter + Floyd heapify once
+     corpses reach both the floor and the live count. *)
+  let compact t =
+    Heap.filter_in_place t.heap (fun e -> e.h.cstate = Pending);
+    t.cancelled <- 0
+
+  let maybe_compact t =
+    if t.cancelled >= compact_floor && t.cancelled >= t.count then compact t
+
+  let drop_corpse t = if t.cancelled > 0 then t.cancelled <- t.cancelled - 1
 
   let schedule t ~at value =
     let h = { cstate = Pending; cdeadline = at } in
@@ -128,15 +204,19 @@ module Binary_heap : S = struct
   let cancel t h =
     if h.cstate = Pending then begin
       h.cstate <- Cancelled;
-      t.count <- t.count - 1
+      t.count <- t.count - 1;
+      t.cancelled <- t.cancelled + 1;
+      maybe_compact t
     end
 
   let pending t = t.count
+  let resident t = t.count + t.cancelled
 
   let rec skip_dead t =
     match Heap.peek t.heap with
     | Some e when e.h.cstate <> Pending ->
       ignore (Heap.pop t.heap : 'a entry option);
+      drop_corpse t;
       skip_dead t
     | _ -> ()
 
@@ -145,20 +225,26 @@ module Binary_heap : S = struct
     match Heap.peek t.heap with None -> None | Some e -> Some e.deadline
 
   let fire_due t ~now f =
-    let fired = ref 0 in
-    let rec go () =
+    let rec collect acc =
       skip_dead t;
       match Heap.peek t.heap with
       | Some e when Time_ns.(e.deadline <= now) ->
         ignore (Heap.pop t.heap : 'a entry option);
-        e.h.cstate <- Fired;
-        t.count <- t.count - 1;
-        incr fired;
-        f e.deadline e.value;
-        go ()
-      | _ -> ()
+        collect (e :: acc)
+      | _ -> List.rev acc
     in
-    go ();
+    let batch = collect [] in
+    let fired = ref 0 in
+    List.iter
+      (fun e ->
+        if e.h.cstate = Pending then begin
+          e.h.cstate <- Fired;
+          t.count <- t.count - 1;
+          incr fired;
+          f e.deadline e.value
+        end
+        else drop_corpse t)
+      batch;
     !fired
 end
 
@@ -173,6 +259,7 @@ module Hashed : S = struct
   let schedule t ~at v = Timing_wheel.schedule t ~at v
   let cancel = Timing_wheel.cancel
   let pending = Timing_wheel.pending
+  let resident = Timing_wheel.resident
   let next_deadline = Timing_wheel.next_deadline
   let fire_due t ~now f = Timing_wheel.fire_due t ~now f
 end
@@ -191,6 +278,7 @@ module Hier : S = struct
     mutable overflow : 'a entry list;  (* beyond 64^4 ticks *)
     mutable last_tick : int64;
     mutable count : int;
+    mutable cancelled : int;  (* corpses still resident in the wheels *)
     mutable next_seq : int;
     mutable cached_min : Time_ns.t;
     mutable min_valid : bool;
@@ -206,6 +294,7 @@ module Hier : S = struct
       overflow = [];
       last_tick = 0L;
       count = 0;
+      cancelled = 0;
       next_seq = 0;
       cached_min = Time_ns.zero;
       min_valid = true;
@@ -217,6 +306,8 @@ module Hier : S = struct
     (* 64^(lvl+1) ticks, as int64 *)
     let rec pow acc n = if n = 0 then acc else pow (Int64.mul acc 64L) (n - 1) in
     pow 1L (lvl + 1)
+
+  let drop_corpse t = if t.cancelled > 0 then t.cancelled <- t.cancelled - 1
 
   let place t e =
     let dt = Int64.max (tick_of t e.deadline) t.last_tick in
@@ -233,6 +324,22 @@ module Hier : S = struct
       let idx = Int64.to_int (Int64.rem (Int64.div dt level_tick) (Int64.of_int slots)) in
       t.wheels.(lvl).(idx) <- e :: t.wheels.(lvl).(idx)
 
+  (* The same cancel-leak as the list and heap, only spread across the
+     level arrays: a corpse in a far slot stays until its slot cascades.
+     One pass over every slot (O(levels*slots + resident)) sheds all of
+     them. *)
+  let compact t =
+    for lvl = 0 to levels - 1 do
+      for i = 0 to slots - 1 do
+        t.wheels.(lvl).(i) <- List.filter (fun e -> e.h.cstate = Pending) t.wheels.(lvl).(i)
+      done
+    done;
+    t.overflow <- List.filter (fun e -> e.h.cstate = Pending) t.overflow;
+    t.cancelled <- 0
+
+  let maybe_compact t =
+    if t.cancelled >= compact_floor && t.cancelled >= t.count then compact t
+
   let schedule t ~at value =
     let h = { cstate = Pending; cdeadline = at } in
     let e = { deadline = at; seq = t.next_seq; value; h } in
@@ -247,11 +354,14 @@ module Hier : S = struct
     if h.cstate = Pending then begin
       h.cstate <- Cancelled;
       t.count <- t.count - 1;
+      t.cancelled <- t.cancelled + 1;
       if t.min_valid && t.count > 0 && Time_ns.(h.cdeadline <= t.cached_min) then
-        t.min_valid <- false
+        t.min_valid <- false;
+      maybe_compact t
     end
 
   let pending t = t.count
+  let resident t = t.count + t.cancelled
 
   (* Within one level, slots in time order cover disjoint, increasing
      deadline ranges, so the level's minimum lives in its first
@@ -313,8 +423,10 @@ module Hier : S = struct
           t.wheels.(lvl).(idx) <- [];
           List.iter
             (fun e ->
-              if e.h.cstate = Pending then
-                if Time_ns.(e.deadline <= now) then due := e :: !due else place t e)
+              if e.h.cstate = Pending then begin
+                if Time_ns.(e.deadline <= now) then due := e :: !due else place t e
+              end
+              else drop_corpse t)
             entries;
           cascade (lvl + 1)
         end
@@ -324,7 +436,7 @@ module Hier : S = struct
     if Int64.rem tk (span_of_level (levels - 1)) = 0L then begin
       let ofl = t.overflow in
       t.overflow <- [];
-      List.iter (fun e -> if e.h.cstate = Pending then place t e) ofl
+      List.iter (fun e -> if e.h.cstate = Pending then place t e else drop_corpse t) ofl
     end;
     let idx0 = Int64.to_int (Int64.rem tk 64L) in
     let keep =
@@ -337,7 +449,9 @@ module Hier : S = struct
               false
             end
             else true
-          | Cancelled | Fired -> false)
+          | Cancelled | Fired ->
+            drop_corpse t;
+            false)
         t.wheels.(0).(idx0)
     in
     t.wheels.(0).(idx0) <- keep
@@ -367,7 +481,7 @@ module Hier : S = struct
           let idx = Int64.to_int (Int64.rem !i (Int64.of_int slots)) in
           let entries = t.wheels.(lvl).(idx) in
           t.wheels.(lvl).(idx) <- [];
-          List.iter (fun e -> if e.h.cstate = Pending then place t e) entries;
+          List.iter (fun e -> if e.h.cstate = Pending then place t e else drop_corpse t) entries;
           i := Int64.add !i 1L
         done
       done;
@@ -379,7 +493,7 @@ module Hier : S = struct
       then begin
         let ofl = t.overflow in
         t.overflow <- [];
-        List.iter (fun e -> if e.h.cstate = Pending then place t e) ofl
+        List.iter (fun e -> if e.h.cstate = Pending then place t e else drop_corpse t) ofl
       end
     end
 
@@ -431,7 +545,7 @@ module Hier : S = struct
       hop ();
       collect_current_slot ();
       let entries = List.map (fun e -> (e.deadline, e.seq, e.h, e.value)) !due in
-      let n = fire_sorted entries f in
+      let n = fire_sorted ~on_skip:(fun () -> drop_corpse t) entries f in
       t.count <- t.count - n;
       if n > 0 then t.min_valid <- false;
       n
@@ -460,6 +574,7 @@ module With_metrics (B : S) : S = struct
     B.cancel t h
 
   let pending = B.pending
+  let resident = B.resident
   let next_deadline = B.next_deadline
 
   let fire_due t ~now f =

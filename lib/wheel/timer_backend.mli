@@ -17,7 +17,11 @@
     - {!Hier}: hierarchical timing wheels (the second variant of
       Varghese & Lauck): multiple levels of coarser wheels; entries
       cascade down as time advances.  O(1) insert at the right level,
-      no long-deadline slot collisions. *)
+      no long-deadline slot collisions.
+
+    The richer [Timer_store] signature in [lib/store] (re-arm, stable
+    handles, the Lawn and grouped-sorting stores) is layered on top of
+    this one via [Timer_store.Of_base]. *)
 
 module type S = sig
   type 'a t
@@ -31,12 +35,35 @@ module type S = sig
 
   val schedule : 'a t -> at:Time_ns.t -> 'a -> handle
   val cancel : 'a t -> handle -> unit
+
   val pending : 'a t -> int
+  (** Scheduled, uncancelled, unfired entries. *)
+
+  val resident : 'a t -> int
+  (** Entries physically present in the store: pending entries plus
+      cancelled corpses awaiting lazy reclamation.  Every backend bounds
+      this by [2 * max (pending t) floor] where [floor] is a small
+      constant (64 for the list/heap/hierarchical stores, the slot count
+      for the hashed wheel): once corpses reach both the floor and the
+      live count, a compaction pass sheds them all, keeping the
+      amortized cost per cancel O(1). *)
+
   val next_deadline : 'a t -> Time_ns.t option
 
   val fire_due : 'a t -> now:Time_ns.t -> (Time_ns.t -> 'a -> unit) -> int
-  (** Fire everything due at or before [now], in deadline order (ties in
-      schedule order); returns the count. *)
+  (** [fire_due t ~now f] dispatches every entry due at or before [now]
+      and returns the number of callbacks actually invoked.  All
+      backends implement the same re-entrancy contract:
+
+      - The due batch is the set of pending entries with deadline
+        [<= now] {e at call time}.  Entries scheduled by callbacks
+        during the call are never dispatched in the same call, even if
+        already due; they wait for the next call.
+      - Dispatch is in (deadline, schedule order) order, and each
+        entry's state is re-checked immediately before its callback
+        runs: an entry cancelled by an earlier callback in the same
+        batch is skipped, not fired.
+      - [fire_due] must not be called from within a callback. *)
 end
 
 module Sorted_list : S

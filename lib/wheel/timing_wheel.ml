@@ -170,15 +170,20 @@ let fire_due t ~now f =
       let c = Time_ns.compare a.deadline b.deadline in
       if c <> 0 then c else compare a.seq b.seq) !due
     in
+    t.min_valid <- false;
     let fired = ref 0 in
     List.iter
       (fun e ->
-        e.h.hstate <- Fired;
-        t.count <- t.count - 1;
-        incr fired)
+        (* Re-check before dispatch: an earlier callback in this batch
+           may have cancelled this entry after it left its bucket. *)
+        if e.h.hstate = Pending then begin
+          e.h.hstate <- Fired;
+          t.count <- t.count - 1;
+          incr fired;
+          f e.deadline e.value
+        end
+        else if t.cancelled > 0 then t.cancelled <- t.cancelled - 1)
       due;
-    t.min_valid <- false;
-    List.iter (fun e -> f e.deadline e.value) due;
     !fired
 
 let iter_pending t f =

@@ -61,9 +61,12 @@ val next_deadline : 'a t -> Time_ns.t option
 val fire_due : 'a t -> now:Time_ns.t -> (Time_ns.t -> 'a -> unit) -> int
 (** [fire_due t ~now f] removes every entry with deadline [<= now] and
     calls [f deadline value] on each, in deadline order (ties broken by
-    scheduling order).  Returns the number of entries fired.  Handlers
-    may schedule new entries, including ones already due; those fire on
-    the next call. *)
+    scheduling order).  Returns the number of callbacks invoked.
+    Handlers may schedule new entries, including ones already due; those
+    fire on the next call.  Each entry's state is re-checked immediately
+    before its callback runs, so a handler that cancels a later
+    same-batch entry suppresses its dispatch (see the [fire_due]
+    contract in [Timer_backend.S]). *)
 
 val iter_pending : 'a t -> (Time_ns.t -> 'a -> unit) -> unit
 (** Visit every pending entry in unspecified order (for tests). *)

@@ -197,7 +197,7 @@ let test_rate_clock_converges_to_target () =
     (Float.abs (got -. expected) < 0.05 *. expected);
   let iv = Rate_clock.intervals clock in
   Alcotest.(check bool) "mean interval ~ target" true
-    (Float.abs (Stats.Sample.mean iv -. 50.0) < 3.0)
+    (Float.abs (Hdr.mean iv -. 50.0) < 3.0)
 
 let test_rate_clock_respects_min_interval () =
   let e, m, st = fresh () in
@@ -211,7 +211,7 @@ let test_rate_clock_respects_min_interval () =
   Engine.run_until e (Time_ns.of_sec 0.3);
   let iv = Rate_clock.intervals clock in
   (* No interval may undercut the burst bound (tick rounding aside). *)
-  Alcotest.(check bool) "min respected" true (Stats.Sample.min iv >= 9.9)
+  Alcotest.(check bool) "min respected" true (Hdr.min iv >= 9.9)
 
 let test_rate_clock_train_ends_and_kicks () =
   let e, m, st = fresh () in
@@ -279,6 +279,34 @@ let test_rate_clock_invalid_args () =
            ~send:(fun _ -> true)
            ()))
 
+let test_rate_clock_memory_bounded () =
+  (* Regression: [intervals] used to retain one float per send
+     (Stats.Sample.t), i.e. unbounded memory on a long-lived clock — a
+     million sends a million floats.  The Hdr store must record every
+     gap while staying at a few hundred buckets. *)
+  let e, m, st = fresh () in
+  start_triggers ~gap_us:4.0 m 9;
+  let clock =
+    Rate_clock.create st ~target_interval:(us 12.0) ~min_interval:(us 12.0)
+      ~send:(fun _ -> true)
+      ()
+  in
+  Rate_clock.start clock;
+  Engine.run_until e (Time_ns.of_sec 18.0);
+  Rate_clock.stop clock;
+  let iv = Rate_clock.intervals clock in
+  let sends = Rate_clock.sends clock in
+  Alcotest.(check bool)
+    (Printf.sprintf "over 1e6 sends (got %d)" sends)
+    true (sends >= 1_000_000);
+  (* One train, so every send but the first has a recorded gap: nothing
+     was sampled away. *)
+  Alcotest.(check int) "every gap recorded" (sends - 1) (Hdr.count iv);
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded store: %d buckets" (Hdr.bucket_count iv))
+    true
+    (Hdr.bucket_count iv < 1024)
+
 (* ------------------------------------------------------------------ *)
 (* Hw_pacer *)
 
@@ -290,9 +318,9 @@ let test_hw_pacer_paces_at_interval () =
   Engine.run_until e (Time_ns.of_sec 0.5);
   let iv = Hw_pacer.intervals pacer in
   Alcotest.(check bool)
-    (Printf.sprintf "mean ~100us (got %.1f)" (Stats.Sample.mean iv))
+    (Printf.sprintf "mean ~100us (got %.1f)" (Hdr.mean iv))
     true
-    (Float.abs (Stats.Sample.mean iv -. 100.0) < 3.0);
+    (Float.abs (Hdr.mean iv -. 100.0) < 3.0);
   Alcotest.(check bool) "~5000 sends" true (abs (Hw_pacer.sends pacer - 5_000) < 100)
 
 let test_hw_pacer_pays_interrupt_cost () =
@@ -442,6 +470,7 @@ let () =
           Alcotest.test_case "stop" `Quick test_rate_clock_stop;
           Alcotest.test_case "invalid args" `Quick test_rate_clock_invalid_args;
           Alcotest.test_case "two clocks, two rates" `Quick test_two_clocks_different_rates;
+          Alcotest.test_case "memory bounded at 1e6 sends" `Quick test_rate_clock_memory_bounded;
         ] );
       ( "hw_pacer",
         [

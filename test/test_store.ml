@@ -1,0 +1,354 @@
+(* Cross-backend equivalence for every Timer_store implementation:
+   each store is driven through random schedule / cancel / re-arm /
+   advance interleavings — including callbacks that schedule, cancel and
+   re-arm during fire_due — and must produce a trace identical to the
+   naive Reference model's, observation for observation. *)
+
+let us = Time_ns.of_us
+
+(* What a timer's callback does when it fires. *)
+type cb_action =
+  | Cb_noop
+  | Cb_schedule of int  (* schedule a fresh timer [off] us after now *)
+  | Cb_cancel of int  (* cancel timer (idx mod ids-so-far) *)
+  | Cb_rearm of int * int  (* re-arm that timer to now + off *)
+
+type op =
+  | Schedule of int * cb_action  (* offset us from now *)
+  | Cancel of int  (* idx mod ids-so-far *)
+  | Rearm of int * int
+  | Advance of int
+
+(* Drive [ops] against one store, emitting every observable into a
+   trace string: fired (id, deadline) sequences, fire_due return
+   values, rearm results, and pending/next_deadline after each op. *)
+let run_store (module M : Timer_store.S) (ops : op list) : string =
+  let buf = Buffer.create 512 in
+  let t = M.create ~tick:(us 10.0) () in
+  let handles : (int, int M.handle) Hashtbl.t = Hashtbl.create 64 in
+  let actions : (int, cb_action) Hashtbl.t = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  let now = ref Time_ns.zero in
+  let sched at action =
+    let id = !next_id in
+    incr next_id;
+    let h = M.schedule t ~at id in
+    Hashtbl.replace handles id h;
+    Hashtbl.replace actions id action;
+    id
+  in
+  let target idx =
+    if !next_id = 0 then None
+    else begin
+      let id = idx mod !next_id in
+      match Hashtbl.find_opt handles id with Some h -> Some (id, h) | None -> None
+    end
+  in
+  let do_cancel idx =
+    match target idx with
+    | Some (id, h) ->
+      M.cancel t h;
+      Printf.sprintf "C%d:%b" id (M.handle_pending t h)
+    | None -> "C-"
+  in
+  let do_rearm idx off =
+    match target idx with
+    | Some (id, h) ->
+      let at = Time_ns.(!now + us (float_of_int off)) in
+      let r = M.rearm t h ~at in
+      Printf.sprintf "R%d@%Ld:%b" id at r
+    | None -> "R-"
+  in
+  let obs () =
+    Buffer.add_string buf
+      (Printf.sprintf "|p=%d,nd=%s\n" (M.pending t)
+         (match M.next_deadline t with None -> "-" | Some d -> Int64.to_string d))
+  in
+  List.iter
+    (fun op ->
+      (match op with
+      | Schedule (off, action) ->
+        let at = Time_ns.(!now + us (float_of_int off)) in
+        let id = sched at action in
+        Buffer.add_string buf (Printf.sprintf "S%d@%Ld" id at)
+      | Cancel idx -> Buffer.add_string buf (do_cancel idx)
+      | Rearm (idx, off) -> Buffer.add_string buf (do_rearm idx off)
+      | Advance d ->
+        now := Time_ns.(!now + us (float_of_int d));
+        Buffer.add_string buf (Printf.sprintf "A@%Ld[" !now);
+        let n =
+          M.fire_due t ~now:!now (fun dl id ->
+              Buffer.add_string buf (Printf.sprintf "%d@%Ld " id dl);
+              match Hashtbl.find_opt actions id with
+              | Some Cb_noop | None -> ()
+              | Some (Cb_schedule off) ->
+                let at = Time_ns.(!now + us (float_of_int off)) in
+                let id' = sched at Cb_noop in
+                Buffer.add_string buf (Printf.sprintf "s%d " id')
+              | Some (Cb_cancel idx) -> Buffer.add_string buf (do_cancel idx ^ " ")
+              | Some (Cb_rearm (idx, off)) -> Buffer.add_string buf (do_rearm idx off ^ " "))
+        in
+        Buffer.add_string buf (Printf.sprintf "]=%d" n));
+      obs ())
+    ops;
+  Buffer.contents buf
+
+let pp_action = function
+  | Cb_noop -> ""
+  | Cb_schedule o -> Printf.sprintf "!s%d" o
+  | Cb_cancel i -> Printf.sprintf "!c%d" i
+  | Cb_rearm (i, o) -> Printf.sprintf "!r%d,%d" i o
+
+let pp_ops ops =
+  String.concat ";"
+    (List.map
+       (function
+         | Schedule (o, a) -> Printf.sprintf "S%d%s" o (pp_action a)
+         | Cancel i -> Printf.sprintf "C%d" i
+         | Rearm (i, o) -> Printf.sprintf "R%d,%d" i o
+         | Advance d -> Printf.sprintf "A%d" d)
+       ops)
+
+let cb_action_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, return Cb_noop);
+        (2, map (fun o -> Cb_schedule o) (int_range 0 1_000));
+        (2, map (fun i -> Cb_cancel i) (int_range 0 999));
+        (2, map (fun (i, o) -> Cb_rearm (i, o)) (pair (int_range 0 999) (int_range 0 1_500)));
+      ])
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map2 (fun o a -> Schedule (o, a)) (int_range 0 2_000) cb_action_gen);
+        (2, map (fun i -> Cancel i) (int_range 0 999));
+        (3, map (fun (i, o) -> Rearm (i, o)) (pair (int_range 0 999) (int_range 0 2_000)));
+        (3, map (fun d -> Advance d) (int_range 1 500));
+      ])
+
+let ops_arbitrary =
+  QCheck.make ~print:pp_ops QCheck.Gen.(list_size (int_range 1 120) op_gen)
+
+let equivalence_tests =
+  List.map
+    (fun (module M : Timer_store.S) ->
+      QCheck.Test.make
+        ~name:(Printf.sprintf "%s = reference model" M.name)
+        ~count:200 ops_arbitrary
+        (fun ops ->
+          let got = run_store (module M) ops in
+          let want = run_store (module Timer_store.Reference) ops in
+          if String.equal got want then true
+          else QCheck.Test.fail_reportf "%s diverged:\n--- %s\n%s\n--- reference\n%s" M.name
+              M.name got want))
+    Store_registry.all
+
+(* Residency must stay O(live) for every store under every random
+   workload — the generalisation of the cancel-leak regression. *)
+let residency_tests =
+  List.map
+    (fun (module M : Timer_store.S) ->
+      QCheck.Test.make
+        ~name:(Printf.sprintf "%s residency O(live)" M.name)
+        ~count:100 ops_arbitrary
+        (fun ops ->
+          let t = M.create ~tick:(us 10.0) () in
+          let handles = ref [] in
+          let now = ref Time_ns.zero in
+          let ok = ref true in
+          let check () =
+            if M.resident t > 2 * max (M.pending t) 512 then ok := false
+          in
+          List.iter
+            (fun op ->
+              (match op with
+              | Schedule (off, _) ->
+                let at = Time_ns.(!now + us (float_of_int off)) in
+                handles := M.schedule t ~at 0 :: !handles
+              | Cancel idx -> begin
+                match List.nth_opt !handles (idx mod max 1 (List.length !handles)) with
+                | Some h -> M.cancel t h
+                | None -> ()
+              end
+              | Rearm (idx, off) -> begin
+                match List.nth_opt !handles (idx mod max 1 (List.length !handles)) with
+                | Some h ->
+                  ignore (M.rearm t h ~at:Time_ns.(!now + us (float_of_int off)) : bool)
+                | None -> ()
+              end
+              | Advance d ->
+                now := Time_ns.(!now + us (float_of_int d));
+                ignore (M.fire_due t ~now:!now (fun _ _ -> ()) : int));
+              check ())
+            ops;
+          !ok))
+    Store_registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic unit regressions.                                     *)
+
+let all_stores f =
+  List.iter (fun (module M : Timer_store.S) -> f (module M : Timer_store.S)) Store_registry.all
+
+(* Satellite bugfix: a callback that cancels a later same-batch timer
+   must suppress that timer's dispatch (fire_sorted used to mark the
+   whole batch Fired up front, making the cancel a silent no-op). *)
+let test_in_batch_cancel_honored () =
+  all_stores (fun (module M : Timer_store.S) ->
+      let t = M.create ~tick:(us 10.0) () in
+      let fired = ref [] in
+      let victim = ref None in
+      let _a =
+        M.schedule t ~at:(us 10.0) `Canceller
+      in
+      victim := Some (M.schedule t ~at:(us 20.0) `Victim);
+      let n =
+        M.fire_due t ~now:(us 30.0) (fun _ v ->
+            fired := v :: !fired;
+            match (v, !victim) with
+            | `Canceller, Some h -> M.cancel t h
+            | _ -> ())
+      in
+      Alcotest.(check int) (M.name ^ ": only the canceller fires") 1 n;
+      Alcotest.(check bool) (M.name ^ ": victim did not fire") false
+        (List.exists (fun v -> v = `Victim) !fired);
+      Alcotest.(check int) (M.name ^ ": nothing pending") 0 (M.pending t))
+
+(* Re-arm acts as cancel + schedule: new deadline, fresh tie position,
+   surviving handle. *)
+let test_rearm_semantics () =
+  all_stores (fun (module M : Timer_store.S) ->
+      let t = M.create ~tick:(us 10.0) () in
+      let a = M.schedule t ~at:(us 20.0) "a" in
+      let _b = M.schedule t ~at:(us 30.0) "b" in
+      Alcotest.(check bool) (M.name ^ ": rearm pending") true (M.rearm t a ~at:(us 50.0));
+      Alcotest.(check bool) (M.name ^ ": still pending after rearm") true (M.handle_pending t a);
+      Alcotest.(check int64) (M.name ^ ": deadline updated") (us 50.0) (M.handle_deadline t a);
+      let fired = ref [] in
+      ignore (M.fire_due t ~now:(us 35.0) (fun _ v -> fired := v :: !fired) : int);
+      Alcotest.(check (list string)) (M.name ^ ": only b at 35") [ "b" ] (List.rev !fired);
+      ignore (M.fire_due t ~now:(us 60.0) (fun _ v -> fired := v :: !fired) : int);
+      Alcotest.(check (list string)) (M.name ^ ": a after rearm") [ "b"; "a" ] (List.rev !fired);
+      Alcotest.(check bool) (M.name ^ ": rearm after fire refused") false
+        (M.rearm t a ~at:(us 99.0)))
+
+let test_rearm_tie_position () =
+  all_stores (fun (module M : Timer_store.S) ->
+      let t = M.create ~tick:(us 10.0) () in
+      let x = M.schedule t ~at:(us 50.0) "x" in
+      let _y = M.schedule t ~at:(us 50.0) "y" in
+      (* Re-arming x to the same deadline demotes it behind y. *)
+      Alcotest.(check bool) (M.name ^ ": rearm ok") true (M.rearm t x ~at:(us 50.0));
+      let fired = ref [] in
+      ignore (M.fire_due t ~now:(us 60.0) (fun _ v -> fired := v :: !fired) : int);
+      Alcotest.(check (list string)) (M.name ^ ": fresh tie position") [ "y"; "x" ]
+        (List.rev !fired))
+
+(* Regression (cancel-leak, store-wide): schedule/cancel churn of
+   far-future timers must not grow residency past the compaction bound.
+   This is the Sorted_list leak the issue names, checked on every
+   store. *)
+let test_cancel_churn_bounded () =
+  all_stores (fun (module M : Timer_store.S) ->
+      let t = M.create ~tick:(us 10.0) () in
+      let keeper = M.schedule t ~at:(us 1e9) "keeper" in
+      let worst = ref 0 in
+      for i = 1 to 50_000 do
+        let h = M.schedule t ~at:(us (100_000.0 +. float_of_int i)) "churn" in
+        M.cancel t h;
+        if M.resident t > !worst then worst := M.resident t
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: resident bounded under cancel churn (worst %d)" M.name !worst)
+        true
+        (!worst <= (2 * 512) + 2);
+      Alcotest.(check int) (M.name ^ ": only keeper pending") 1 (M.pending t);
+      Alcotest.(check bool) (M.name ^ ": keeper survives") true (M.handle_pending t keeper))
+
+(* Same bound under re-arm churn: re-arming one timer 50k times must not
+   accumulate stale entries (each re-arm leaves a corpse in the lazy
+   stores). *)
+let test_rearm_churn_bounded () =
+  all_stores (fun (module M : Timer_store.S) ->
+      let t = M.create ~tick:(us 10.0) () in
+      let h = M.schedule t ~at:(us 100.0) "rearmer" in
+      let worst = ref 0 in
+      for i = 1 to 50_000 do
+        ignore (M.rearm t h ~at:(us (100.0 +. float_of_int i)) : bool);
+        if M.resident t > !worst then worst := M.resident t
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: resident bounded under rearm churn (worst %d)" M.name !worst)
+        true
+        (!worst <= (2 * 512) + 2);
+      Alcotest.(check int) (M.name ^ ": one pending") 1 (M.pending t);
+      let fired = ref 0 in
+      ignore (M.fire_due t ~now:(us 1e9) (fun _ _ -> incr fired) : int);
+      Alcotest.(check int) (M.name ^ ": fires exactly once") 1 !fired)
+
+(* Determinism: the facility's observable behaviour — the full trace of
+   soft_sched/soft_cancel/soft_fire events, digested — must not depend
+   on which store backs it.  Runs a trigger-driven machine with a
+   re-arm-heavy timer client under every store and compares digests. *)
+let digest_with (module M : Timer_store.S) =
+  let e = Engine.create () in
+  let m = Machine.create e in
+  let st = Softtimer.attach ~store:(module M) m in
+  let tr = Trace.create ~capacity:65536 () in
+  Trace.install tr;
+  (* Steady synthetic trigger source (syscall every ~20 us). *)
+  let rng = Prng.create ~seed:42 in
+  let rec triggers _now =
+    let u = Dist.draw (Dist.Exponential 20.0) rng in
+    Kernel.user m ~work_us:u (fun _ -> Kernel.syscall m ~work_us:1.0 triggers)
+  in
+  triggers Time_ns.zero;
+  (* Timer client: a 50 us heartbeat that each round schedules two
+     timers, cancels one and pushes the other out by ~100 us. *)
+  let rec heartbeat n _now =
+    if n < 200 then begin
+      let doomed = Softtimer.schedule_after st (us 500.0) (fun _ -> ()) in
+      let pushed = Softtimer.schedule_after st (us 700.0) (fun _ -> ()) in
+      Softtimer.cancel st doomed;
+      ignore (Softtimer.rearm st pushed ~ticks:30_000L : bool);
+      ignore (Softtimer.schedule_after st (us 50.0) (heartbeat (n + 1)) : Softtimer.handle)
+    end
+  in
+  heartbeat 0 Time_ns.zero;
+  Engine.run_until e (Time_ns.of_ms 50.0);
+  Trace.uninstall ();
+  (Trace_digest.digest tr, Trace.total tr, Softtimer.fired st, Softtimer.store_name st)
+
+let test_digest_store_independent () =
+  match Store_registry.all with
+  | [] -> Alcotest.fail "empty store registry"
+  | first :: rest ->
+    let d0, n0, f0, name0 = digest_with first in
+    Alcotest.(check bool) (name0 ^ ": something fired") true (f0 > 0);
+    List.iter
+      (fun (module M : Timer_store.S) ->
+        let d, n, f, name = digest_with (module M) in
+        Alcotest.(check int) (name ^ ": same event count as " ^ name0) n0 n;
+        Alcotest.(check int) (name ^ ": same fired count") f0 f;
+        Alcotest.(check int64) (name ^ ": same trace digest") d0 d)
+      rest
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "timer_store"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "in-batch cancel honored" `Quick test_in_batch_cancel_honored;
+          Alcotest.test_case "rearm semantics" `Quick test_rearm_semantics;
+          Alcotest.test_case "rearm tie position" `Quick test_rearm_tie_position;
+          Alcotest.test_case "cancel churn bounded" `Quick test_cancel_churn_bounded;
+          Alcotest.test_case "rearm churn bounded" `Quick test_rearm_churn_bounded;
+          Alcotest.test_case "digest independent of store" `Quick test_digest_store_independent;
+        ] );
+      ("equivalence", List.map qc equivalence_tests);
+      ("residency", List.map qc residency_tests);
+    ]

@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-parallel microbench arena-bench profile-smoke bench-json benchdiff trace-smoke stats-smoke lint sanitize-smoke determinism clean
+.PHONY: all build test bench bench-parallel microbench arena-bench profile-smoke bench-json benchdiff trace-smoke stats-smoke lint lint-json lint-baseline sanitize-smoke determinism clean
 
 all: build
 
@@ -78,10 +78,26 @@ stats-smoke: build
 	assert d['window_us'] == 1000, d['window_us']; \
 	print('stats-smoke: %d windows, %d metrics' % (len(d['windows']), len(d['metrics'])))"
 
-# Static determinism lint (tools/lint): DET001..DET004 + MLI001 over
-# lib/ bin/ examples/ bench/, with file:line:RULE diagnostics.
+# Static-analysis suite (tools/lint): determinism (DET001..DET004,
+# MLI001), domain races (RACE001..RACE004) and hot-path allocations
+# (ALLOC001..ALLOC003) over lib/ bin/ examples/ bench/ tools/, with
+# file:line:RULE diagnostics, ratcheted against tools/lint/BASELINE.json.
 lint:
 	dune build @lint
+
+# Machine-readable findings: lint.json (softtimers-lint/1) and
+# lint.sarif (SARIF 2.1.0, baseline'd findings marked as suppressions)
+# for CI artifact upload and code-scanning viewers.  Exit status still
+# reflects the ratchet, so `make lint-json` both exports and gates.
+lint-json: build
+	dune exec tools/lint/lint.exe -- --json lint.json --sarif lint.sarif lib bin examples bench tools
+
+# Re-freeze the ratchet from the current findings.  Do this
+# deliberately — after paying down frozen debt, or when knowingly
+# accepting new debt with a justification — never to silence a fresh
+# finding you could fix or [@lint.allow] with a reason.
+lint-baseline: build
+	dune exec tools/lint/lint.exe -- --write-baseline tools/lint/BASELINE.json lib bin examples bench tools
 
 # Run two representative experiments with the runtime invariant
 # sanitizer armed; any violation exits nonzero.

@@ -24,8 +24,13 @@ type handle = Timer_store.ticket
 
 (* Process-wide default store, consulted when [attach] is not given an
    explicit one.  Lets the CLI (or a test) swap the facility's pending
-   set without threading a parameter through every experiment. *)
-let default_store : (module Timer_store.S) option ref = ref None
+   set without threading a parameter through every experiment.
+   RACE002: written only from the main domain before any parallel
+   fan-out (CLI argument parsing); experiment workers read it at
+   attach time and never write it. *)
+let default_store : (module Timer_store.S) option ref =
+  ref None
+[@@lint.allow "RACE002"]
 
 let set_default_store s = default_store := s
 

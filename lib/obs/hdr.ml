@@ -16,16 +16,22 @@
    then B yields byte-identical counts to merging separate recordings
    of A and B. *)
 
+(* Running moments live in a flat float array rather than mutable
+   record fields: float arrays are unboxed, so [record] updates them in
+   place, whereas a float field of this mixed record would be re-boxed
+   on every store (one minor allocation per sample — lint ALLOC003). *)
+let m_sum = 0
+let m_sum_sq = 1  (* of squared raw values: stddev stays exact *)
+let m_min = 2
+let m_max = 3
+
 type t = {
   lowest : float;  (* value of one quantization unit *)
   sub_bits : int;  (* k: linear region [0, 2^k); 2^(k-1) sub-buckets/octave *)
   rel_error : float;  (* 2^-k, <= the requested bound *)
   mutable counts : int array;
   mutable total : int;
-  mutable sum : float;  (* of raw values: mean stays exact *)
-  mutable sum_sq : float;  (* of squared raw values: stddev stays exact *)
-  mutable min_v : float;
-  mutable max_v : float;
+  moments : float array;  (* indexed by [m_sum] .. [m_max] *)
 }
 
 let create ?(rel_error = 0.01) ?(lowest = 1e-3) () =
@@ -43,17 +49,14 @@ let create ?(rel_error = 0.01) ?(lowest = 1e-3) () =
     rel_error = 1.0 /. float_of_int (1 lsl !k);
     counts = Array.make (1 lsl !k) 0;
     total = 0;
-    sum = 0.0;
-    sum_sq = 0.0;
-    min_v = infinity;
-    max_v = neg_infinity;
+    moments = [| 0.0; 0.0; infinity; neg_infinity |];
   }
 
 let rel_error t = t.rel_error
 let lowest t = t.lowest
 let count t = t.total
-let sum t = t.sum
-let mean t = if t.total = 0 then nan else t.sum /. float_of_int t.total
+let sum t = t.moments.(m_sum)
+let mean t = if t.total = 0 then nan else t.moments.(m_sum) /. float_of_int t.total
 
 (* Population stddev from the running moments — exact (up to float
    rounding), not bucket-quantized. *)
@@ -61,11 +64,11 @@ let stddev t =
   if t.total = 0 then nan
   else begin
     let n = float_of_int t.total in
-    let m = t.sum /. n in
-    Float.sqrt (Float.max 0.0 ((t.sum_sq /. n) -. (m *. m)))
+    let m = t.moments.(m_sum) /. n in
+    Float.sqrt (Float.max 0.0 ((t.moments.(m_sum_sq) /. n) -. (m *. m)))
   end
-let min t = if t.total = 0 then nan else t.min_v
-let max t = if t.total = 0 then nan else t.max_v
+let min t = if t.total = 0 then nan else t.moments.(m_min)
+let max t = if t.total = 0 then nan else t.moments.(m_max)
 let bucket_count t = Array.length t.counts
 
 (* Position of the most significant set bit of [u] (u > 0). *)
@@ -111,7 +114,7 @@ let representative t i =
 
 let grow t needed =
   let cap = Array.length t.counts in
-  let ncap = Stdlib.max needed (2 * cap) in
+  let ncap = Int.max needed (2 * cap) in
   let grown = Array.make ncap 0 in
   Array.blit t.counts 0 grown 0 cap;
   t.counts <- grown
@@ -121,7 +124,7 @@ let grow t needed =
    simulated duration. *)
 let u_cap = (1 lsl 62) - 1
 
-let record t x =
+let[@hot] record t x =
   let u =
     if x <= 0.0 then 0
     else begin
@@ -133,18 +136,19 @@ let record t x =
   if i >= Array.length t.counts then grow t (i + 1);
   t.counts.(i) <- t.counts.(i) + 1;
   t.total <- t.total + 1;
-  t.sum <- t.sum +. x;
-  t.sum_sq <- t.sum_sq +. (x *. x);
-  if x < t.min_v then t.min_v <- x;
-  if x > t.max_v then t.max_v <- x
+  let m = t.moments in
+  m.(m_sum) <- m.(m_sum) +. x;
+  m.(m_sum_sq) <- m.(m_sum_sq) +. (x *. x);
+  if x < m.(m_min) then m.(m_min) <- x;
+  if x > m.(m_max) then m.(m_max) <- x
 
 let clear t =
   Array.fill t.counts 0 (Array.length t.counts) 0;
   t.total <- 0;
-  t.sum <- 0.0;
-  t.sum_sq <- 0.0;
-  t.min_v <- infinity;
-  t.max_v <- neg_infinity
+  t.moments.(m_sum) <- 0.0;
+  t.moments.(m_sum_sq) <- 0.0;
+  t.moments.(m_min) <- infinity;
+  t.moments.(m_max) <- neg_infinity
 
 (* Nearest-rank quantile: the representative of the bucket holding the
    ceil(q*n)-th smallest observation, clamped into [min, max] (the
@@ -162,7 +166,7 @@ let quantile t q =
       if !acc >= rank then found := !i;
       incr i
     done;
-    Float.min t.max_v (Float.max t.min_v (representative t !found))
+    Float.min t.moments.(m_max) (Float.max t.moments.(m_min) (representative t !found))
   end
 
 let percentile t p =
@@ -197,10 +201,13 @@ let merge a b =
       rel_error = a.rel_error;
       counts = Array.make (Stdlib.max (Array.length a.counts) (Array.length b.counts)) 0;
       total = a.total + b.total;
-      sum = a.sum +. b.sum;
-      sum_sq = a.sum_sq +. b.sum_sq;
-      min_v = Float.min a.min_v b.min_v;
-      max_v = Float.max a.max_v b.max_v;
+      moments =
+        [|
+          a.moments.(m_sum) +. b.moments.(m_sum);
+          a.moments.(m_sum_sq) +. b.moments.(m_sum_sq);
+          Float.min a.moments.(m_min) b.moments.(m_min);
+          Float.max a.moments.(m_max) b.moments.(m_max);
+        |];
     }
   in
   Array.iteri (fun i c -> m.counts.(i) <- c) a.counts;

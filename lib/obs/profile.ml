@@ -37,7 +37,7 @@ let index : (string, int) Hashtbl.t = Hashtbl.create 64
 let add_info info =
   let cap = Array.length !reg in
   if !reg_n = cap then begin
-    let grown = Array.make (max 16 (2 * cap)) info in
+    let grown = Array.make (Int.max 16 (2 * cap)) info in
     Array.blit !reg 0 grown 0 !reg_n;
     reg := grown
   end;
@@ -170,7 +170,7 @@ let charge attr ~cpu span =
 
 let record_event p id =
   if id >= Array.length p.events then begin
-    let grown = Array.make (max !reg_n (2 * Array.length p.events)) 0 in
+    let grown = Array.make (Int.max !reg_n (2 * Array.length p.events)) 0 in
     Array.blit p.events 0 grown 0 (Array.length p.events);
     p.events <- grown
   end;

@@ -70,8 +70,11 @@ let queue_length t = Eventq.length t.q
    the lazy-cancellation overhead. *)
 
 (* Array.make needs a fill element; every new index is immediately
-   overwritten with a fresh record by [alloc_slot]. *)
-let dummy_slot = { seq = -1; action = nop }
+   overwritten with a fresh record by [alloc_slot].  RACE002: written
+   once at module init and never mutated afterwards (its fields only
+   exist to satisfy the slot type), so sharing it across domains is
+   safe. *)
+let dummy_slot = { seq = -1; action = nop } [@@lint.allow "RACE002"]
 
 let grow_slots t =
   let cap = Array.length t.slots in
@@ -107,9 +110,12 @@ let alloc_slot t =
     let cap = Array.length t.slots in
     grow_slots t;
     let ncap = Array.length t.slots in
-    (* Push new indices high-to-low so the lowest pops first. *)
+    (* Push new indices high-to-low so the lowest pops first.
+       ALLOC002: the fresh records are pool growth — amortized O(1)
+       per schedule and precisely the allocation the pool exists to
+       front-load. *)
     for i = ncap - 1 downto cap do
-      t.slots.(i) <- { seq = -1; action = nop };
+      t.slots.(i) <- ({ seq = -1; action = nop } [@lint.allow "ALLOC002"]);
       free_push t i
     done
   end;
@@ -117,7 +123,7 @@ let alloc_slot t =
   t.free_top <- top;
   Array.unsafe_get t.free top
 
-let schedule_i t time_i f =
+let[@hot] schedule_i t time_i f =
   let idx = alloc_slot t in
   let s = Array.unsafe_get t.slots idx in
   let seq = t.next_seq in
@@ -128,7 +134,7 @@ let schedule_i t time_i f =
   Eventq.push t.q ~time:time_i ~seq ~payload:idx;
   (seq lsl idx_bits) lor idx
 
-let schedule_at t time f =
+let[@hot] schedule_at t time f =
   let time_i = Int64.to_int time in
   (* Clamp times in the past (including anything that overflowed the
      int range) to the current instant. *)
@@ -137,7 +143,7 @@ let schedule_at t time f =
 
 (* All-immediate arithmetic: no boxed intermediates on the relative
    scheduling path every subsystem uses. *)
-let schedule_after t d f =
+let[@hot] schedule_after t d f =
   let d_i = Int64.to_int d in
   let d_i = if d_i < 0 then 0 else d_i in
   schedule_i t (t.clock_i + d_i) f
@@ -158,11 +164,14 @@ let compact_threshold = 64
 
 let maybe_compact t =
   if t.dead > compact_threshold && t.dead * 2 > Eventq.length t.q then begin
-    Eventq.rebuild t.q ~keep:(fun ~seq ~payload -> t.slots.(payload).seq = seq);
+    (* ALLOC001: the [~keep] closure is one allocation per O(n)
+       compaction, not per cancel — amortized away by the threshold. *)
+    Eventq.rebuild t.q
+      ~keep:((fun ~seq ~payload -> t.slots.(payload).seq = seq) [@lint.allow "ALLOC001"]);
     t.dead <- 0
   end
 
-let cancel t h =
+let[@hot] cancel t h =
   let idx = h land idx_mask in
   if idx < Array.length t.slots then begin
     let s = Array.unsafe_get t.slots idx in
@@ -177,7 +186,7 @@ let cancel t h =
 (* The single choke point that skips lazily-cancelled entries: after
    [drop_stale] the queue is either empty or headed by a live event.
    Both [step] and [run_until] go through it. *)
-let drop_stale t =
+let[@hot] drop_stale t =
   let q = t.q in
   while
     (not (Eventq.is_empty q))
@@ -191,7 +200,7 @@ let drop_stale t =
    clock, release the slot, then run the action.  The slot is released
    before the action runs so the handle reads as no-longer-scheduled
    inside its own handler, matching the old state-machine order. *)
-let fire_head t =
+let[@hot] fire_head t =
   let q = t.q in
   let time = Eventq.min_time q in
   let idx = Eventq.min_payload q in
@@ -202,11 +211,13 @@ let fire_head t =
   t.live <- t.live - 1;
   if time > t.clock_i then begin
     t.clock_i <- time;
-    t.clock <- Int64.of_int time
+    (* ALLOC003: the boxed mirror is refreshed only when the clock
+       actually advances; same-instant cascades skip this branch. *)
+    t.clock <- (Int64.of_int time [@lint.allow "ALLOC003"])
   end;
   action ()
 
-let step t =
+let[@hot] step t =
   drop_stale t;
   if Eventq.is_empty t.q then false
   else begin
@@ -214,20 +225,22 @@ let step t =
     true
   end
 
-let run_until t limit =
+let[@hot] run_until t limit =
   let limit_i = Int64.to_int (Time_ns.max limit 0L) in
-  let rec loop () =
+  (* A while loop rather than a local [let rec loop]: the recursive
+     closure captured [t]/[limit_i] and cost one allocation per call;
+     the [continue] ref compiles to a stack variable
+     (Simplif.eliminate_ref). *)
+  let continue = ref true in
+  while !continue do
     drop_stale t;
-    if not (Eventq.is_empty t.q) then begin
+    if Eventq.is_empty t.q then continue := false
+    else begin
       (* Immediate-int key comparison (DET003 targets boxed Time_ns). *)
       let head = Eventq.min_time t.q in
-      if head <= limit_i then begin
-        fire_head t;
-        loop ()
-      end
+      if head <= limit_i then fire_head t else continue := false
     end
-  in
-  loop ();
+  done;
   if limit_i > t.clock_i then begin
     t.clock_i <- limit_i;
     t.clock <- limit

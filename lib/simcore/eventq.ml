@@ -45,7 +45,7 @@ let grow t =
 (* Move the hole at [i] up until [(time, seq)] fits (lexicographic;
    seqs are unique so strict compares suffice), then write the entry.
    Writing once at the end beats repeated triple swaps. *)
-let rec sift_up t i ~time ~seq ~payload =
+let[@hot] rec sift_up t i ~time ~seq ~payload =
   let fits =
     i = 0
     ||
@@ -66,7 +66,7 @@ let rec sift_up t i ~time ~seq ~payload =
     sift_up t parent ~time ~seq ~payload
   end
 
-let push t ~time ~seq ~payload =
+let[@hot] push t ~time ~seq ~payload =
   if t.size = Array.length t.kt then grow t;
   let i = t.size in
   t.size <- i + 1;
@@ -77,7 +77,7 @@ let min_seq t = t.ks.(0)
 let min_payload t = t.kp.(0)
 
 (* Sift the entry [time, seq, payload] down from the hole at [i]. *)
-let rec sift_down t i ~time ~seq ~payload =
+let[@hot] rec sift_down t i ~time ~seq ~payload =
   let first = (4 * i) + 1 in
   if first >= t.size then begin
     Array.unsafe_set t.kt i time;
@@ -113,7 +113,7 @@ let rec sift_down t i ~time ~seq ~payload =
     end
   end
 
-let drop_min t =
+let[@hot] drop_min t =
   if t.size > 0 then begin
     let n = t.size - 1 in
     t.size <- n;

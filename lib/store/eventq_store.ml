@@ -64,7 +64,10 @@ let free_slot t idx =
   let s = t.slots.(idx) in
   s.sseq <- -1;
   s.sval <- None;
-  t.free <- idx :: t.free
+  (* ALLOC002: the free list is an int list — one cons per completed
+     timer.  The production engine pool (lib/simcore/engine.ml) uses an
+     int-array stack; this experiment store keeps the simpler shape. *)
+  t.free <- ((idx :: t.free) [@lint.allow "ALLOC002"])
 
 (* A handle is pending iff its generation still matches its slot's:
    cancel/fire free the slot (generation -1) and any reuse stamps a
@@ -135,7 +138,13 @@ let next_deadline t =
   shed_stale t;
   if Eventq.is_empty t.q then None else Some (Int64.of_int (Eventq.min_time t.q))
 
-let fire_due t ~now f =
+(* ALLOC001/2/3 below: the body is the snapshot-batch contract of
+   timer_store.mli — the due prefix is popped into a list before any
+   callback runs, so every allocation here (cons + tuple per due entry,
+   the collect/dispatch closures, the re-boxed deadline) is
+   proportional to the fired batch, never to a trigger-state check that
+   finds nothing due. *)
+let[@hot] fire_due t ~now f =
   let now_i = Int64.to_int now in
   (* Pop the whole due prefix before running any callback: the popped
      list is the snapshot, already in (deadline, tie) order; entries
@@ -172,3 +181,4 @@ let fire_due t ~now f =
         t.dead <- t.dead - 1)
     batch;
   !fired
+[@@lint.allow "ALLOC001"] [@@lint.allow "ALLOC002"] [@@lint.allow "ALLOC003"]

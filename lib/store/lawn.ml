@@ -185,7 +185,12 @@ let next_deadline t =
     | None -> None  (* unreachable: count > 0 implies a linked node *)
   end
 
-let fire_due t ~now f =
+(* ALLOC001/2: snapshot-batch contract (timer_store.mli) — due nodes
+   are unlinked into a list before any callback runs, so the cons cells
+   and local walk/pop/extract closures are per-batch work amortized
+   over the fired timers; a check that fires nothing allocates nothing
+   (the buckets are walked in place). *)
+let[@hot] fire_due t ~now f =
   t.last_now <- Time_ns.max t.last_now now;
   (* Collect the due snapshot: pop each positive-duration bucket from the
      head while due (FIFO order = deadline order within a bucket), walk
@@ -226,7 +231,7 @@ let fire_due t ~now f =
     List.sort
       (fun a b ->
         let c = Time_ns.compare a.nat b.nat in
-        if c <> 0 then c else compare a.nseq b.nseq)
+        if c <> 0 then c else Int.compare a.nseq b.nseq)
       !batch
   in
   (match due with [] -> () | _ :: _ -> t.min_valid <- false);
@@ -243,3 +248,4 @@ let fire_due t ~now f =
       end)
     due;
   !fired
+[@@lint.allow "ALLOC001"] [@@lint.allow "ALLOC002"]

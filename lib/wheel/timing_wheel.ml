@@ -38,8 +38,14 @@ let resident t = t.count + t.cancelled
 let handle_deadline h = h.hdeadline
 let handle_pending h = h.hstate = Pending
 
-let tick_of t at = Int64.div at t.tick_span
-let slot_of t tk = Int64.to_int (Int64.rem tk (Int64.of_int t.slots_n))
+(* ALLOC003: deadlines are int64 nanoseconds at the wheel API, so tick
+   math boxes its result — a handful of boxes per fire_due/schedule
+   call, not per resident timer. *)
+let tick_of t at = (Int64.div at t.tick_span [@lint.allow "ALLOC003"])
+
+let slot_of t tk =
+  Int64.to_int ((Int64.rem tk (Int64.of_int t.slots_n) [@lint.allow "ALLOC003"]))
+  [@@lint.allow "ALLOC003"]
 
 (* Cancelled entries are normally reclaimed lazily when their slot is
    swept, but a schedule/cancel churn loop targeting slots far ahead of
@@ -51,12 +57,15 @@ let slot_of t tk = Int64.to_int (Int64.rem tk (Int64.of_int t.slots_n))
 let e_compact = Profile.intern [ "wheel"; "compact_pass" ]
 let e_sweep = Profile.intern [ "wheel"; "sweep_min_scan" ]
 
+(* ALLOC001: one filter closure per O(resident) compaction pass —
+   amortized O(1) per cancellation by the thresholds above. *)
 let compact t =
   Profile.event e_compact;
   for i = 0 to t.slots_n - 1 do
     t.buckets.(i) <- List.filter (fun e -> e.h.hstate = Pending) t.buckets.(i)
   done;
   t.cancelled <- 0
+[@@lint.allow "ALLOC001"]
 
 let maybe_compact t = if t.cancelled >= t.slots_n && t.cancelled > t.count then compact t
 
@@ -91,6 +100,10 @@ let cancel t h =
    dominates everything in later slots, so the scan usually exits after
    a handful of slots; a full pass (visiting every bucket once) is the
    worst case and yields the exact minimum. *)
+(* ALLOC001/2/3: the cache-miss repair path — runs only when a cancel
+   invalidated the cached minimum; its option cells, consider closure
+   and tick boxes are bounded by one slot scan, and the common
+   next_deadline call answers from the cache without reaching here. *)
 let sweep_min t =
   Profile.event e_sweep;
   let best = ref None in
@@ -112,8 +125,11 @@ let sweep_min t =
      done
    with Found -> ());
   !best
+[@@lint.allow "ALLOC001"] [@@lint.allow "ALLOC002"] [@@lint.allow "ALLOC003"]
 
-let next_deadline t =
+(* ALLOC002: returning [Some deadline] is the API contract; on the
+   cached fast path it is the sole allocation per trigger-state check. *)
+let[@hot] next_deadline t =
   if t.count = 0 then None
   else if t.min_valid then Some t.cached_min
   else begin
@@ -124,8 +140,14 @@ let next_deadline t =
       Some m
     | None -> None  (* unreachable: count > 0 implies a pending entry *)
   end
+[@@lint.allow "ALLOC002"]
 
-let fire_due t ~now f =
+(* ALLOC001/2/3: snapshot-batch contract — due entries leave their
+   buckets into a list before any callback runs, so the cons cells,
+   filter/sort/dispatch closures and tick boxes are proportional to the
+   swept slots and fired batch; the nothing-due case exits after the
+   O(1) next_deadline check. *)
+let[@hot] fire_due t ~now f =
   maybe_compact t;
   let now_tick = tick_of t now in
   match next_deadline t with
@@ -168,7 +190,7 @@ let fire_due t ~now f =
     t.last_tick <- Int64.max t.last_tick now_tick;
     let due = List.sort (fun a b ->
       let c = Time_ns.compare a.deadline b.deadline in
-      if c <> 0 then c else compare a.seq b.seq) !due
+      if c <> 0 then c else Int.compare a.seq b.seq) !due
     in
     t.min_valid <- false;
     let fired = ref 0 in
@@ -185,6 +207,7 @@ let fire_due t ~now f =
         else if t.cancelled > 0 then t.cancelled <- t.cancelled - 1)
       due;
     !fired
+[@@lint.allow "ALLOC001"] [@@lint.allow "ALLOC002"] [@@lint.allow "ALLOC003"]
 
 let iter_pending t f =
   Array.iter

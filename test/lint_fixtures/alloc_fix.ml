@@ -1,0 +1,29 @@
+(* Lint fixture: hot-path allocation rules.  Never compiled — parsed by
+   tools/lint only. *)
+
+(* ALLOC002 via the transitive check: [helper] is not annotated but is
+   reachable from the [@hot] root below. *)
+let helper x = [ x ]
+
+let add3 a b c = a + b + c
+
+let[@hot] mk_pair x = (x, x)
+
+let[@hot] log_it x = Printf.printf "%d\n" x
+
+let[@hot] with_closure x =
+  let f y = x + y in
+  f 1
+
+let[@hot] partial x = add3 x 1
+
+let[@hot] calls_helper x = helper x
+
+(* Not flagged: a local non-escaping ref compiles to a stack variable
+   (Simplif.eliminate_ref). *)
+let[@hot] sum_to n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc + i
+  done;
+  !acc

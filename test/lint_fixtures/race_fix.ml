@@ -1,0 +1,24 @@
+(* Lint fixture: domain-race rules.  Never compiled — parsed by
+   tools/lint only. *)
+
+let hits = ref 0
+
+let total = ref 0
+
+let bump x = total := !total + x
+
+let xs = [ 1; 2; 3 ]
+
+(* RACE001: the job closure touches [hits] directly. *)
+let direct () = Runner.map (fun x -> hits := !hits + x; !hits) xs
+
+(* RACE002: the named job function reaches [total] transitively. *)
+let transitive () = Runner.map (fun x -> bump x; x) xs
+
+(* RACE003: raw domain outside lib/parallel. *)
+let rogue () = Domain.spawn (fun () -> ())
+
+(* RACE004: non-atomic read-modify-write on an atomic. *)
+let c = Atomic.make 0
+
+let lossy_incr () = Atomic.set c (Atomic.get c + 1)

@@ -1,0 +1,17 @@
+(* Lint fixture: suppression forms.  Only the LAST line below may
+   appear in lint_fixtures.expected — everything else is allowlisted
+   and a finding for it means suppression is broken. *)
+
+(* File-level allow. *)
+[@@@lint.allow "DET002"]
+
+let draw () = Random.int 10
+
+(* Node-scoped allow on the offending expression. *)
+let[@hot] quiet x = ((x, x) [@lint.allow "ALLOC002"])
+
+(* Binding-level allow covering the whole function body. *)
+let[@hot] chatty x = Printf.printf "%d\n" x [@@lint.allow "ALLOC003"]
+
+(* Still reported: proves the file as a whole is not skipped. *)
+let wall () = Unix.gettimeofday ()

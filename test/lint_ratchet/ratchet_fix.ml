@@ -1,0 +1,6 @@
+(* Lint fixture for the ratchet baseline: exactly two DET002 findings.
+   Never compiled — parsed by tools/lint only. *)
+
+let a () = Random.int 10
+
+let b () = Random.float 1.0

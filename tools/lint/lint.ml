@@ -1,284 +1,48 @@
-(* Determinism lint for the soft-timers reproduction.
+(* Driver for the multi-pass static-analysis suite.
 
    Every table and figure this repo regenerates rests on the engine's
-   promise of bit-for-bit reproducibility (FIFO tie-breaking in
-   [Engine] + explicit [Prng] streams).  This binary enforces the
-   contract statically, so a stray wall-clock read or global [Random]
-   draw is caught at lint time instead of by a reviewer.
+   promise of bit-for-bit reproducibility, and the engine hot path's
+   performance rests on staying GC-quiet.  This suite enforces both
+   statically:
 
-   Rules (see DESIGN.md, "Determinism contract and enforcement"):
+     pass 1  parse every .ml once into the shared cache
+             (Lint_source: per-file allows, aliases, mutable labels)
+     pass 2  build the module-level reachability graph over toplevel
+             bindings, [@hot] roots and the mutable-state index
+             (Reachability)
+     pass 3  run the rule families over the cached ASTs:
+               Rules_det    DET001..DET004, MLI001  (determinism)
+               Rules_race   RACE001..RACE004        (domain safety)
+               Rules_alloc  ALLOC001..ALLOC003      (hot-path allocs)
+     pass 4  report: text (default) / --json / --sarif, ratcheted
+             against the committed BASELINE.json
 
-     DET001  no wall-clock reads ([Unix.gettimeofday], [Unix.time],
-             [Sys.time], ...) — simulated code must use virtual time.
-             Benchmarks whose measurand is the wall clock are listed in
-             [det001_allow] below.
-     DET002  no global [Random.*] — every stochastic component takes an
-             explicit [Simcore.Prng] stream, so runs replay from a seed.
-     DET003  no polymorphic [=]/[<>]/[compare]/[min]/[max]/[<]/... on a
-             time-valued expression — use [Time_ns] operations (or
-             [Option.is_none]/[is_some] for optional deadlines).  Purely
-             syntactic heuristic: an operand counts as time-valued when
-             it mentions [Time_ns.*] or an identifier named [now]/[due]/
-             [deadline] or ending in [_time]/[_deadline]/[_due]/[_ns].
-             Uses inside [Time_ns.(...)] resolve to [Time_ns]'s own
-             operators and are not flagged.
-     DET004  no [Obj.magic] anywhere; no [Hashtbl.iter]/[Hashtbl.fold]
-             in result-producing modules (lib/experiments, lib/obs,
-             lib/simcore) — hash-bucket order is unspecified and leaks
-             into emitted tables unless the keys are sorted first.
-     MLI001  every module under lib/ ships an [.mli].
-     PARSE   the file does not parse (the build would fail anyway).
+   Suppression: file-level [@@@lint.allow "RULE"] or node-scoped
+   [@lint.allow "RULE"] (covers the lines the annotated expression or
+   let-binding spans); pair either with a comment justifying why the
+   rule does not apply.  The ratchet baseline freezes pre-existing
+   findings by (file, rule) count: `dune build @lint` stays green on
+   frozen debt and fails on any new finding.
 
-   Suppression: a file-level attribute
+   Usage: lint.exe [options] [DIR|FILE...]
+     --baseline FILE        ratchet against FILE (per-(file,rule) counts)
+     --write-baseline FILE  regenerate the ratchet from current findings
+     --no-baseline          fail on every finding (fixture tests)
+     --json FILE            machine-readable findings
+     --sarif FILE           SARIF 2.1.0 for CI artifact upload / viewers
+     --brief                print file:line:RULE only (golden tests)
+     --det004-scope PREFIX  add a DET004 Hashtbl-iteration scope prefix
+                            (replaces the default scope; repeatable)
 
-     [@@@lint.allow "DET004"]
+   Exit status: 0 clean (or all findings frozen), 1 new findings,
+   2 usage/configuration error. *)
 
-   disables the named rule for the whole file; pair it with a comment
-   justifying why the rule does not apply.
-
-   Usage: lint.exe DIR...   (scans every .ml beneath each DIR)
-   Output: file:line:RULE message — machine readable, one per line.
-   Exit status: 0 when clean, 1 when any violation was found.
-
-   Built on compiler-libs only (Parse + Ast_iterator); purely
-   syntactic, so module aliasing (e.g. [module R = Random]) can evade
-   it — the point is to catch the honest mistakes cheaply. *)
-
-open Parsetree
-
-(* DET001 allowlist: files whose whole point is measuring real elapsed
-   time.  bench/timer_ablation.ml reports wall-clock ns/op of the
-   competing timer backends; bench/main.ml stamps per-experiment
-   wall_clock_s into the --json baseline.  In both the wall clock is
-   the measurand, not an input to the simulation, so reading it cannot
-   perturb any simulated result. *)
-let det001_allow = [ "bench/timer_ablation.ml"; "bench/main.ml"; "bench/store_arena.ml" ]
-
-(* Directories whose modules produce results (tables, exported traces,
-   metric dumps): Hashtbl iteration order must not reach their output. *)
-let det004_hashtbl_scope = [ "lib/experiments/"; "lib/obs/"; "lib/simcore/" ]
-
-type violation = { file : string; line : int; rule : string; msg : string }
-
-let violations : violation list ref = ref []
-let report ~file ~line ~rule msg = violations := { file; line; rule; msg } :: !violations
-
-let line_of (loc : Location.t) = loc.loc_start.pos_lnum
-
-(* ---------- rule predicates ---------- *)
-
-let wallclock_idents =
-  [ [ "Unix"; "gettimeofday" ];
-    [ "Unix"; "time" ];
-    [ "Unix"; "gmtime" ];
-    [ "Unix"; "localtime" ];
-    [ "Unix"; "mktime" ];
-    [ "Sys"; "time" ] ]
-
-let flatten_opt lid = try Some (Longident.flatten lid) with _ -> None
-
-let is_wallclock lid =
-  match flatten_opt lid with
-  | Some parts -> List.mem parts wallclock_idents
-  | None -> false
-
-let is_global_random lid =
-  match flatten_opt lid with Some ("Random" :: _) -> true | _ -> false
-
-let is_obj_magic lid =
-  match flatten_opt lid with Some [ "Obj"; "magic" ] -> true | _ -> false
-
-let hashtbl_iteration lid =
-  match flatten_opt lid with
-  | Some [ "Hashtbl"; ("iter" | "fold") ] ->
-    (match lid with Longident.Ldot (_, f) -> Some f | _ -> None)
-  | _ -> None
-
-(* Polymorphic comparison operators as they appear unqualified (or
-   qualified by Stdlib).  [Time_ns.compare] etc. are Ldot [Time_ns]
-   and do not match. *)
-let poly_compare_op lid =
-  match lid with
-  | Longident.Lident
-      (("=" | "<>" | "==" | "!=" | "<" | "<=" | ">" | ">=" | "compare" | "min" | "max") as s)
-    -> Some s
-  | Longident.Ldot
-      ( Longident.Lident "Stdlib",
-        (("=" | "<>" | "<" | "<=" | ">" | ">=" | "compare" | "min" | "max") as s) ) ->
-    Some s
-  | _ -> None
-
-let time_like_name name =
-  match name with
-  | "now" | "due" | "deadline" -> true
-  | _ ->
-    List.exists
-      (fun suf -> Filename.check_suffix name suf)
-      [ "_time"; "_deadline"; "_due"; "_ns" ]
-
-(* Time_ns functions whose result is an ordinary int/float/string, not
-   a time: an expression rooted in one of these is not time-valued even
-   though the subtree mentions Time_ns (e.g. [Time_ns.compare a b > 0]
-   is an int comparison). *)
-let time_ns_escapes = [ "compare"; "to_ns"; "to_us"; "to_ms"; "to_sec"; "to_string"; "pp" ]
-
-let escapes_time (ex : expression) =
-  match ex.pexp_desc with
-  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Longident.Ldot (lid, fn); _ }; _ }, _) ->
-    (match flatten_opt (Longident.Ldot (lid, fn)) with
-    | Some parts -> List.mem "Time_ns" parts && List.mem fn time_ns_escapes
-    | None -> false)
-  | _ -> false
-
-(* Does the expression (syntactically) mention a time value?  True when
-   any identifier or record field within is time-like by name, or any
-   path goes through the Time_ns module (excluding subtrees whose value
-   already escaped to int/float, see [escapes_time]). *)
-let expr_time_like e =
-  let found = ref false in
-  let last_part lid =
-    match flatten_opt lid with
-    | Some parts when parts <> [] -> Some (List.nth parts (List.length parts - 1))
-    | _ -> None
-  in
-  let check_lid lid =
-    (match flatten_opt lid with
-    | Some parts when List.mem "Time_ns" parts ->
-      (* The module path alone (Time_ns.compare, Time_ns.to_us) does not
-         make the operand a time; only non-escaping uses do. *)
-      (match last_part lid with
-      | Some name when List.mem name time_ns_escapes -> ()
-      | _ -> found := true)
-    | _ -> ());
-    match last_part lid with
-    | Some name when time_like_name name -> found := true
-    | _ -> ()
-  in
-  let it =
-    {
-      Ast_iterator.default_iterator with
-      expr =
-        (fun self ex ->
-          if not (escapes_time ex) then begin
-            (match ex.pexp_desc with
-            | Pexp_ident { txt; _ } -> check_lid txt
-            | Pexp_field (_, { txt; _ }) -> check_lid txt
-            | _ -> ());
-            Ast_iterator.default_iterator.expr self ex
-          end);
-    }
-  in
-  it.expr it e;
-  !found
-
-let opened_is_time_ns (od : open_declaration) =
-  match od.popen_expr.pmod_desc with
-  | Pmod_ident { txt = Longident.Lident "Time_ns"; _ } -> true
-  | _ -> false
-
-(* ---------- per-file scan ---------- *)
-
-(* Collect file-level [@@@lint.allow "RULE"] attributes. *)
-let allowed_rules (str : structure) =
-  let allowed = ref [] in
-  List.iter
-    (fun item ->
-      match item.pstr_desc with
-      | Pstr_attribute { attr_name = { txt = "lint.allow"; _ }; attr_payload; _ } -> (
-        match attr_payload with
-        | PStr
-            [
-              {
-                pstr_desc =
-                  Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
-                _;
-              };
-            ] ->
-          allowed := s :: !allowed
-        | _ -> ())
-      | _ -> ())
-    str;
-  !allowed
-
-let scan_structure ~file ~in_det004_scope ~det001_allowed str =
-  let allowed = allowed_rules str in
-  let allow rule = List.mem rule allowed in
-  let emit ~loc ~rule msg =
-    if not (allow rule) then report ~file ~line:(line_of loc) ~rule msg
-  in
-  (* Depth of enclosing [Time_ns.(...)] / [let open Time_ns in] scopes,
-     inside which comparison operators resolve to Time_ns's own. *)
-  let time_ns_open_depth = ref 0 in
-  let expr_iter self (ex : expression) =
-    match ex.pexp_desc with
-    | Pexp_open (od, body) when opened_is_time_ns od ->
-      incr time_ns_open_depth;
-      self.Ast_iterator.expr self body;
-      decr time_ns_open_depth
-    | _ ->
-      (match ex.pexp_desc with
-      | Pexp_ident { txt; loc } ->
-        if is_wallclock txt && not det001_allowed then
-          emit ~loc ~rule:"DET001"
-            (Printf.sprintf
-               "wall-clock read %s breaks reproducibility; use virtual time (Engine.now) or \
-                add the file to the bench allowlist in tools/lint/lint.ml"
-               (String.concat "." (Option.value ~default:[] (flatten_opt txt))));
-        if is_global_random txt then
-          emit ~loc ~rule:"DET002"
-            "global Random.* is not replayable; draw from an explicit Simcore.Prng stream";
-        if is_obj_magic txt then
-          emit ~loc ~rule:"DET004" "Obj.magic defeats the type system";
-        (match hashtbl_iteration txt with
-        | Some f when in_det004_scope ->
-          emit ~loc ~rule:"DET004"
-            (Printf.sprintf
-               "Hashtbl.%s iteration order is unspecified and leaks into results; sort the \
-                keys first (or justify with [@@@lint.allow \"DET004\"])"
-               f)
-        | _ -> ())
-      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args)
-        when !time_ns_open_depth = 0 -> (
-        match poly_compare_op txt with
-        | Some op when List.exists (fun (_, a) -> expr_time_like a) args ->
-          emit ~loc ~rule:"DET003"
-            (Printf.sprintf
-               "polymorphic %s on a time-valued operand; use Time_ns comparisons \
-                (Option.is_none/is_some for optional deadlines)"
-               (if String.length op > 0 && not (op.[0] >= 'a' && op.[0] <= 'z') then
-                  "(" ^ op ^ ")"
-                else op))
-        | _ -> ())
-      | _ -> ());
-      Ast_iterator.default_iterator.expr self ex
-  in
-  let it = { Ast_iterator.default_iterator with expr = expr_iter } in
-  it.structure it str;
-  allowed
-
-let parse_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let src = really_input_string ic n in
-  close_in ic;
-  let lexbuf = Lexing.from_string src in
-  Lexing.set_filename lexbuf path;
-  Parse.implementation lexbuf
-
-let scan_file path =
-  let det001_allowed = List.mem path det001_allow in
-  let in_det004_scope =
-    List.exists
-      (fun prefix ->
-        String.length path >= String.length prefix
-        && String.sub path 0 (String.length prefix) = prefix)
-      det004_hashtbl_scope
-  in
-  match parse_file path with
-  | exception _ ->
-    report ~file:path ~line:1 ~rule:"PARSE" "file does not parse";
-    []
-  | str -> scan_structure ~file:path ~in_det004_scope ~det001_allowed str
+let usage () =
+  prerr_endline
+    "usage: lint.exe [--baseline FILE | --write-baseline FILE | --no-baseline]\n\
+    \                [--json FILE] [--sarif FILE] [--brief]\n\
+    \                [--det004-scope PREFIX]... [DIR|FILE...]";
+  exit 2
 
 (* ---------- directory walk ---------- *)
 
@@ -295,49 +59,142 @@ let rec walk dir acc =
           else acc)
       acc (Sys.readdir dir)
 
-let has_prefix prefix s =
-  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
-
 let () =
-  let dirs =
-    match List.tl (Array.to_list Sys.argv) with
-    | [] -> [ "lib"; "bin"; "examples"; "bench" ]
-    | dirs -> dirs
+  let baseline_path = ref (Some "tools/lint/BASELINE.json") in
+  let write_baseline = ref None in
+  let json_out = ref None in
+  let sarif_out = ref None in
+  let brief = ref false in
+  let det004_scope = ref [] in
+  let targets = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--baseline" :: path :: rest ->
+      baseline_path := Some path;
+      parse_args rest
+    | "--no-baseline" :: rest ->
+      baseline_path := None;
+      parse_args rest
+    | "--write-baseline" :: path :: rest ->
+      write_baseline := Some path;
+      parse_args rest
+    | "--json" :: path :: rest ->
+      json_out := Some path;
+      parse_args rest
+    | "--sarif" :: path :: rest ->
+      sarif_out := Some path;
+      parse_args rest
+    | "--brief" :: rest ->
+      brief := true;
+      parse_args rest
+    | "--det004-scope" :: prefix :: rest ->
+      det004_scope := prefix :: !det004_scope;
+      parse_args rest
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+      Printf.eprintf "lint: unknown option %s\n" arg;
+      usage ()
+    | arg :: rest ->
+      targets := arg :: !targets;
+      parse_args rest
   in
-  let files = List.sort String.compare (List.concat_map (fun d -> walk d []) dirs) in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let targets =
+    match List.rev !targets with [] -> [ "lib"; "bin"; "examples"; "bench"; "tools" ] | ts -> ts
+  in
+  let files =
+    List.concat_map
+      (fun t ->
+        if Sys.file_exists t && Sys.is_directory t then walk t []
+        else if Sys.file_exists t && Filename.check_suffix t ".ml" then [ t ]
+        else [])
+      targets
+    |> List.sort_uniq String.compare
+  in
   if files = [] then begin
     prerr_endline "lint: no .ml files found (run from the repository root)";
     exit 2
   end;
+
+  (* Pass 1: parse everything once into the shared cache. *)
+  let sources = List.map Lint_source.load files in
   List.iter
-    (fun path ->
-      let allowed = scan_file path in
-      (* MLI001: every lib/ module declares an interface. *)
-      if
-        has_prefix "lib/" path
-        && (not (Sys.file_exists (path ^ "i")))
-        && not (List.mem "MLI001" allowed)
-      then
-        report ~file:path ~line:1 ~rule:"MLI001"
-          "module has no interface; every lib/ module must ship an .mli")
-    files;
-  let vs =
-    List.sort
-      (fun a b ->
-        let c = String.compare a.file b.file in
-        if c <> 0 then c
-        else
-          let c = Int.compare a.line b.line in
-          if c <> 0 then c else String.compare a.rule b.rule)
-      !violations
+    (fun (f : Lint_source.file) ->
+      if f.Lint_source.parse_failed then
+        Lint_diag.report ~file:f.Lint_source.path ~line:1 ~rule:"PARSE"
+          "file does not parse")
+    sources;
+
+  (* Pass 2: reachability graph, hot roots, mutable-state index. *)
+  let graph = Reachability.build sources in
+
+  (* Pass 3: rule families. *)
+  let det004_scope =
+    match !det004_scope with [] -> Rules_det.default_det004_scope | s -> List.rev s
   in
-  List.iter (fun v -> Printf.printf "%s:%d:%s %s\n" v.file v.line v.rule v.msg) vs;
-  if vs = [] then begin
-    Printf.eprintf "lint: OK (%d files clean)\n" (List.length files);
+  List.iter
+    (fun f ->
+      Rules_det.scan ~det004_scope f;
+      Rules_det.check_mli f;
+      Rules_race.scan graph f)
+    sources;
+  Rules_alloc.scan_all graph;
+
+  let vs = Lint_diag.sorted () in
+
+  (* --write-baseline regenerates the ratchet and reports nothing. *)
+  (match !write_baseline with
+  | Some path ->
+    Lint_diag.write_baseline path vs;
+    Printf.eprintf "lint: baseline written to %s (%d finding(s) frozen in %d file(s))\n" path
+      (List.length vs)
+      (List.length
+         (List.sort_uniq String.compare (List.map (fun v -> v.Lint_diag.file) vs)));
+    exit 0
+  | None -> ());
+
+  (* Pass 4: ratchet + report. *)
+  let fresh, frozen =
+    match !baseline_path with
+    | Some path when Sys.file_exists path -> (
+      match Lint_diag.load_baseline path with
+      | bl -> Lint_diag.against_baseline bl vs
+      | exception Lint_diag.Bad_json msg ->
+        Printf.eprintf "lint: cannot read baseline %s: %s\n" path msg;
+        exit 2)
+    | Some _ | None -> (vs, [])
+  in
+  let frozen_set = List.map (fun v -> v) frozen in
+  let is_frozen v = List.memq v frozen_set in
+  (match !json_out with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Lint_diag.to_json ~frozen:is_frozen vs);
+    close_out oc
+  | None -> ());
+  (match !sarif_out with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Lint_diag.to_sarif ~frozen:is_frozen vs);
+    close_out oc
+  | None -> ());
+  List.iter
+    (fun (v : Lint_diag.violation) ->
+      if !brief then Printf.printf "%s:%d:%s\n" v.file v.line v.rule
+      else Printf.printf "%s:%d:%s %s\n" v.file v.line v.rule v.msg)
+    fresh;
+  if fresh = [] then begin
+    Printf.eprintf "lint: OK (%d files clean%s)\n" (List.length files)
+      (match frozen with
+      | [] -> ""
+      | fs -> Printf.sprintf ", %d finding(s) frozen in baseline" (List.length fs));
     exit 0
   end
   else begin
-    Printf.eprintf "lint: %d violation(s) in %d file(s)\n" (List.length vs)
-      (List.length (List.sort_uniq String.compare (List.map (fun v -> v.file) vs)));
+    Printf.eprintf "lint: %d new violation(s) in %d file(s)%s\n" (List.length fresh)
+      (List.length
+         (List.sort_uniq String.compare (List.map (fun v -> v.Lint_diag.file) fresh)))
+      (match frozen with
+      | [] -> ""
+      | fs -> Printf.sprintf " (+%d frozen in baseline)" (List.length fs));
     exit 1
   end

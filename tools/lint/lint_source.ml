@@ -1,0 +1,195 @@
+(* The shared parse cache and per-file syntactic facts every rule
+   module consumes.  A file is parsed exactly once per lint run; the
+   cached record also pre-extracts the facts that cut across rules:
+
+   - file-level  [@@@lint.allow "RULE"]   (whole-file suppression)
+   - per-node    [@lint.allow "RULE"]     (suppresses the rule on the
+     lines spanned by the annotated expression / let-binding)
+   - toplevel    module X = Path          aliases, resolved before any
+     rule predicate runs so [module R = Random  let x = R.int 3] cannot
+     evade DET002 (and likewise DET001/DET004)
+   - record labels declared [mutable] anywhere in the file's type
+     declarations (the RACE rules use them to recognise mutable record
+     literals without type information)
+   - [@hot] annotations on value bindings (the ALLOC roots) *)
+
+open Parsetree
+
+type file = {
+  path : string;
+  modname : string;  (* capitalized basename: lib/simcore/eventq.ml -> Eventq *)
+  str : structure;  (* [] when the file does not parse *)
+  parse_failed : bool;
+  file_allows : string list;
+  line_allows : (string * int * int) list;  (* rule, first line, last line *)
+  aliases : (string * string list) list;  (* toplevel [module X = P.Q] -> X, [P;Q] *)
+  mutable_labels : string list;
+}
+
+let line_of (loc : Location.t) = loc.loc_start.pos_lnum
+let flatten_opt lid = try Some (Longident.flatten lid) with _ -> None
+
+let modname_of_path path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+(* ---------- attribute extraction ---------- *)
+
+let string_payload (attr : attribute) =
+  match attr.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc = Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+    Some s
+  | _ -> None
+
+let allow_rules_of_attrs (attrs : attributes) =
+  List.filter_map
+    (fun a -> if a.attr_name.txt = "lint.allow" then string_payload a else None)
+    attrs
+
+let is_hot_attrs (attrs : attributes) =
+  List.exists (fun a -> a.attr_name.txt = "hot" || a.attr_name.txt = "lint.hot") attrs
+
+(* File-level [@@@lint.allow "RULE"] floating attributes. *)
+let file_allows_of (str : structure) =
+  List.concat_map
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_attribute a when a.attr_name.txt = "lint.allow" ->
+        (match string_payload a with Some s -> [ s ] | None -> [])
+      | _ -> [])
+    str
+
+(* Per-node [@lint.allow "RULE"]: the suppression covers every source
+   line the annotated node spans.  Collected from expressions, value
+   bindings and structure items — the three places the attribute
+   naturally lands ([let[@lint.allow "X"] f = ...], [e [@lint.allow "X"]]). *)
+let line_allows_of (str : structure) =
+  let acc = ref [] in
+  let add attrs (loc : Location.t) =
+    List.iter
+      (fun rule -> acc := (rule, loc.loc_start.pos_lnum, loc.loc_end.pos_lnum) :: !acc)
+      (allow_rules_of_attrs attrs)
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          add e.pexp_attributes e.pexp_loc;
+          Ast_iterator.default_iterator.expr self e);
+      value_binding =
+        (fun self vb ->
+          add vb.pvb_attributes vb.pvb_loc;
+          Ast_iterator.default_iterator.value_binding self vb);
+      structure_item =
+        (fun self si ->
+          (match si.pstr_desc with
+          | Pstr_value (_, vbs) -> List.iter (fun vb -> add vb.pvb_attributes si.pstr_loc) vbs
+          | _ -> ());
+          Ast_iterator.default_iterator.structure_item self si);
+    }
+  in
+  it.structure it str;
+  !acc
+
+(* ---------- toplevel module aliases ---------- *)
+
+let aliases_of (str : structure) =
+  List.filter_map
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_module
+          {
+            pmb_name = { txt = Some name; _ };
+            pmb_expr = { pmod_desc = Pmod_ident { txt = target; _ }; _ };
+            _;
+          } ->
+        (match flatten_opt target with Some parts -> Some (name, parts) | None -> None)
+      | _ -> None)
+    str
+
+(* ---------- mutable record labels ---------- *)
+
+let mutable_labels_of (str : structure) =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      type_declaration =
+        (fun self td ->
+          (match td.ptype_kind with
+          | Ptype_record labels ->
+            List.iter
+              (fun ld -> if ld.pld_mutable = Mutable then acc := ld.pld_name.txt :: !acc)
+              labels
+          | _ -> ());
+          Ast_iterator.default_iterator.type_declaration self td);
+    }
+  in
+  it.structure it str;
+  !acc
+
+(* ---------- parsing + cache ---------- *)
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf path;
+  Parse.implementation lexbuf
+
+let cache : (string, file) Hashtbl.t = Hashtbl.create 256
+
+let load path =
+  match Hashtbl.find_opt cache path with
+  | Some f -> f
+  | None ->
+    let str, parse_failed = match parse_file path with s -> (s, false) | exception _ -> ([], true) in
+    let f =
+      {
+        path;
+        modname = modname_of_path path;
+        str;
+        parse_failed;
+        file_allows = file_allows_of str;
+        line_allows = line_allows_of str;
+        aliases = aliases_of str;
+        mutable_labels = mutable_labels_of str;
+      }
+    in
+    Hashtbl.replace cache path f;
+    f
+
+(* ---------- alias resolution + suppression checks ---------- *)
+
+(* Expand the head of a flattened path through the file's toplevel
+   module aliases (chains resolve too, with a depth cap against
+   cycles). *)
+let resolve_parts (f : file) (parts : string list) =
+  let rec go depth parts =
+    if depth > 8 then parts
+    else
+      match parts with
+      | head :: rest -> (
+        match List.assoc_opt head f.aliases with
+        | Some target -> go (depth + 1) (target @ rest)
+        | None -> parts)
+      | [] -> parts
+  in
+  go 0 parts
+
+let resolve_lid (f : file) lid =
+  match flatten_opt lid with Some parts -> Some (resolve_parts f parts) | None -> None
+
+let allowed (f : file) ~rule ~line =
+  List.mem rule f.file_allows
+  || List.exists
+       (fun (r, first, last) -> r = rule && line >= first && line <= last)
+       f.line_allows

@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-parallel microbench arena-bench profile-smoke bench-json benchdiff trace-smoke stats-smoke lint lint-json lint-baseline sanitize-smoke determinism clean
+.PHONY: all build test bench bench-parallel microbench arena-bench profile-smoke bench-json benchdiff trace-smoke stats-smoke whylate-smoke lint lint-json lint-baseline sanitize-smoke determinism clean
 
 all: build
 
@@ -77,6 +77,20 @@ stats-smoke: build
 	assert isinstance(d['metrics'], dict) and d['metrics'], 'metrics missing/empty'; \
 	assert d['window_us'] == 1000, d['window_us']; \
 	print('stats-smoke: %d windows, %d metrics' % (len(d['windows']), len(d['metrics'])))"
+
+# Late-fire forensics smoke: run the why-late audit over fig1 and
+# validate the JSON report — schema marker, non-empty cause breakdown,
+# and the conservation contract (zero violations; the subcommand also
+# exits nonzero on any violation).  CI uploads the report.
+whylate-smoke: build
+	dune exec bin/softtimers_cli.exe -- why-late fig1 --quick --json --buf 4194304 --out /tmp/softtimers-fig1-whylate.json
+	python3 -c "import json; d = json.load(open('/tmp/softtimers-fig1-whylate.json')); \
+	assert d['schema'] == 'softtimers-whylate/1', d['schema']; \
+	assert d['conservation_violations'] == 0, d['conservation_violations']; \
+	assert d['late'] > 0 and isinstance(d['causes'], list) and d['causes'], 'no late fires attributed'; \
+	assert isinstance(d['worst'], list) and d['worst'], 'worst exemplars missing'; \
+	assert all(sum(w['segs'].values()) == w['delay_ns'] for w in d['worst']), 'exemplar segments do not sum'; \
+	print('whylate-smoke: %d late fires, %d causes, worst %d' % (d['late'], len(d['causes']), len(d['worst'])))"
 
 # Static-analysis suite (tools/lint): determinism (DET001..DET004,
 # MLI001), domain races (RACE001..RACE004) and hot-path allocations

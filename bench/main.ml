@@ -208,6 +208,50 @@ let attribution_json p =
              (List.sort by_name (Profile.dispatch_rows p))) );
     ]
 
+(* Late-fire attribution over the Table 3 workload, audited live
+   through a trace tap (the audit emits no events, so digests and the
+   table cells themselves are unchanged).  Only exact counts and
+   attributed nanoseconds go in the JSON — they replay
+   deterministically from (seed, quick) — so the cells gate under
+   benchdiff --strict like any other. *)
+let whylate_json da =
+  let causes =
+    List.filter_map
+      (fun k ->
+        let ns = Delay_audit.cause_ns da k in
+        if Int64.equal ns 0L then None
+        else
+          Some
+            (jobj
+               [
+                 ("cause", jstr (Delay_audit.seg_label k));
+                 ("ns", Printf.sprintf "%Ld" ns);
+               ]))
+      (List.init Delay_audit.nseg Fun.id)
+  in
+  jobj
+    [
+      ("fired", string_of_int (Delay_audit.fired da));
+      ("ontime", string_of_int (Delay_audit.ontime da));
+      ("late", string_of_int (Delay_audit.late da));
+      ("untracked", string_of_int (Delay_audit.untracked da));
+      ("pending_at_exit", string_of_int (Delay_audit.pending_at_exit da));
+      ("violations", string_of_int (Delay_audit.violations da));
+      ("total_late_ns", Printf.sprintf "%Ld" (Delay_audit.total_late_ns da));
+      ("causes", jlist causes);
+      ( "end_triggers",
+        jlist
+          (List.map
+             (fun (trig, n, ns, _) ->
+               jobj
+                 [
+                   ("trigger", jstr trig);
+                   ("late", string_of_int n);
+                   ("ns", Printf.sprintf "%Ld" ns);
+                 ])
+             (Delay_audit.trigger_rows da)) );
+    ]
+
 (* Deterministic per-store workload counts: every Timer_store backend
    runs the same small churn mix (schedule / cancel / re-arm / expiry)
    in simulated time — no wall clock — so the cells gate under
@@ -241,8 +285,9 @@ let stores_json cfg =
          | Some d when Time_ns.(d <= !now) ->
            fired :=
              !fired
-             + M.fire_due t ~now:!now (fun _ i ->
-                   handles.(i) <- Some (M.schedule t ~at:Time_ns.(!now + pick ()) i))
+             + Fire_outcome.fired
+                 (M.fire_due t ~now:!now ~limit:max_int (fun _ i ->
+                      handles.(i) <- Some (M.schedule t ~at:Time_ns.(!now + pick ()) i)))
          | Some _ | None -> ()
        end);
       let r = M.resident t in
@@ -263,7 +308,16 @@ let emit_json ~path ~cfg ~quick ~timings ~profile =
   (* The structured computes replay deterministically from the same
      (seed, quick) the rendered tables used, so the JSON cells always
      agree with what was just printed. *)
-  let t3 = Exp_rbc_overhead.compute cfg in
+  (* Audit the Table 3 replay live: the tap sees every event of the
+     sequential re-run (a tap makes [Runner.map_sim] run inline), and
+     feeding it into [Delay_audit] costs nothing observable. *)
+  let da = Delay_audit.create ~worst:5 () in
+  Trace.set_tap (Some (fun ~at ev -> Delay_audit.on_event da ~at ev));
+  let t3 =
+    Fun.protect
+      ~finally:(fun () -> Trace.set_tap None)
+      (fun () -> Exp_rbc_overhead.compute cfg)
+  in
   let t8 = Exp_polling.compute cfg in
   let t2 = Exp_trigger_sources.compute cfg in
   let doc =
@@ -282,6 +336,7 @@ let emit_json ~path ~cfg ~quick ~timings ~profile =
         ("table8", table8_json t8);
         ("table2_sources", table2_json t2);
         ("stores", stores_json cfg);
+        ("whylate", whylate_json da);
         ("attribution", attribution_json profile);
       ]
   in

@@ -117,6 +117,47 @@ let bench_timeseries_window_flush () =
       t := Int64.add !t 1_000L;
       Timeseries.on_event ts ~at:!t (Trace.Poll { found = 1 }))
 
+(* The delay-audit tap hot path: [Delay_audit.on_event] runs once per
+   trace event when auditing live, so the two per-check costs — folding
+   a [Soft_check] over the active set and closing a fire — must stay
+   cheap enough to leave the simulated hot loop unperturbed. *)
+
+let bench_delay_audit_on_check () =
+  (* Steady state: 8 late timers in flight, every event is a check that
+     scanned-but-skipped them (the worst per-check fan-out). *)
+  let da = Delay_audit.create () in
+  let t = ref 0L in
+  for i = 0 to 7 do
+    Delay_audit.on_event da ~at:0L (Trace.Soft_sched { id = i; due = 1_000L })
+  done;
+  (* Promote past due so the 8 timers are active. *)
+  Delay_audit.on_event da ~at:2_000L (Trace.Soft_check { src = "syscalls"; scanned = 8; fired = 0 });
+  Bechamel.Staged.stage (fun () ->
+      t := Int64.add !t 1_000L;
+      Delay_audit.on_event da
+        ~at:(Int64.add 2_000L !t)
+        (Trace.Soft_check { src = "syscalls"; scanned = 8; fired = 0 }))
+
+let bench_delay_audit_on_fire () =
+  (* One sched+fire pair per iteration, 1 us late, with a covering
+     Cpu_run quantum: the full tracked-fire close-out (span attribution,
+     conservation check, aggregation, exemplar insert). *)
+  let da = Delay_audit.create () in
+  let t = ref 0L in
+  let id = ref 0 in
+  Bechamel.Staged.stage (fun () ->
+      t := Int64.add !t 10_000L;
+      incr id;
+      let due = Int64.add !t 1_000L in
+      let fire = Int64.add !t 2_000L in
+      Delay_audit.on_event da ~at:!t (Trace.Soft_sched { id = !id; due });
+      Delay_audit.on_event da ~at:fire
+        (Trace.Cpu_run { cpu = 0; klass = 3; dur = 2_000L });
+      Delay_audit.on_event da ~at:fire
+        (Trace.Soft_fire { id = !id; due; delay = 1_000L });
+      Delay_audit.on_event da ~at:fire
+        (Trace.Soft_check { src = "syscalls"; scanned = 1; fired = 1 }))
+
 (* Per-store fast-path costs at a steady 1024-timer population — the
    arena bench (store_arena.exe) covers the million-timer regime; these
    catch constant-factor regressions in any single backend. *)
@@ -137,7 +178,7 @@ let bench_store_schedule_fire (module M : Timer_store.S) () =
   Bechamel.Staged.stage (fun () ->
       now := Int64.add !now 10_000L;
       ignore (M.schedule t ~at:(Int64.add !now horizon) 0 : int M.handle);
-      ignore (M.fire_due t ~now:!now (fun _ _ -> ()) : int))
+      ignore (M.fire_due t ~now:!now ~limit:max_int (fun _ _ -> ()) : Fire_outcome.t))
 
 let bench_store_rearm_churn (module M : Timer_store.S) () =
   let t = M.create ~tick:(Time_ns.of_us 10.0) () in
@@ -189,6 +230,8 @@ let () =
         Test.make ~name:"hdr.record" (bench_hdr_record ());
         Test.make ~name:"timeseries.on_event" (bench_timeseries_event ());
         Test.make ~name:"timeseries.window-flush" (bench_timeseries_window_flush ());
+        Test.make ~name:"delay_audit.on_check" (bench_delay_audit_on_check ());
+        Test.make ~name:"delay_audit.on_fire" (bench_delay_audit_on_fire ());
       ]
       @ store_benches ())
   in

@@ -86,10 +86,11 @@ let run_cell (module M : Timer_store.S) ~which ~n ~ops ~seed =
     | Some d when Time_ns.(d <= !now) ->
       fired :=
         !fired
-        + M.fire_due t ~now:!now (fun _ i ->
-              (* Replace the fired timer so the population holds at N. *)
-              let at = Time_ns.(!now + pick_duration rng) in
-              handles.(i) <- Some (M.schedule t ~at i))
+        + Fire_outcome.fired
+            (M.fire_due t ~now:!now ~limit:max_int (fun _ i ->
+                 (* Replace the fired timer so the population holds at N. *)
+                 let at = Time_ns.(!now + pick_duration rng) in
+                 handles.(i) <- Some (M.schedule t ~at i)))
     | Some _ | None -> ())
   in
   (* Wall-clock read (lint DET001): allowlisted — the measurand here is

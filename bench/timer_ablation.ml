@@ -37,7 +37,8 @@ let run_mix (module B : Timer_backend.S) ~n ~seed =
     now := Time_ns.(!now + Time_ns.of_us (Prng.float_range rng 5.0 35.0));
     (* The per-trigger-state check. *)
     (match B.next_deadline w with
-    | Some d when Time_ns.(d <= !now) -> ignore (B.fire_due w ~now:!now (fun _ _ -> ()) : int)
+    | Some d when Time_ns.(d <= !now) ->
+      ignore (B.fire_due w ~now:!now ~limit:max_int (fun _ _ -> ()) : Fire_outcome.t)
     | Some _ | None -> ());
     (* Connection timer churn: reschedule one timer (cancel + schedule),
        keeping the population at N. *)

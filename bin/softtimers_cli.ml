@@ -281,14 +281,15 @@ let spans_json sp =
     (Span.packets_total sp) (Span.packets_delivered sp) (Span.packets_open sp)
     (hdr_json (Span.packet_latency sp))
 
-let stats_json cfg id window_us ts sp =
+let stats_json cfg id window_us ts sp da =
   Printf.sprintf
-    "{\"schema\":\"softtimers-stats/1\",\"experiment\":%s,\"seed\":%d,\"quick\":%b,\"window_us\":%s,\"events\":%d,\"epochs\":%d,\"windows_dropped\":%d,\"windows\":%s,\"spans\":%s,\"metrics\":%s}"
+    "{\"schema\":\"softtimers-stats/1\",\"experiment\":%s,\"seed\":%d,\"quick\":%b,\"window_us\":%s,\"events\":%d,\"epochs\":%d,\"windows_dropped\":%d,\"windows\":%s,\"spans\":%s,\"whylate\":%s,\"metrics\":%s}"
     (jstring id) cfg.Exp_config.seed cfg.Exp_config.quick (jfloat window_us)
     (Timeseries.event_count ts) (Timeseries.epochs ts) (Timeseries.evicted_windows ts)
-    (Timeseries.to_json ts) (spans_json sp) (metrics_json Metrics.default)
+    (Timeseries.to_json ts) (spans_json sp) (Delay_audit.to_json da)
+    (metrics_json Metrics.default)
 
-let stats_human cfg id window_us ts sp =
+let stats_human cfg id window_us ts sp da =
   let b = Buffer.create 2048 in
   let addf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   addf "stats %s (seed %d%s, window %g us)\n" id cfg.Exp_config.seed
@@ -312,6 +313,22 @@ let stats_human cfg id window_us ts sp =
   if Hdr.count pl > 0 then
     addf "  packet latency us: n=%d p50=%.3f p99=%.3f max=%.3f\n" (Hdr.count pl)
       (Hdr.quantile pl 0.5) (Hdr.quantile pl 0.99) (Hdr.max pl);
+  (* Fire-delay attribution summary; `why-late` has the full report. *)
+  addf "  late fires: %d of %d" (Delay_audit.late da) (Delay_audit.fired da);
+  if Delay_audit.pending_at_exit da > 0 then
+    addf " (%d pending at exit)" (Delay_audit.pending_at_exit da);
+  let total = Delay_audit.total_late_ns da in
+  if Int64.compare total 0L > 0 then begin
+    let top = ref 0 in
+    for k = 1 to Delay_audit.nseg - 1 do
+      if Time_ns.(Delay_audit.cause_ns da k > Delay_audit.cause_ns da !top) then top := k
+    done;
+    addf "; dominant cause %s (%.1f%% of %.3f ms late)"
+      (Delay_audit.seg_label !top)
+      (100.0 *. Int64.to_float (Delay_audit.cause_ns da !top) /. Int64.to_float total)
+      (Int64.to_float total /. 1e6)
+  end;
+  addf "\n";
   addf "\n%s" (Metrics.dump Metrics.default);
   Buffer.contents b
 
@@ -352,12 +369,13 @@ let run_stats cfg id window_us max_windows fmt out buf =
     Timeseries.close ts;
     ignore (table : string);
     let sp = Span.collect tr in
+    let da = Delay_audit.collect tr in
     let body =
       match fmt with
-      | `Json -> stats_json cfg id window_us ts sp
-      | `Prom -> Metrics.to_prometheus Metrics.default
+      | `Json -> stats_json cfg id window_us ts sp da
+      | `Prom -> Metrics.to_prometheus Metrics.default ^ Delay_audit.to_prometheus da
       | `Csv -> Timeseries.to_csv ts
-      | `Human -> stats_human cfg id window_us ts sp
+      | `Human -> stats_human cfg id window_us ts sp da
     in
     (match out with
     | None -> print_string body
@@ -368,6 +386,75 @@ let run_stats cfg id window_us max_windows fmt out buf =
         (match fmt with `Json -> "json" | `Prom -> "prometheus" | `Csv -> "csv" | `Human -> "text")
         file);
     `Ok ()
+
+(* --- why-late: fire-delay attribution forensics --------------------- *)
+
+(* Run one experiment with the ring armed, then replay the trace
+   through {!Delay_audit}: every fired timer's delay is partitioned
+   into trigger-gap (sub-attributed to the CPU activity that held off
+   the checks), check-skipped (budget withheld it) and batch-queueing
+   segments, with a conservation check per fire.  Reports aggregate
+   cause tables, the per-ending-trigger cross-tab (paper §4.1) and the
+   worst-N exemplars with full causal chains. *)
+let run_whylate cfg id worst fmt out buf budget =
+  match List.find_opt (fun (name, _, _) -> name = id) experiments with
+  | None -> unknown_experiment id
+  | Some _ when buf <= 0 -> `Error (false, "--buf must be positive")
+  | Some _ when worst < 0 -> `Error (false, "--worst must be non-negative")
+  | Some _ when (match budget with Some b -> b < 1 | None -> false) ->
+    `Error (false, "--check-budget must be at least 1")
+  | Some _
+    when match out with
+         | None -> false
+         | Some f -> ( try close_out (open_out f); false with Sys_error _ -> true) ->
+    `Error (false, Printf.sprintf "cannot write why-late output %S" (Option.get out))
+  | Some (_, _, f) ->
+    (match budget with Some b -> Softtimer.set_default_check_budget b | None -> ());
+    let restore_budget () = Softtimer.set_default_check_budget max_int in
+    Fun.protect ~finally:restore_budget (fun () ->
+        let tr = Trace.create ~capacity:buf () in
+        Metrics.reset Metrics.default;
+        Trace.install tr;
+        let table =
+          try f cfg
+          with e ->
+            Trace.uninstall ();
+            raise e
+        in
+        Trace.uninstall ();
+        ignore (table : string);
+        let da = Delay_audit.collect ~worst tr in
+        let body =
+          match fmt with
+          | `Json -> Delay_audit.to_json da
+          | `Prom -> Delay_audit.to_prometheus da
+          | `Human ->
+            Printf.sprintf "why-late %s (seed %d%s%s)\n%s" id cfg.Exp_config.seed
+              (if cfg.Exp_config.quick then ", quick" else "")
+              (match budget with
+              | Some b -> Printf.sprintf ", check budget %d" b
+              | None -> "")
+              (Delay_audit.to_text da)
+        in
+        (match out with
+        | None -> print_string body
+        | Some file ->
+          let oc = open_out file in
+          Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc body);
+          Printf.printf "why-late: %s report -> %s\n"
+            (match fmt with `Json -> "json" | `Prom -> "prometheus" | `Human -> "text")
+            file);
+        if Trace.dropped tr > 0 then
+          Printf.eprintf
+            "WARNING: trace ring overflowed (%d events dropped); attribution is computed \
+             from a truncated stream (raise --buf)\n"
+            (Trace.dropped tr);
+        if Delay_audit.violations da > 0 then
+          `Error
+            ( false,
+              Printf.sprintf "why-late: %d conservation violation(s) — attribution bug"
+                (Delay_audit.violations da) )
+        else `Ok ())
 
 open Cmdliner
 
@@ -556,6 +643,78 @@ let stats_cmd =
   in
   Cmd.v (Cmd.info "stats" ~doc ~man) term
 
+let whylate_cmd =
+  let doc = "Explain every late soft-timer fire: exact, conservation-checked delay attribution" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the given experiment with tracing armed, then partitions every fired timer's \
+         delay (fire time minus due time) into an exact breakdown: $(b,trigger-gap) — no \
+         trigger state was reached since the deadline, sub-attributed to what CPU 0 was \
+         doing (interrupt handler, softintr/protocol work, syscall body, user or background \
+         compute, another timer's handler, or idle-before-wakeup); $(b,check-skipped) — a \
+         check reached the store but the per-check dispatch budget withheld this timer; and \
+         $(b,batch-queueing).  Segments provably sum to the delay for every fire \
+         (violations exit nonzero).";
+      `P
+        "The report shows the aggregate per-cause table with histograms, the \
+         per-ending-trigger-state cross-tab (which trigger finally dispatched each late \
+         timer — the paper's §4.1 question), and the worst-$(b,--worst) exemplars with \
+         their causal chains.  $(b,--check-budget N) caps dispatches per check to make \
+         budget-induced lateness observable.";
+    ]
+  in
+  let exp_id =
+    let doc = "Experiment id to audit (one id, not 'all')." in
+    Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"EXPERIMENT")
+  in
+  let worst =
+    let doc = "Number of worst-late exemplar timers to show." in
+    Arg.(value & opt int 10 & info [ "worst" ] ~doc ~docv:"N")
+  in
+  let json =
+    let doc = "Emit the JSON report (schema softtimers-whylate/1)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let prom =
+    let doc = "Emit the attribution as Prometheus text exposition." in
+    Arg.(value & flag & info [ "prom" ] ~doc)
+  in
+  let out =
+    let doc = "Write the report to this file instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~doc ~docv:"FILE")
+  in
+  let buf =
+    let doc = "Trace ring-buffer capacity in events (attribution replays the ring)." in
+    Arg.(value & opt int 1_048_576 & info [ "buf" ] ~doc ~docv:"EVENTS")
+  in
+  let check_budget =
+    let doc =
+      "Cap soft-timer dispatches per trigger check at N for this run (default unlimited); \
+       withheld timers show up as check-skipped delay."
+    in
+    Arg.(value & opt (some int) None & info [ "check-budget" ] ~doc ~docv:"N")
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun quick seed jobs store id worst json prom out buf check_budget ->
+             Runner.set_default_jobs jobs;
+             with_store store (fun () ->
+                 match (json, prom) with
+                 | true, false ->
+                   run_whylate (cfg_of quick seed) id worst `Json out buf check_budget
+                 | false, true ->
+                   run_whylate (cfg_of quick seed) id worst `Prom out buf check_budget
+                 | false, false ->
+                   run_whylate (cfg_of quick seed) id worst `Human out buf check_budget
+                 | true, true -> `Error (false, "--json and --prom are mutually exclusive")))
+        $ quick $ seed $ jobs $ store_arg $ exp_id $ worst $ json $ prom $ out $ buf
+        $ check_budget))
+  in
+  Cmd.v (Cmd.info "why-late" ~doc ~man) term
+
 let profile_cmd =
   let doc = "Run one experiment with the cycle-attribution profiler and report who spent what" in
   let man =
@@ -658,7 +817,7 @@ let default =
 let group_cmd =
   Cmd.group ~default
     (Cmd.info "softtimers-cli" ~version:"1.0.0" ~doc ~man)
-    [ trace_cmd; profile_cmd; verify_cmd; stats_cmd ]
+    [ trace_cmd; profile_cmd; verify_cmd; stats_cmd; whylate_cmd ]
 
 (* [Cmd.group ~default] rejects any first positional that is not a
    subcommand name, which would break the documented
@@ -675,7 +834,7 @@ let () =
   let value_flags =
     [
       "--seed"; "-s"; "--out"; "-o"; "--buf"; "--jobs"; "-j"; "--window"; "--max-windows";
-      "--store";
+      "--store"; "--worst"; "--check-budget";
     ]
   in
   let first_positional =
@@ -689,7 +848,7 @@ let () =
   in
   let is_subcommand =
     match first_positional with
-    | Some ("trace" | "profile" | "verify-determinism" | "stats") -> true
+    | Some ("trace" | "profile" | "verify-determinism" | "stats" | "why-late") -> true
     | Some _ -> false
     | None -> false
   in

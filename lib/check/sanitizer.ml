@@ -116,7 +116,7 @@ let observe t ~at ev =
            (Time_ns.to_string at) (Time_ns.to_string t.last_at) Trace.sim_start_mark)
     else t.last_at <- at);
   (match ev with
-  | Trace.Soft_fire { due; delay } ->
+  | Trace.Soft_fire { due; delay; _ } ->
     if Time_ns.(at < due) then
       violate t ~at Early_fire
         (Printf.sprintf "soft timer fired %s before its deadline %s"

@@ -2,9 +2,14 @@ let record_string (r : Trace.record) =
   let ev =
     match r.ev with
     | Trace.Trigger k -> "trigger " ^ k
-    | Soft_sched { due } -> Printf.sprintf "soft_sched due=%Ld" due
-    | Soft_fire { due; delay } -> Printf.sprintf "soft_fire due=%Ld delay=%Ld" due delay
-    | Soft_cancel { due } -> Printf.sprintf "soft_cancel due=%Ld" due
+    | Soft_sched { id; due } -> Printf.sprintf "soft_sched id=%d due=%Ld" id due
+    | Soft_fire { id; due; delay } ->
+      Printf.sprintf "soft_fire id=%d due=%Ld delay=%Ld" id due delay
+    | Soft_cancel { id; due } -> Printf.sprintf "soft_cancel id=%d due=%Ld" id due
+    | Soft_check { src; scanned; fired } ->
+      Printf.sprintf "soft_check src=%s scanned=%d fired=%d" src scanned fired
+    | Cpu_run { cpu; klass; dur } ->
+      Printf.sprintf "cpu_run cpu=%d klass=%d dur=%Ld" cpu klass dur
     | Irq { line; cpu; dur } -> Printf.sprintf "irq line=%s cpu=%d dur=%Ld" line cpu dur
     | Irq_raised { line } -> "irq_raised line=" ^ line
     | Irq_lost { line } -> "irq_lost line=" ^ line

@@ -1,5 +1,5 @@
-let m_polls = Metrics.counter Metrics.default "net_poll.polls"
-let m_packets = Metrics.counter Metrics.default "net_poll.packets"
+let m_polls = Metrics.dcounter Metrics.default "net_poll.polls"
+let m_packets = Metrics.dcounter Metrics.default "net_poll.packets"
 
 (* Span-less profiler events: interval clamping shows why the adaptive
    poller stopped tracking its aggregation quota. *)
@@ -57,8 +57,8 @@ let rec on_event t now =
     let found = t.poll now in
     t.polls <- t.polls + 1;
     t.packets <- t.packets + found;
-    Metrics.incr m_polls;
-    Metrics.incr ~by:found m_packets;
+    Metrics.dincr m_polls;
+    Metrics.dincr ~by:found m_packets;
     if found = 0 then Profile.event e_empty_poll;
     Trace.poll ~at:now ~found;
     adapt t found;

@@ -1,5 +1,5 @@
-let m_sends = Metrics.counter Metrics.default "rate_clock.sends"
-let m_trains = Metrics.counter Metrics.default "rate_clock.trains"
+let m_sends = Metrics.dcounter Metrics.default "rate_clock.sends"
+let m_trains = Metrics.dcounter Metrics.default "rate_clock.trains"
 let h_intervals = Metrics.hdr Metrics.default "rate_clock.interval_us"
 
 (* A catch-up send: soft-timer dispatch latency pushed us past the ideal
@@ -55,7 +55,7 @@ let rec on_event t now =
       t.last_send <- now;
       t.sent_in_train <- t.sent_in_train + 1;
       t.sends <- t.sends + 1;
-      Metrics.incr m_sends;
+      Metrics.dincr m_sends;
       Trace.rbc_send ~at:now;
       schedule_next t now
     end
@@ -76,7 +76,7 @@ and schedule_next t now =
   t.outstanding <- Some (Softtimer.schedule_after t.st delay (on_event t))
 
 let begin_train t =
-  Metrics.incr m_trains;
+  Metrics.dincr m_trains;
   t.active <- true;
   let now = Engine.now (Machine.engine (Softtimer.machine t.st)) in
   t.train_start <- now;

@@ -1,10 +1,10 @@
-let m_checks = Metrics.counter Metrics.default "softtimer.checks"
-let m_fired = Metrics.counter Metrics.default "softtimer.fired"
-let m_scheduled = Metrics.counter Metrics.default "softtimer.scheduled"
-let m_cancelled = Metrics.counter Metrics.default "softtimer.cancelled"
-let h_fire_delay = Metrics.hdr Metrics.default "softtimer.fire_delay_us"
+let m_checks = Metrics.dcounter Metrics.default "softtimer.checks"
+let m_fired = Metrics.dcounter Metrics.default "softtimer.fired"
+let m_scheduled = Metrics.dcounter Metrics.default "softtimer.scheduled"
+let m_cancelled = Metrics.dcounter Metrics.default "softtimer.cancelled"
+let h_fire_delay = Metrics.dhistogram Metrics.default "softtimer.fire_delay_us"
 
-type pending_event = { due : Time_ns.t; handler : Time_ns.t -> unit }
+type pending_event = { id : int; due : Time_ns.t; handler : Time_ns.t -> unit }
 
 type t = {
   machine : Machine.t;
@@ -13,6 +13,8 @@ type t = {
   measure_hz : int64;
   intr_hz : int64;
   ns_per_tick : float;
+  check_budget : int;  (* max handler dispatches per trigger-state check *)
+  mutable next_id : int;  (* timer identity carried by the trace events *)
   mutable fired : int;
   mutable checks : int;
   mutable attached : bool;
@@ -20,7 +22,9 @@ type t = {
   delays : Stats.Sample.t;
 }
 
-type handle = Timer_store.ticket
+(* The ticket plus the trace identity: cancel and re-arm must stamp the
+   same [id] the schedule carried, so the audit can chain them. *)
+type handle = { ticket : Timer_store.ticket; ev_id : int }
 
 (* Process-wide default store, consulted when [attach] is not given an
    explicit one.  Lets the CLI (or a test) swap the facility's pending
@@ -33,6 +37,18 @@ let default_store : (module Timer_store.S) option ref =
 [@@lint.allow "RACE002"]
 
 let set_default_store s = default_store := s
+
+(* Process-wide check budget (paper §4.2 batching discussion): at most
+   this many handlers dispatch per trigger-state check; the remainder of
+   a due batch waits for the next trigger state or the backup interrupt.
+   [Atomic] rather than [ref]: workers of a parallel sweep may attach
+   while the main domain still holds the CLI value — a plain ref would
+   be a data race under the lint's RACE rules. *)
+let default_check_budget = Atomic.make max_int
+
+let set_default_check_budget n =
+  if n < 1 then invalid_arg "Softtimer.set_default_check_budget: budget must be >= 1";
+  Atomic.set default_check_budget n
 
 let machine t = t.machine
 let measure_resolution t = t.measure_hz
@@ -57,25 +73,32 @@ let a_fire = Profile.intern [ "softtimer"; "fire" ]
    fired each event and at what latency. *)
 let check t kind now =
   t.checks <- t.checks + 1;
-  Metrics.incr m_checks;
+  Metrics.dincr m_checks;
   match t.store.Timer_store.i_next_deadline () with
   | Some d when Time_ns.(d <= now) ->
     let fire_cost = (Machine.profile t.machine).Costs.softtimer_fire_us in
     let fire_attr = if Profile.enabled () then Some a_fire else None in
     let source = Trigger.name kind in
-    ignore
-      (t.store.Timer_store.i_fire_due ~now (fun due ev ->
-           t.fired <- t.fired + 1;
-           Metrics.incr m_fired;
-           Trace.soft_fire ~at:now ~due;
-           Profile.dispatch ~source ~delay:Time_ns.(now - due);
-           if t.record_delays then
-             Stats.Sample.add t.delays (Time_ns.to_us Time_ns.(now - due));
-           Hdr.record h_fire_delay (Time_ns.to_us Time_ns.(now - due));
-           Machine.submit_quantum t.machine ?attr:fire_attr ~prio:Cpu.prio_intr
-             ~work_us:fire_cost ~trigger:None (fun _ -> ());
-           ev.handler now)
-        : int)
+    let outcome =
+      t.store.Timer_store.i_fire_due ~now ~limit:t.check_budget (fun due ev ->
+          t.fired <- t.fired + 1;
+          Metrics.dincr m_fired;
+          Trace.soft_fire ~at:now ~id:ev.id ~due;
+          Profile.dispatch ~source ~delay:Time_ns.(now - due);
+          if t.record_delays then
+            Stats.Sample.add t.delays (Time_ns.to_us Time_ns.(now - due));
+          Metrics.drecord h_fire_delay (Time_ns.to_us Time_ns.(now - due));
+          Machine.submit_quantum t.machine ?attr:fire_attr ~prio:Cpu.prio_intr
+            ~klass:Cpu.klass_timer ~work_us:fire_cost ~trigger:None (fun _ -> ());
+          ev.handler now)
+    in
+    (* One record per check that found work: the audit uses
+       [scanned > fired] to see that a check reached the store but a
+       budget kept it from this timer.  Emitted after the batch's
+       [Soft_fire]s — same timestamp, dispatch order. *)
+    let scanned = Fire_outcome.scanned outcome in
+    if scanned > 0 then
+      Trace.soft_check ~at:now ~src:source ~scanned ~fired:(Fire_outcome.fired outcome)
   | Some _ | None -> ()
 
 let attach ?store ?(wheel_tick = Time_ns.of_us 10.0) ?(wheel_slots = 512) machine =
@@ -98,6 +121,8 @@ let attach ?store ?(wheel_tick = Time_ns.of_us 10.0) ?(wheel_slots = 512) machin
       measure_hz = Int64.of_float (profile.Costs.cpu_mhz *. 1e6);
       intr_hz = Int64.of_float profile.Costs.interrupt_clock_hz;
       ns_per_tick = 1e9 /. (profile.Costs.cpu_mhz *. 1e6);
+      check_budget = Atomic.get default_check_budget;
+      next_id = 0;
       fired = 0;
       checks = 0;
       attached = true;
@@ -143,11 +168,13 @@ let schedule_soft_event t ~ticks handler =
   let sched = measure_time t in
   (* Fires once measure_time > sched + ticks, i.e. at tick sched+ticks+1. *)
   let due = ns_of_tick t (Int64.add sched (Int64.add ticks 1L)) in
-  Metrics.incr m_scheduled;
-  Trace.soft_sched ~at:(Engine.now (Machine.engine t.machine)) ~due;
-  let h = t.store.Timer_store.i_schedule ~at:due { due; handler } in
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Metrics.dincr m_scheduled;
+  Trace.soft_sched ~at:(Engine.now (Machine.engine t.machine)) ~id ~due;
+  let ticket = t.store.Timer_store.i_schedule ~at:due { id; due; handler } in
   notify_if_earliest t due;
-  h
+  { ticket; ev_id = id }
 
 let schedule_after t span handler =
   let span = Time_ns.max span 0L in
@@ -155,28 +182,30 @@ let schedule_after t span handler =
   schedule_soft_event t ~ticks handler
 
 let cancel t h =
-  if h.Timer_store.tk_pending () then begin
-    Metrics.incr m_cancelled;
+  if h.ticket.Timer_store.tk_pending () then begin
+    Metrics.dincr m_cancelled;
     Trace.soft_cancel
       ~at:(Engine.now (Machine.engine t.machine))
-      ~due:(h.Timer_store.tk_deadline ())
+      ~id:h.ev_id
+      ~due:(h.ticket.Timer_store.tk_deadline ())
   end;
-  h.Timer_store.tk_cancel ()
+  h.ticket.Timer_store.tk_cancel ()
 
 let rearm t h ~ticks =
   if Int64.compare ticks 0L < 0 then invalid_arg "Softtimer.rearm: negative ticks";
-  if not (h.Timer_store.tk_pending ()) then false
+  if not (h.ticket.Timer_store.tk_pending ()) then false
   else begin
     let at = Engine.now (Machine.engine t.machine) in
-    Trace.soft_cancel ~at ~due:(h.Timer_store.tk_deadline ());
+    Trace.soft_cancel ~at ~id:h.ev_id ~due:(h.ticket.Timer_store.tk_deadline ());
     let sched = measure_time t in
     let due = ns_of_tick t (Int64.add sched (Int64.add ticks 1L)) in
     (* A re-arm is cancel + schedule with the handle kept; the trace
-       records it as exactly that pair, so digests are independent of
+       records it as exactly that pair — same id, so the audit keeps
+       one causal chain per handle — and digests are independent of
        whether a client re-arms or reschedules. *)
-    Trace.soft_sched ~at ~due;
-    Metrics.incr m_scheduled;
-    let moved = h.Timer_store.tk_rearm due in
+    Trace.soft_sched ~at ~id:h.ev_id ~due;
+    Metrics.dincr m_scheduled;
+    let moved = h.ticket.Timer_store.tk_rearm due in
     if moved then notify_if_earliest t due;
     moved
   end

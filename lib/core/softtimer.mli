@@ -28,6 +28,16 @@ val set_default_store : (module Timer_store.S) option -> unit
     given; [None] restores the built-in default (the hashed wheel).
     Lets the CLI swap the facility's pending set for a whole run. *)
 
+val set_default_check_budget : int -> unit
+(** Process-wide cap on handler dispatches per trigger-state check,
+    read by {!attach} (default: unlimited).  With a budget [b], a check
+    that finds more than [b] due events fires the earliest [b] and
+    leaves the remainder — deadline and tie order intact — for the next
+    trigger state or the backup interrupt; the trace's [Soft_check]
+    records ([scanned] vs [fired]) make the withheld dispatches visible
+    to the why-late audit as {e check-skipped} delay.
+    @raise Invalid_argument if the budget is less than 1. *)
+
 val attach :
   ?store:(module Timer_store.S) ->
   ?wheel_tick:Time_ns.span ->

@@ -37,6 +37,20 @@ val prio_background : int
 
 val prio_count : int
 
+val klass_timer : int
+(** Work class for soft-timer handler execution: runs at
+    {!prio_softintr} but is tagged separately in {!Trace.Cpu_run} so the
+    why-late breakdown can attribute gap time to "handler of another
+    timer" (see [Delay_audit]). *)
+
+val klass_count : int
+(** Number of work classes: the five priorities (class = priority for
+    untagged quanta) plus {!klass_timer}. *)
+
+val klass_name : int -> string
+(** ["intr"], ["softintr"], ["kernel"], ["user"], ["background"],
+    ["timer"]; ["other"] for anything out of range. *)
+
 val create : ?id:int -> Engine.t -> t
 (** [id] (default 0) labels this CPU's busy/idle transitions in traces
     ({!Trace.Cpu_busy}/{!Trace.Cpu_idle}); {!Machine.create} numbers its
@@ -47,6 +61,7 @@ val id : t -> int
 val submit :
   t ->
   ?attr:Profile.attr ->
+  ?klass:int ->
   prio:int ->
   work:Time_ns.span ->
   (Time_ns.t -> unit) ->
@@ -57,7 +72,9 @@ val submit :
     names the quantum's cycle-attribution category (defaults to
     {!default_attr} for its priority); all of the quantum's execution
     time — including partial charges under preemption — is attributed
-    to it.
+    to it.  [klass] (default: the priority itself) is the work class
+    stamped on the quantum's {!Trace.Cpu_run} records; pass
+    {!klass_timer} for soft-timer handler execution.
     @raise Invalid_argument for out-of-range priority or negative work. *)
 
 val default_attr : int -> Profile.attr

@@ -1,8 +1,8 @@
 (* Process-wide interrupt accounting (per-interrupt cost is the quantity
    the paper's overhead tables revolve around). *)
-let m_raised = Metrics.counter Metrics.default "interrupt.raised"
-let m_lost = Metrics.counter Metrics.default "interrupt.lost"
-let m_delivered = Metrics.counter Metrics.default "interrupt.delivered"
+let m_raised = Metrics.dcounter Metrics.default "interrupt.raised"
+let m_lost = Metrics.dcounter Metrics.default "interrupt.lost"
+let m_delivered = Metrics.dcounter Metrics.default "interrupt.delivered"
 
 type line = {
   name : string;
@@ -91,19 +91,19 @@ let deliver t ln handler_work =
   Cpu.submit t.cpus.(ln.cpu) ?attr ~prio:Cpu.prio_intr ~work (fun now ->
       ln.in_flight <- ln.in_flight - 1;
       ln.delivered <- ln.delivered + 1;
-      Metrics.incr m_delivered;
+      Metrics.dincr m_delivered;
       Trace.irq ~at:now ~line:ln.name ~cpu:ln.cpu ~dur:work;
       ln.handler now;
       t.on_trigger ln.source now)
 
 let lose ln ~at =
   ln.lost <- ln.lost + 1;
-  Metrics.incr m_lost;
+  Metrics.dincr m_lost;
   Trace.irq_lost ~at ~line:ln.name
 
 let raise_irq t ln ?(handler_work = 0L) () =
   ln.raised <- ln.raised + 1;
-  Metrics.incr m_raised;
+  Metrics.dincr m_raised;
   let now = Engine.now t.engine in
   Trace.irq_raised ~at:now ~line:ln.name;
   if ln.spl_blockable && Time_ns.(now < t.spl_until) then begin

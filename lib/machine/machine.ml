@@ -8,7 +8,7 @@ let kind_index : Trigger.kind -> int = function
   | Trigger.Clock_tick -> 6
   | Trigger.Idle -> 7
 
-let m_triggers = Metrics.counter Metrics.default "machine.triggers"
+let m_triggers = Metrics.dcounter Metrics.default "machine.triggers"
 
 type t = {
   engine : Engine.t;
@@ -59,7 +59,7 @@ let locality t = t.locality
 let fire_trigger t kind =
   let now = Engine.now t.engine in
   t.counts.(kind_index kind) <- t.counts.(kind_index kind) + 1;
-  Metrics.incr m_triggers;
+  Metrics.dincr m_triggers;
   Trace.trigger ~at:now (Trigger.name kind);
   for i = 0 to t.n_observers - 1 do
     t.observers.(i) kind now
@@ -82,7 +82,7 @@ let trigger_total t = Array.fold_left ( + ) 0 t.counts
 
 let check_attr = Profile.intern [ "softtimer"; "check" ]
 
-let submit_quantum t ?(cpu = 0) ?attr ~prio ~work_us ~trigger cb =
+let submit_quantum t ?(cpu = 0) ?attr ?klass ~prio ~work_us ~trigger cb =
   if cpu < 0 || cpu >= Array.length t.cpus then
     invalid_arg "Machine.submit_quantum: bad cpu";
   let checked =
@@ -104,7 +104,7 @@ let submit_quantum t ?(cpu = 0) ?attr ~prio ~work_us ~trigger cb =
     else attr
   in
   let work = Time_ns.of_us (Float.max 0.0 work_us) in
-  Cpu.submit t.cpus.(cpu) ?attr ~prio ~work (fun now ->
+  Cpu.submit t.cpus.(cpu) ?attr ?klass ~prio ~work (fun now ->
       (match trigger with Some kind -> fire_trigger t kind | None -> ());
       cb now)
 

@@ -76,6 +76,7 @@ val submit_quantum :
   t ->
   ?cpu:int ->
   ?attr:Profile.attr ->
+  ?klass:int ->
   prio:int ->
   work_us:float ->
   trigger:Trigger.kind option ->
@@ -87,7 +88,8 @@ val submit_quantum :
     when a hook is attached and [trigger] is [Some _]; with profiling
     live the surcharge is attributed to [softtimer;check] and the rest
     of the quantum to [attr] (default: the priority's
-    {!Cpu.default_attr}). *)
+    {!Cpu.default_attr}).  [klass] is passed through to {!Cpu.submit}
+    (the work class on the quantum's [Cpu_run] trace records). *)
 
 val interrupt_line :
   t ->

@@ -1,7 +1,7 @@
-let m_rx = Metrics.counter Metrics.default "nic.rx_packets"
-let m_tx = Metrics.counter Metrics.default "nic.tx_packets"
-let m_drop = Metrics.counter Metrics.default "nic.rx_dropped"
-let m_batches = Metrics.counter Metrics.default "nic.rx_batches"
+let m_rx = Metrics.dcounter Metrics.default "nic.rx_packets"
+let m_tx = Metrics.dcounter Metrics.default "nic.tx_packets"
+let m_drop = Metrics.dcounter Metrics.default "nic.rx_dropped"
+let m_batches = Metrics.dcounter Metrics.default "nic.rx_batches"
 
 type mode = Interrupt_driven | Polled | Hybrid
 
@@ -37,8 +37,8 @@ let drain_ring t now =
     let n = List.length batch in
     t.rx_packets <- t.rx_packets + n;
     t.rx_batches <- t.rx_batches + 1;
-    Metrics.incr ~by:n m_rx;
-    Metrics.incr m_batches;
+    Metrics.dincr ~by:n m_rx;
+    Metrics.dincr m_batches;
     Trace.pkt_rx ~at:now ~nic:t.name ~batch:n;
     t.on_rx_batch now batch;
     n
@@ -79,7 +79,7 @@ let create machine ~name ~bandwidth_bps ~wire_latency ~tx_deliver ~on_rx_batch
       ()
   in
   let on_sent now _p =
-    Metrics.incr m_tx;
+    Metrics.dincr m_tx;
     Trace.pkt_tx ~at:now ~nic:t.name;
     if t.mode <> Polled && t.tx_intr_coalesce > 0 then begin
       t.tx_since_intr <- t.tx_since_intr + 1;
@@ -130,7 +130,7 @@ let maybe_arm_rx_intr t =
 let deliver t p =
   if Queue.length t.rx_ring >= t.rx_ring_capacity then begin
     t.rx_dropped <- t.rx_dropped + 1;
-    Metrics.incr m_drop;
+    Metrics.dincr m_drop;
     Trace.pkt_drop ~at:(Engine.now (Machine.engine t.machine)) ~nic:t.name
   end
   else begin

@@ -6,15 +6,97 @@
 type counter = { mutable c : int }
 type gauge = { mutable g : float }
 
+(* Domain-local instruments are dense integer handles into per-domain
+   value arrays (below); the registry only remembers the id, so the
+   handle binding itself carries no mutable state and the RACE rules
+   have nothing to flag at registration sites. *)
+type dcounter = int
+type dhistogram = int
+
 type instrument =
   | I_counter of counter
   | I_gauge of gauge
   | I_hdr of Hdr.t
   | I_probe of (unit -> float)
+  | I_dcounter of int
+  | I_dhdr of int
 
 type t = { tbl : (string, instrument) Hashtbl.t }
 
 let create () = { tbl = Hashtbl.create 64 }
+
+(* ------------------------------------------------------------------ *)
+(* Domain-local value storage.  Ids are allocated process-wide (module
+   initialisation runs before any domain spawns, so the id space is
+   fixed by the time workers exist); each domain lazily grows a private
+   array pair, and the parallel runner merges worker contexts back into
+   the parent in deterministic job order via [Local].                   *)
+
+let next_dcounter = Atomic.make 0
+let next_dhdr = Atomic.make 0
+
+type local = { mutable lc : int array; mutable lh : Hdr.t array }
+
+let local_key : local Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { lc = [||]; lh = [||] })
+
+let ensure_lc l n =
+  if Array.length l.lc < n then begin
+    let a = Array.make (let m = n * 2 in if m < 64 then 64 else m) 0 in
+    Array.blit l.lc 0 a 0 (Array.length l.lc);
+    l.lc <- a
+  end
+
+let ensure_lh l n =
+  if Array.length l.lh < n then begin
+    let old = l.lh in
+    let len = Array.length old in
+    let a =
+      Array.init
+        (let m = n * 2 in if m < 8 then 8 else m)
+        (fun i -> if i < len then old.(i) else Hdr.create ())
+    in
+    l.lh <- a
+  end
+
+let dincr ?(by = 1) (id : dcounter) =
+  let l = Domain.DLS.get local_key in
+  ensure_lc l (id + 1);
+  l.lc.(id) <- l.lc.(id) + by
+
+let dcounter_value (id : dcounter) =
+  let l = Domain.DLS.get local_key in
+  if id < Array.length l.lc then l.lc.(id) else 0
+
+let drecord (id : dhistogram) v =
+  let l = Domain.DLS.get local_key in
+  ensure_lh l (id + 1);
+  Hdr.record l.lh.(id) v
+
+let dhistogram_hdr (id : dhistogram) =
+  let l = Domain.DLS.get local_key in
+  ensure_lh l (id + 1);
+  l.lh.(id)
+
+module Local = struct
+  type ctx = local
+
+  let swap ctx =
+    let prev = Domain.DLS.get local_key in
+    Domain.DLS.set local_key ctx;
+    prev
+
+  let swap_fresh () = swap { lc = [||]; lh = [||] }
+
+  let absorb (ctx : ctx) =
+    let l = Domain.DLS.get local_key in
+    ensure_lc l (Array.length ctx.lc);
+    Array.iteri (fun i v -> if v <> 0 then l.lc.(i) <- l.lc.(i) + v) ctx.lc;
+    ensure_lh l (Array.length ctx.lh);
+    Array.iteri
+      (fun i h -> if Hdr.count h > 0 then l.lh.(i) <- Hdr.merge l.lh.(i) h)
+      ctx.lh
+end
 
 (* RACE002: the process-wide registry all library instruments hang off.
    The table itself is only extended during module init and sequential
@@ -30,6 +112,8 @@ let kind_name = function
   | I_gauge _ -> "gauge"
   | I_hdr _ -> "histogram"
   | I_probe _ -> "probe"
+  | I_dcounter _ -> "domain-local counter"
+  | I_dhdr _ -> "domain-local histogram"
 
 let wrong_kind name want got =
   invalid_arg
@@ -73,6 +157,24 @@ let probe t name f =
   | Some (I_probe _) | None -> Hashtbl.replace t.tbl name (I_probe f)
   | Some other -> wrong_kind name "probe" other
 
+let dcounter t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (I_dcounter id) -> id
+  | Some other -> wrong_kind name "domain-local counter" other
+  | None ->
+    let id = Atomic.fetch_and_add next_dcounter 1 in
+    Hashtbl.replace t.tbl name (I_dcounter id);
+    id
+
+let dhistogram t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (I_dhdr id) -> id
+  | Some other -> wrong_kind name "domain-local histogram" other
+  | None ->
+    let id = Atomic.fetch_and_add next_dhdr 1 in
+    Hashtbl.replace t.tbl name (I_dhdr id);
+    id
+
 let reset t =
   (* Instruments are held by reference at registration sites, so zero
      them in place.  Probes are kept: they are registered explicitly
@@ -85,7 +187,13 @@ let reset t =
       | I_counter c -> c.c <- 0
       | I_gauge g -> g.g <- nan
       | I_hdr h -> Hdr.clear h
-      | I_probe _ -> ())
+      | I_probe _ -> ()
+      | I_dcounter id ->
+        let l = Domain.DLS.get local_key in
+        if id < Array.length l.lc then l.lc.(id) <- 0
+      | I_dhdr id ->
+        let l = Domain.DLS.get local_key in
+        if id < Array.length l.lh then Hdr.clear l.lh.(id))
     t.tbl
 
 type value =
@@ -102,7 +210,9 @@ let iter t f =
       | I_counter c -> f name (Counter c.c)
       | I_gauge g -> f name (Gauge g.g)
       | I_hdr h -> f name (Histogram h)
-      | I_probe p -> f name (Probe (p ())))
+      | I_probe p -> f name (Probe (p ()))
+      | I_dcounter id -> f name (Counter (dcounter_value id))
+      | I_dhdr id -> f name (Histogram (dhistogram_hdr id)))
     (List.sort String.compare names)
 
 let dump t =

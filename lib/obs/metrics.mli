@@ -54,6 +54,60 @@ val probe : t -> string -> (unit -> float) -> unit
 (** Register a pull-style metric.  Re-registering a probe name replaces
     the closure (a fresh simulation replaces a dead one's probes). *)
 
+(** {2 Domain-local instruments}
+
+    Counters and histograms whose values live in domain-local storage:
+    a handle is a dense integer id, the registry remembers only the id,
+    and each domain accumulates into a private array pair.  Updating
+    one from a parallel worker therefore never races with the parent
+    or with sibling workers; the runner (lib/parallel) swaps a fresh
+    context in around each job and {!Local.absorb}s it back in job
+    order, so totals are deterministic at any [--jobs].
+
+    Register at module initialisation (before any domain fan-out):
+    the id space is fixed once workers exist.  {!iter}, {!dump},
+    {!to_prometheus} and {!reset} act on the {e calling} domain's
+    values. *)
+
+type dcounter
+type dhistogram
+
+val dcounter : t -> string -> dcounter
+(** Get or create the domain-local counter [name].
+    @raise Invalid_argument if [name] exists with a different kind. *)
+
+val dincr : ?by:int -> dcounter -> unit
+val dcounter_value : dcounter -> int
+(** The calling domain's accumulated count. *)
+
+val dhistogram : t -> string -> dhistogram
+(** Get or create the domain-local histogram [name] (default
+    {!Hdr.create} parameters). *)
+
+val drecord : dhistogram -> float -> unit
+(** O(1) record into the calling domain's histogram. *)
+
+val dhistogram_hdr : dhistogram -> Hdr.t
+(** The calling domain's backing {!Hdr.t} (created on first access). *)
+
+module Local : sig
+  type ctx
+  (** One domain's accumulated domain-local instrument values. *)
+
+  val swap_fresh : unit -> ctx
+  (** Install a fresh, all-zero context in the calling domain and
+      return the previously installed one.  Pair with {!swap} to
+      restore, and hand the fresh context to the parent for
+      {!absorb}. *)
+
+  val swap : ctx -> ctx
+  (** Install [ctx]; returns the previously installed context. *)
+
+  val absorb : ctx -> unit
+  (** Merge [ctx] into the calling domain's context: counters add,
+      histograms bucket-wise sum. *)
+end
+
 val reset : t -> unit
 (** Zero all counters, clear gauges and histograms.  Probes are kept
     (re-registering the same name still replaces): they are pull-style

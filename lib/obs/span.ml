@@ -92,11 +92,11 @@ let collect tr =
   in
   Trace.iter tr (fun { Trace.at; ev } ->
       match ev with
-      | Trace.Soft_sched { due } ->
+      | Trace.Soft_sched { due; _ } ->
         incr timers_total;
         Queue.push (open_span Timer at) (fifo timer_open due)
       | Trace.Soft_fire { due; _ } -> close_timer ~at due Fired
-      | Trace.Soft_cancel { due } -> close_timer ~at due Cancelled
+      | Trace.Soft_cancel { due; _ } -> close_timer ~at due Cancelled
       | Trace.Pkt_enqueue { nic; _ } ->
         incr packets_total;
         Queue.push (open_span (Packet nic) at) (fifo pkt_open nic)

@@ -8,11 +8,17 @@
     unchanged by collecting them.
 
     Matching is FIFO per key (due time for timers, NIC for packets),
-    mirroring the simulator's own queue discipline.  [Pkt_drop] opens
-    no span: the NIC emits it {e instead of} [Pkt_enqueue] when its
-    ring is full.  Span ids are assigned in stream order of the opening
-    event, so they are deterministic for a given trace and survive
-    job-order [Trace.absorb] merges unchanged. *)
+    mirroring the simulator's own queue discipline.  In particular, two
+    timers scheduled for the {e same} due time are closed in schedule
+    order: the stores dispatch equal deadlines in (deadline, tie
+    position) order and the trace replays schedules in stream order, so
+    the oldest open span is exactly the timer that fired — the FIFO
+    tie-break is the dispatch tie-break (see
+    [test/test_obs.ml:span_fifo_tie]).  [Pkt_drop] opens no span: the
+    NIC emits it {e instead of} [Pkt_enqueue] when its ring is full.
+    Span ids are assigned in stream order of the opening event, so they
+    are deterministic for a given trace and survive job-order
+    [Trace.absorb] merges unchanged. *)
 
 type kind = Timer | Packet of string  (** [Packet nic] *)
 

@@ -155,6 +155,10 @@ let on_event t ~at (ev : Trace.event) =
     Hdr.record w.delay us;
     Hdr.record t.overall_delay us
   | Trace.Soft_cancel _ -> w.cancelled <- w.cancelled + 1
+  (* Forensics-only events: the audit consumes them; the per-window
+     counters deliberately ignore them so stats output stays stable. *)
+  | Trace.Soft_check _ -> ()
+  | Trace.Cpu_run _ -> ()
   | Trace.Irq { dur; _ } ->
     w.irqs <- w.irqs + 1;
     w.irq_ns <- Int64.add w.irq_ns (Time_ns.to_ns dur)

@@ -1,8 +1,10 @@
 type event =
   | Trigger of string
-  | Soft_sched of { due : Time_ns.t }
-  | Soft_fire of { due : Time_ns.t; delay : Time_ns.span }
-  | Soft_cancel of { due : Time_ns.t }
+  | Soft_sched of { id : int; due : Time_ns.t }
+  | Soft_fire of { id : int; due : Time_ns.t; delay : Time_ns.span }
+  | Soft_cancel of { id : int; due : Time_ns.t }
+  | Soft_check of { src : string; scanned : int; fired : int }
+  | Cpu_run of { cpu : int; klass : int; dur : Time_ns.span }
   | Irq of { line : string; cpu : int; dur : Time_ns.span }
   | Irq_raised of { line : string }
   | Irq_lost of { line : string }
@@ -64,7 +66,7 @@ let clear t =
 (* Ring overflow is easy to miss (the trace still looks complete); the
    metric makes it visible in every metrics dump, and the exporters add
    a warning banner keyed off [dropped t]. *)
-let m_dropped = Metrics.counter Metrics.default "trace.dropped"
+let m_dropped = Metrics.dcounter Metrics.default "trace.dropped"
 
 let push t r =
   let cap = Array.length t.buf in
@@ -73,7 +75,7 @@ let push t r =
     t.buf.(t.head) <- r;
     t.head <- (t.head + 1) mod cap;
     t.dropped <- t.dropped + 1;
-    Metrics.incr m_dropped
+    Metrics.dincr m_dropped
   end
   else begin
     t.buf.((t.head + t.len) mod cap) <- r;
@@ -102,12 +104,18 @@ let emit ~at ev =
   match !(Domain.DLS.get sink) with None -> () | Some t -> push t { at; ev }
 
 let trigger ~at kind = if armed () then emit ~at (Trigger kind)
-let soft_sched ~at ~due = if armed () then emit ~at (Soft_sched { due })
+let soft_sched ~at ~id ~due = if armed () then emit ~at (Soft_sched { id; due })
 
-let soft_fire ~at ~due =
-  if armed () then emit ~at (Soft_fire { due; delay = Time_ns.(at - due) })
+let soft_fire ~at ~id ~due =
+  if armed () then emit ~at (Soft_fire { id; due; delay = Time_ns.(at - due) })
 
-let soft_cancel ~at ~due = if armed () then emit ~at (Soft_cancel { due })
+let soft_cancel ~at ~id ~due = if armed () then emit ~at (Soft_cancel { id; due })
+
+let soft_check ~at ~src ~scanned ~fired =
+  if armed () then emit ~at (Soft_check { src; scanned; fired })
+
+let cpu_run ~at ~cpu ~klass ~dur =
+  if armed () then emit ~at (Cpu_run { cpu; klass; dur })
 let irq ~at ~line ~cpu ~dur = if armed () then emit ~at (Irq { line; cpu; dur })
 let irq_raised ~at ~line = if armed () then emit ~at (Irq_raised { line })
 let irq_lost ~at ~line = if armed () then emit ~at (Irq_lost { line })

@@ -23,10 +23,21 @@
     schema and how each maps onto Chrome [trace_event] records. *)
 type event =
   | Trigger of string  (** a trigger state was reached (kind name) *)
-  | Soft_sched of { due : Time_ns.t }  (** soft event scheduled *)
-  | Soft_fire of { due : Time_ns.t; delay : Time_ns.span }
+  | Soft_sched of { id : int; due : Time_ns.t }
+      (** soft event [id] scheduled; a re-arm emits cancel + sched with
+          the id kept, so [id] names the timer across its whole life *)
+  | Soft_fire of { id : int; due : Time_ns.t; delay : Time_ns.span }
       (** soft event fired [delay] after its due time *)
-  | Soft_cancel of { due : Time_ns.t }  (** pending soft event cancelled *)
+  | Soft_cancel of { id : int; due : Time_ns.t }
+      (** pending soft event cancelled *)
+  | Soft_check of { src : string; scanned : int; fired : int }
+      (** a facility check from trigger state [src] found work: the due
+          batch held [scanned] pending entries, [fired] were dispatched
+          (the rest were withheld by the check budget).  Emitted after
+          the batch's [Soft_fire]s, only when [scanned > 0]. *)
+  | Cpu_run of { cpu : int; klass : int; dur : Time_ns.span }
+      (** CPU executed one work quantum: start at [at - dur], end at
+          [at]; [klass] is the {!Cpu} work class (see [Cpu.klass_name]) *)
   | Irq of { line : string; cpu : int; dur : Time_ns.span }
       (** interrupt dispatch completed: entry at [at - dur], exit at [at] *)
   | Irq_raised of { line : string }  (** device asserted the line *)
@@ -96,9 +107,11 @@ val to_list : t -> record list
 
 val emit : at:Time_ns.t -> event -> unit
 val trigger : at:Time_ns.t -> string -> unit
-val soft_sched : at:Time_ns.t -> due:Time_ns.t -> unit
-val soft_fire : at:Time_ns.t -> due:Time_ns.t -> unit
-val soft_cancel : at:Time_ns.t -> due:Time_ns.t -> unit
+val soft_sched : at:Time_ns.t -> id:int -> due:Time_ns.t -> unit
+val soft_fire : at:Time_ns.t -> id:int -> due:Time_ns.t -> unit
+val soft_cancel : at:Time_ns.t -> id:int -> due:Time_ns.t -> unit
+val soft_check : at:Time_ns.t -> src:string -> scanned:int -> fired:int -> unit
+val cpu_run : at:Time_ns.t -> cpu:int -> klass:int -> dur:Time_ns.span -> unit
 val irq : at:Time_ns.t -> line:string -> cpu:int -> dur:Time_ns.span -> unit
 val irq_raised : at:Time_ns.t -> line:string -> unit
 val irq_lost : at:Time_ns.t -> line:string -> unit

@@ -56,13 +56,29 @@ let ev_of_record { Trace.at; ev } =
   in
   match ev with
   | Trace.Trigger kind -> instant ~cat:"trigger" kind
-  | Trace.Soft_sched { due } ->
-    instant ~cat:"softtimer" "soft-sched" ~args:[ ("due_us", f (us_of due)) ]
-  | Trace.Soft_fire { due; delay } ->
+  | Trace.Soft_sched { id; due } ->
+    instant ~cat:"softtimer" "soft-sched"
+      ~args:[ ("timer", i id); ("due_us", f (us_of due)) ]
+  | Trace.Soft_fire { id; due; delay } ->
     instant ~cat:"softtimer" "soft-fire"
-      ~args:[ ("due_us", f (us_of due)); ("delay_us", f (us_of delay)) ]
-  | Trace.Soft_cancel { due } ->
-    instant ~cat:"softtimer" "soft-cancel" ~args:[ ("due_us", f (us_of due)) ]
+      ~args:[ ("timer", i id); ("due_us", f (us_of due)); ("delay_us", f (us_of delay)) ]
+  | Trace.Soft_cancel { id; due } ->
+    instant ~cat:"softtimer" "soft-cancel"
+      ~args:[ ("timer", i id); ("due_us", f (us_of due)) ]
+  | Trace.Soft_check { src; scanned; fired } ->
+    instant ~cat:"softtimer" "soft-check"
+      ~args:[ ("src", str src); ("scanned", i scanned); ("fired", i fired) ]
+  | Trace.Cpu_run { cpu; klass; dur } ->
+    (* Like Irq: stamped at quantum end; the slice starts at entry. *)
+    {
+      name = "run." ^ Delay_audit.klass_label klass;
+      cat = "cpu";
+      ph = "X";
+      ts = us_of Time_ns.(at - dur);
+      tid = cpu;
+      dur = Some (us_of dur);
+      args = [];
+    }
   | Trace.Irq { line; cpu; dur } ->
     (* The record is stamped at handler exit; the slice starts at entry. *)
     {
@@ -163,6 +179,25 @@ let add_span_events b (sp : Span.t) =
         async "e" (us_of fin) "")
     (Span.spans sp)
 
+(* Flow arrows linking each timer's schedule to its fire, keyed by the
+   timer id the facility stamps on both events: the viewer draws an
+   arrow from the point the timer was armed to the point it went off,
+   making long-delayed fires visually obvious.  A re-arm emits another
+   "s" with the same id, extending the chain; a cancelled timer's flow
+   simply never terminates. *)
+let add_flow_event b { Trace.at; ev } =
+  let flow ph ~id ~extra =
+    Buffer.add_char b ',';
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"name\":\"timer-flow\",\"cat\":\"softtimer\",\"ph\":\"%s\",\"id\":%d,\"ts\":%.3f,\"pid\":1,\"tid\":0%s}"
+         ph id (us_of at) extra)
+  in
+  match ev with
+  | Trace.Soft_sched { id; _ } -> flow "s" ~id ~extra:""
+  | Trace.Soft_fire { id; _ } -> flow "f" ~id ~extra:",\"bp\":\"e\""
+  | _ -> ()
+
 let to_chrome_json ?series ?spans t =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"traceEvents\":[";
@@ -179,7 +214,8 @@ let to_chrome_json ?series ?spans t =
          (Trace.dropped t));
   Trace.iter t (fun r ->
       Buffer.add_char b ',';
-      Buffer.add_string b (json_of_ev (ev_of_record r)));
+      Buffer.add_string b (json_of_ev (ev_of_record r));
+      add_flow_event b r);
   (match series with Some ts -> add_series_events b ts | None -> ());
   (match spans with Some sp -> add_span_events b sp | None -> ());
   Buffer.add_string b "],\"displayTimeUnit\":\"ns\"";
@@ -192,10 +228,18 @@ let csv_row { Trace.at; ev } =
   let detail =
     match ev with
     | Trace.Trigger kind -> [ "trigger"; "kind=" ^ kind ]
-    | Trace.Soft_sched { due } -> [ "soft-sched"; Printf.sprintf "due_ns=%Ld" due ]
-    | Trace.Soft_fire { due; delay } ->
-      [ "soft-fire"; Printf.sprintf "due_ns=%Ld;delay_ns=%Ld" due delay ]
-    | Trace.Soft_cancel { due } -> [ "soft-cancel"; Printf.sprintf "due_ns=%Ld" due ]
+    | Trace.Soft_sched { id; due } ->
+      [ "soft-sched"; Printf.sprintf "timer=%d;due_ns=%Ld" id due ]
+    | Trace.Soft_fire { id; due; delay } ->
+      [ "soft-fire"; Printf.sprintf "timer=%d;due_ns=%Ld;delay_ns=%Ld" id due delay ]
+    | Trace.Soft_cancel { id; due } ->
+      [ "soft-cancel"; Printf.sprintf "timer=%d;due_ns=%Ld" id due ]
+    | Trace.Soft_check { src; scanned; fired } ->
+      [ "soft-check"; Printf.sprintf "src=%s;scanned=%d;fired=%d" src scanned fired ]
+    | Trace.Cpu_run { cpu; klass; dur } ->
+      [ "cpu-run";
+        Printf.sprintf "cpu=%d;klass=%s;dur_ns=%Ld" cpu (Delay_audit.klass_label klass) dur
+      ]
     | Trace.Irq { line; cpu; dur } ->
       [ "irq"; Printf.sprintf "line=%s;cpu=%d;dur_ns=%Ld" line cpu dur ]
     | Trace.Irq_raised { line } -> [ "irq-raised"; "line=" ^ line ]

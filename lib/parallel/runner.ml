@@ -36,6 +36,13 @@ let map ?jobs f xs =
   else begin
     let input = Array.of_list xs in
     let results : ('b, exn * Printexc.raw_backtrace) result option array = Array.make n None in
+    (* Domain-local Metrics instruments accumulated by job [i].  Each
+       job runs inside a fresh Local context (so nothing it records
+       races with the parent or a sibling on the same domain), and the
+       parent absorbs the contexts in index order after the join —
+       counter totals and histogram contents are then identical at any
+       job count. *)
+    let ctxs : Metrics.Local.ctx option array = Array.make n None in
     let next = Atomic.make 0 in
     let work () =
       let flag = Domain.DLS.get in_worker in
@@ -43,10 +50,12 @@ let map ?jobs f xs =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
+          let saved = Metrics.Local.swap_fresh () in
           let r =
             try Ok (f input.(i))
             with e -> Error (e, Printexc.get_raw_backtrace ())
           in
+          ctxs.(i) <- Some (Metrics.Local.swap saved);
           results.(i) <- Some r;
           loop ()
         end
@@ -57,6 +66,7 @@ let map ?jobs f xs =
     let domains = List.init (jobs - 1) (fun _ -> Domain.spawn work) in
     work ();
     List.iter Domain.join domains;
+    Array.iter (function Some c -> Metrics.Local.absorb c | None -> ()) ctxs;
     Array.to_list results
     |> List.map (function
          | Some (Ok v) -> v

@@ -31,9 +31,11 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     parallel, and returns the results in input order.
 
     [f] must be self-contained in the sense above: it may not mutate
-    state shared with other jobs (a shared {!Metrics} counter bump is
-    tolerated — counts remain approximate under parallelism — but
-    nothing an experiment's output is computed from).
+    state shared with other jobs.  Domain-local {!Metrics} instruments
+    ([dcounter]/[dhistogram]) are safe and deterministic: each job runs
+    in a fresh {!Metrics.Local} context, and the contexts are absorbed
+    into the caller's in input order after the join, so totals are
+    byte-identical at any [jobs].
 
     At most [jobs] elements run concurrently (the calling domain works
     too, so [jobs] = total parallelism).  If any job raises, the

@@ -144,11 +144,14 @@ let next_deadline t =
    the collect/dispatch closures, the re-boxed deadline) is
    proportional to the fired batch, never to a trigger-state check that
    finds nothing due. *)
-let[@hot] fire_due t ~now f =
+let[@hot] fire_due t ~now ~limit f =
   let now_i = Int64.to_int now in
   (* Pop the whole due prefix before running any callback: the popped
      list is the snapshot, already in (deadline, tie) order; entries
-     pushed by callbacks land in the queue for the next call. *)
+     pushed by callbacks land in the queue for the next call.
+     [shed_stale] runs before every pop, so every collected triple was
+     pending at collect time — the batch length is exactly the scanned
+     count the other stores report. *)
   let rec collect acc =
     shed_stale t;
     (* Immediate-int key comparison (DET003 targets boxed Time_ns). *)
@@ -163,6 +166,7 @@ let[@hot] fire_due t ~now f =
     else List.rev acc
   in
   let batch = collect [] in
+  let scanned = List.length batch in
   let fired = ref 0 in
   List.iter
     (fun (time, seq, idx) ->
@@ -170,15 +174,23 @@ let[@hot] fire_due t ~now f =
       (* Generation still matching = not cancelled or re-armed by an
          earlier callback in this batch. *)
       if s.sseq = seq then begin
-        let v = match s.sval with Some v -> v | None -> assert false in
-        free_slot t idx;
-        t.live <- t.live - 1;
-        incr fired;
-        f (Int64.of_int time) v
+        if !fired < limit then begin
+          let v = match s.sval with Some v -> v | None -> assert false in
+          free_slot t idx;
+          t.live <- t.live - 1;
+          incr fired;
+          f (Int64.of_int time) v
+        end
+        else
+          (* Budget exhausted: push the popped entry back verbatim —
+             same time, same generation, same slot — so the next call
+             dispatches the remainder in the same (deadline, tie)
+             order. *)
+          Eventq.push t.q ~time ~seq ~payload:idx
       end
       else if t.dead > 0 then
         (* The cancel/re-arm counted a corpse we had already popped. *)
         t.dead <- t.dead - 1)
     batch;
-  !fired
+  Fire_outcome.pack ~scanned ~fired:!fired
 [@@lint.allow "ALLOC001"] [@@lint.allow "ALLOC002"] [@@lint.allow "ALLOC003"]

@@ -71,6 +71,9 @@ let fresh_seq t =
   t.next_seq <- s + 1;
   s
 
+(* ALLOC002: the [Some] boxes (and occasional growth doubling) of the
+   option-array representation — one box per appended node.  Reachable
+   from [fire_due] only on the budget-withheld relink path. *)
 let group_append g n =
   if g.gn = 0 then begin
     g.gfirst <- n.gat;
@@ -87,6 +90,7 @@ let group_append g n =
   n.gidx <- g.gn;
   n.gstate <- Linked;
   g.gn <- g.gn + 1
+[@@lint.allow "ALLOC002"]
 
 (* Swap-pop: O(1) removal by filling the hole with the last item. *)
 let group_remove g n =
@@ -266,7 +270,7 @@ let next_deadline t =
    extracts due nodes into a list before any callback runs; the cons
    cells, the sweep/extract closures and the replacement group for a
    drained range are per-batch work, not per trigger-state check. *)
-let[@hot] fire_due t ~now f =
+let[@hot] fire_due t ~now ~limit f =
   let batch = ref [] in
   let extract n =
     n.ggroup <- None;
@@ -317,15 +321,25 @@ let[@hot] fire_due t ~now f =
       !batch
   in
   (match due with [] -> () | _ :: _ -> t.min_valid <- false);
+  let scanned = List.length due in
   let fired = ref 0 in
   List.iter
     (fun n ->
-      if n.gstate = Extracted then begin
-        n.gstate <- Done;
-        t.count <- t.count - 1;
-        incr fired;
-        f n.gat n.gval
-      end)
+      if n.gstate = Extracted then
+        if !fired < limit then begin
+          n.gstate <- Done;
+          t.count <- t.count - 1;
+          incr fired;
+          f n.gat n.gval
+        end
+        else begin
+          (* Budget exhausted: relink into the covering group with
+             [gseq] untouched (and [t.count] never decremented), so the
+             next call's expiry sort dispatches the remainder in the
+             same (deadline, tie) order.  Groups are unsorted inside, so
+             append position is irrelevant. *)
+          group_append (target_group t.groups n.gat) n
+        end)
     due;
-  !fired
+  Fire_outcome.pack ~scanned ~fired:!fired
 [@@lint.allow "ALLOC001"] [@@lint.allow "ALLOC002"]

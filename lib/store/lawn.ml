@@ -71,6 +71,20 @@ let link_tail b n =
   (match b.btail with Some tl -> tl.nnext <- Some n | None -> b.bhead <- Some n);
   b.btail <- Some n
 
+(* Prepend at the head: only used to return budget-withheld due nodes
+   to their bucket.  A withheld node's deadline is [<= now], hence no
+   later than anything the pop loop left behind, so head insertion
+   preserves the bucket's monotone-deadline invariant. *)
+let link_head b n =
+  n.nnext <- b.bhead;
+  n.nprev <- None;
+  (match b.bhead with Some hd -> hd.nprev <- Some n | None -> b.btail <- Some n);
+  b.bhead <- Some n
+(* ALLOC002: the [Some _] links allocate, but this only runs for
+   budget-withheld nodes — the truncated tail of a [fire_due] batch,
+   never the steady-state fire path. *)
+[@@lint.allow "ALLOC002"]
+
 let unlink b n =
   (match n.nprev with Some p -> p.nnext <- n.nnext | None -> b.bhead <- n.nnext);
   (match n.nnext with Some s -> s.nprev <- n.nprev | None -> b.btail <- n.nprev);
@@ -190,7 +204,7 @@ let next_deadline t =
    and local walk/pop/extract closures are per-batch work amortized
    over the fired timers; a check that fires nothing allocates nothing
    (the buckets are walked in place). *)
-let[@hot] fire_due t ~now f =
+let[@hot] fire_due t ~now ~limit f =
   t.last_now <- Time_ns.max t.last_now now;
   (* Collect the due snapshot: pop each positive-duration bucket from the
      head while due (FIFO order = deadline order within a bucket), walk
@@ -235,17 +249,30 @@ let[@hot] fire_due t ~now f =
       !batch
   in
   (match due with [] -> () | _ :: _ -> t.min_valid <- false);
+  let scanned = List.length due in
   let fired = ref 0 in
+  let withheld = ref [] in
   List.iter
     (fun n ->
       (* Still Extracted = not cancelled or re-armed by an earlier
          callback in this batch. *)
-      if n.nstate = Extracted then begin
-        n.nstate <- Done;
-        t.count <- t.count - 1;
-        incr fired;
-        f n.nat n.nval
-      end)
+      if n.nstate = Extracted then
+        if !fired < limit then begin
+          n.nstate <- Done;
+          t.count <- t.count - 1;
+          incr fired;
+          f n.nat n.nval
+        end
+        else withheld := n :: !withheld)
     due;
-  !fired
+  (* Budget exhausted: relink withheld nodes at the head of their
+     original bucket, latest first so the earliest ends up at the head —
+     the next call pops the remainder in the same (deadline, tie) order
+     ([nseq] untouched, [t.count] never decremented for them). *)
+  List.iter
+    (fun n ->
+      n.nstate <- Linked;
+      link_head n.nbucket n)
+    !withheld;
+  Fire_outcome.pack ~scanned ~fired:!fired
 [@@lint.allow "ALLOC001"] [@@lint.allow "ALLOC002"]

@@ -14,7 +14,9 @@ module type S = sig
   val next_deadline : 'a t -> Time_ns.t option
   val handle_pending : 'a t -> 'a handle -> bool
   val handle_deadline : 'a t -> 'a handle -> Time_ns.t
-  val fire_due : 'a t -> now:Time_ns.t -> (Time_ns.t -> 'a -> unit) -> int
+
+  val fire_due :
+    'a t -> now:Time_ns.t -> limit:int -> (Time_ns.t -> 'a -> unit) -> Fire_outcome.t
 end
 
 (* ------------------------------------------------------------------ *)
@@ -81,30 +83,38 @@ module Reference : S = struct
   let handle_pending _t h = h.rstate = Pending
   let handle_deadline _t h = h.rat
 
-  let fire_due t ~now f =
+  let fire_due t ~now ~limit f =
     (* Snapshot: only entries that existed (and were due) at call time
-       are candidates; [limit] excludes anything scheduled or re-armed
-       by a callback during this call. *)
-    let limit = t.next_seq in
+       are candidates; [seq_limit] excludes anything scheduled or
+       re-armed by a callback during this call. *)
+    let seq_limit = t.next_seq in
     let due =
-      List.filter (fun h -> h.rseq < limit && Time_ns.(h.rat <= now)) t.entries
+      List.filter (fun h -> h.rseq < seq_limit && Time_ns.(h.rat <= now)) t.entries
       |> List.sort (fun a b ->
              let c = Time_ns.compare a.rat b.rat in
              if c <> 0 then c else compare a.rseq b.rseq)
     in
+    let scanned = List.length due in
     let fired = ref 0 in
     List.iter
       (fun h ->
         (* Re-check: an earlier callback may have cancelled or re-armed
-           this entry. *)
-        if h.rstate = Pending && h.rseq < limit && Time_ns.(h.rat <= now) then begin
+           this entry.  Entries beyond the budget simply stay in
+           [t.entries] (removal happens only at fire time), so their
+           deadline and tie position are preserved for the next call. *)
+        if
+          !fired < limit
+          && h.rstate = Pending
+          && h.rseq < seq_limit
+          && Time_ns.(h.rat <= now)
+        then begin
           h.rstate <- Fired;
           t.entries <- List.filter (fun e -> e != h) t.entries;
           incr fired;
           f h.rat h.rval
         end)
       due;
-    !fired
+    Fire_outcome.pack ~scanned ~fired:!fired
 end
 
 (* ------------------------------------------------------------------ *)
@@ -166,19 +176,17 @@ module Of_base (B : Timer_backend.S) : S = struct
   let handle_deadline _t cell = cell.cat
 
   (* ALLOC001: one dispatch-wrapper closure per fire_due call, shared
-     by every timer in the batch. *)
-  let[@hot] fire_due t ~now f =
-    let fired = ref 0 in
-    let (_ : int) =
-      B.fire_due t.b ~now (fun d (cell, gen) ->
-          if gen = cell.cgen && cell.cstate = Pending then begin
-            cell.cstate <- Fired;
-            t.live <- t.live - 1;
-            incr fired;
-            f d cell.cval
-          end)
-    in
-    !fired
+     by every timer in the batch.  [cancel_base] keeps the base store in
+     sync with the cell states, so every base-level fire of a current
+     generation is a store-level fire: the base's outcome (scanned and
+     fired counts, budget accounting) is ours verbatim. *)
+  let[@hot] fire_due t ~now ~limit f =
+    B.fire_due t.b ~now ~limit (fun d (cell, gen) ->
+        if gen = cell.cgen && cell.cstate = Pending then begin
+          cell.cstate <- Fired;
+          t.live <- t.live - 1;
+          f d cell.cval
+        end)
   [@@lint.allow "ALLOC001"]
 end
 
@@ -199,7 +207,7 @@ let wheel ?(slots = 512) () : (module S) =
     let pending = Timing_wheel.pending
     let resident = Timing_wheel.resident
     let next_deadline = Timing_wheel.next_deadline
-    let fire_due t ~now f = Timing_wheel.fire_due t ~now f
+    let fire_due t ~now ~limit f = Timing_wheel.fire_due t ~now ~limit f
   end in
   (module Of_base (W))
 
@@ -218,7 +226,8 @@ type 'a inst = {
   i_name : string;
   i_schedule : at:Time_ns.t -> 'a -> ticket;
   i_next_deadline : unit -> Time_ns.t option;
-  i_fire_due : now:Time_ns.t -> (Time_ns.t -> 'a -> unit) -> int;
+  i_fire_due :
+    now:Time_ns.t -> limit:int -> (Time_ns.t -> 'a -> unit) -> Fire_outcome.t;
   i_pending : unit -> int;
   i_resident : unit -> int;
 }
@@ -237,7 +246,7 @@ let instantiate (type a) (module M : S) ~tick () : a inst =
           tk_deadline = (fun () -> M.handle_deadline t h);
         });
     i_next_deadline = (fun () -> M.next_deadline t);
-    i_fire_due = (fun ~now f -> M.fire_due t ~now f);
+    i_fire_due = (fun ~now ~limit f -> M.fire_due t ~now ~limit f);
     i_pending = (fun () -> M.pending t);
     i_resident = (fun () -> M.resident t);
   }

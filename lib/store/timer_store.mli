@@ -22,14 +22,19 @@
       [schedule t ~at] of the same value — new deadline, {e fresh} tie
       position — except that [h] remains valid.  Returns [false] (and
       does nothing) when the entry already fired or was cancelled.
-    - [fire_due t ~now f] dispatches the {e snapshot} of pending entries
-      with deadline [<= now] at call time, in (deadline, tie) order.
-      Entries scheduled or re-armed by callbacks during the call are
-      never dispatched in the same call, even if already due.  Each
+    - [fire_due t ~now ~limit f] dispatches the {e snapshot} of pending
+      entries with deadline [<= now] at call time, in (deadline, tie)
+      order.  Entries scheduled or re-armed by callbacks during the call
+      are never dispatched in the same call, even if already due.  Each
       entry's state is re-checked immediately before its callback runs:
       an entry cancelled or re-armed by an earlier callback in the same
-      batch is skipped.  Returns the number of callbacks invoked.
-      [fire_due] must not be called from within a callback.
+      batch is skipped.  At most [limit] callbacks run ([max_int] for no
+      budget); withheld entries keep their deadline and tie position, so
+      the next call dispatches the remainder in the same order, and
+      recheck-skips do not consume the budget.  Returns the packed batch
+      size and callback count ({!Fire_outcome}); [Fire_outcome.scanned]
+      counts the whole due batch, withheld entries included.  [fire_due]
+      must not be called from within a callback.
     - [resident] (entries physically held, including any lazily-cancelled
       corpses) stays within [2 * max (pending t) floor] for a small
       per-store constant [floor] — no store leaks cancelled entries.
@@ -69,7 +74,8 @@ module type S = sig
   val handle_pending : 'a t -> 'a handle -> bool
   val handle_deadline : 'a t -> 'a handle -> Time_ns.t
 
-  val fire_due : 'a t -> now:Time_ns.t -> (Time_ns.t -> 'a -> unit) -> int
+  val fire_due :
+    'a t -> now:Time_ns.t -> limit:int -> (Time_ns.t -> 'a -> unit) -> Fire_outcome.t
 end
 
 module Reference : S
@@ -103,7 +109,8 @@ type 'a inst = {
   i_name : string;
   i_schedule : at:Time_ns.t -> 'a -> ticket;
   i_next_deadline : unit -> Time_ns.t option;
-  i_fire_due : now:Time_ns.t -> (Time_ns.t -> 'a -> unit) -> int;
+  i_fire_due :
+    now:Time_ns.t -> limit:int -> (Time_ns.t -> 'a -> unit) -> Fire_outcome.t;
   i_pending : unit -> int;
   i_resident : unit -> int;
 }

@@ -1,0 +1,14 @@
+(* Packed result of a [fire_due] call: how many due pending entries the
+   sweep collected ([scanned]) and how many callbacks actually ran
+   ([fired], [<= scanned] — the rest were withheld by the caller's
+   check budget or dropped as corpses at dispatch recheck).  One
+   immediate int so the hot path returns both without allocating. *)
+
+type t = int
+
+let shift = 31
+let mask = (1 lsl shift) - 1
+
+let[@inline] pack ~scanned ~fired = (scanned lsl shift) lor (fired land mask)
+let[@inline] scanned o = o lsr shift
+let[@inline] fired o = o land mask

@@ -11,7 +11,9 @@ module type S = sig
   val pending : 'a t -> int
   val resident : 'a t -> int
   val next_deadline : 'a t -> Time_ns.t option
-  val fire_due : 'a t -> now:Time_ns.t -> (Time_ns.t -> 'a -> unit) -> int
+
+  val fire_due :
+    'a t -> now:Time_ns.t -> limit:int -> (Time_ns.t -> 'a -> unit) -> Fire_outcome.t
 end
 
 (* Residency bound shared by the flag-cancelling backends below: once
@@ -36,8 +38,13 @@ type chandle = { mutable cstate : centry_state; cdeadline : Time_ns.t }
    cancels a later same-batch entry suppresses its dispatch.  [on_skip]
    fires for each suppressed entry so the caller can settle its corpse
    accounting (the entry was counted cancelled while already extracted
-   from the structure). *)
-let fire_sorted ~on_skip entries f =
+   from the structure).  At most [limit] callbacks run; [on_requeue]
+   receives each still-pending entry beyond the budget so the caller
+   can put it back with deadline and sequence number preserved.
+   Recheck-drops do not consume the budget.  The tuple carries the
+   caller's own entry as its last component (for requeue); [value_of]
+   projects the callback payload out of it. *)
+let fire_sorted ~limit ~on_skip ~on_requeue entries value_of f =
   let due =
     List.sort
       (fun (d1, s1, _, _) (d2, s2, _, _) ->
@@ -45,17 +52,20 @@ let fire_sorted ~on_skip entries f =
         if c <> 0 then c else compare s1 s2)
       entries
   in
+  let scanned = List.length due in
   let fired = ref 0 in
   List.iter
-    (fun (d, _, h, v) ->
-      if h.cstate = Pending then begin
-        h.cstate <- Fired;
-        incr fired;
-        f d v
-      end
+    (fun (d, _, h, e) ->
+      if h.cstate = Pending then
+        if !fired < limit then begin
+          h.cstate <- Fired;
+          incr fired;
+          f d (value_of e)
+        end
+        else on_requeue e
       else on_skip ())
     due;
-  !fired
+  Fire_outcome.pack ~scanned ~fired:!fired
 
 module Sorted_list : S = struct
   let name = "sorted-list"
@@ -89,11 +99,12 @@ module Sorted_list : S = struct
 
   let drop_corpse t = if t.cancelled > 0 then t.cancelled <- t.cancelled - 1
 
-  let schedule t ~at value =
-    let h = { cstate = Pending; cdeadline = at } in
-    let e = { deadline = at; seq = t.next_seq; value; h } in
-    t.next_seq <- t.next_seq + 1;
-    t.count <- t.count + 1;
+  (* Sorted insert by (deadline, seq) — shared by [schedule] and the
+     budget-requeue path in [fire_due], which re-inserts an extracted
+     entry with its original sequence number (callbacks may have
+     scheduled younger entries with equal deadlines meanwhile, so a
+     plain prepend would break the tie order). *)
+  let insert_entry t e =
     let rec insert = function
       | [] -> [ e ]
       | x :: rest ->
@@ -103,7 +114,14 @@ module Sorted_list : S = struct
         then e :: x :: rest
         else x :: insert rest
     in
-    t.entries <- insert t.entries;
+    t.entries <- insert t.entries
+
+  let schedule t ~at value =
+    let h = { cstate = Pending; cdeadline = at } in
+    let e = { deadline = at; seq = t.next_seq; value; h } in
+    t.next_seq <- t.next_seq + 1;
+    t.count <- t.count + 1;
+    insert_entry t e;
     h
 
   let cancel t h =
@@ -129,7 +147,7 @@ module Sorted_list : S = struct
     skip_dead t;
     match t.entries with [] -> None | e :: _ -> Some e.deadline
 
-  let fire_due t ~now f =
+  let fire_due t ~now ~limit f =
     (* Collect the due snapshot first; callbacks run only afterwards,
        so entries they schedule wait for the next call. *)
     let rec collect acc =
@@ -144,20 +162,23 @@ module Sorted_list : S = struct
       | _ -> List.rev acc
     in
     let batch = collect [] in
+    let scanned = List.length batch in
     let fired = ref 0 in
     List.iter
       (fun e ->
         (* Re-check: an earlier callback in this batch may have
            cancelled this entry after it left the list. *)
-        if e.h.cstate = Pending then begin
-          e.h.cstate <- Fired;
-          t.count <- t.count - 1;
-          incr fired;
-          f e.deadline e.value
-        end
+        if e.h.cstate = Pending then
+          if !fired < limit then begin
+            e.h.cstate <- Fired;
+            t.count <- t.count - 1;
+            incr fired;
+            f e.deadline e.value
+          end
+          else insert_entry t e
         else drop_corpse t)
       batch;
-    !fired
+    Fire_outcome.pack ~scanned ~fired:!fired
 end
 
 module Binary_heap : S = struct
@@ -224,7 +245,7 @@ module Binary_heap : S = struct
     skip_dead t;
     match Heap.peek t.heap with None -> None | Some e -> Some e.deadline
 
-  let fire_due t ~now f =
+  let fire_due t ~now ~limit f =
     let rec collect acc =
       skip_dead t;
       match Heap.peek t.heap with
@@ -234,18 +255,24 @@ module Binary_heap : S = struct
       | _ -> List.rev acc
     in
     let batch = collect [] in
+    let scanned = List.length batch in
     let fired = ref 0 in
     List.iter
       (fun e ->
-        if e.h.cstate = Pending then begin
-          e.h.cstate <- Fired;
-          t.count <- t.count - 1;
-          incr fired;
-          f e.deadline e.value
-        end
+        if e.h.cstate = Pending then
+          if !fired < limit then begin
+            e.h.cstate <- Fired;
+            t.count <- t.count - 1;
+            incr fired;
+            f e.deadline e.value
+          end
+          else
+            (* Back into the heap with (deadline, seq) intact: the next
+               call pops the remainder in the same order. *)
+            Heap.push t.heap e
         else drop_corpse t)
       batch;
-    !fired
+    Fire_outcome.pack ~scanned ~fired:!fired
 end
 
 module Hashed : S = struct
@@ -261,7 +288,7 @@ module Hashed : S = struct
   let pending = Timing_wheel.pending
   let resident = Timing_wheel.resident
   let next_deadline = Timing_wheel.next_deadline
-  let fire_due t ~now f = Timing_wheel.fire_due t ~now f
+  let fire_due t ~now ~limit f = Timing_wheel.fire_due t ~now ~limit f
 end
 
 module Hier : S = struct
@@ -497,11 +524,11 @@ module Hier : S = struct
       end
     end
 
-  let fire_due t ~now f =
+  let fire_due t ~now ~limit f =
     let now_tick = tick_of t now in
     if t.count = 0 then begin
       t.last_tick <- Int64.max t.last_tick now_tick;
-      0
+      Fire_outcome.pack ~scanned:0 ~fired:0
     end
     else begin
       let due = ref [] in
@@ -544,11 +571,19 @@ module Hier : S = struct
       in
       hop ();
       collect_current_slot ();
-      let entries = List.map (fun e -> (e.deadline, e.seq, e.h, e.value)) !due in
-      let n = fire_sorted ~on_skip:(fun () -> drop_corpse t) entries f in
+      let entries = List.map (fun e -> (e.deadline, e.seq, e.h, e)) !due in
+      let outcome =
+        fire_sorted ~limit
+          ~on_skip:(fun () -> drop_corpse t)
+          ~on_requeue:(fun e -> place t e)  (* [place] clamps to the advanced horizon *)
+          entries
+          (fun e -> e.value)
+          f
+      in
+      let n = Fire_outcome.fired outcome in
       t.count <- t.count - n;
       if n > 0 then t.min_valid <- false;
-      n
+      outcome
     end
 end
 
@@ -559,28 +594,28 @@ module With_metrics (B : S) : S = struct
 
   let name = B.name
 
-  let m_sched = Metrics.counter Metrics.default ("backend." ^ name ^ ".scheduled")
-  let m_cancel = Metrics.counter Metrics.default ("backend." ^ name ^ ".cancelled")
-  let m_fired = Metrics.counter Metrics.default ("backend." ^ name ^ ".fired")
+  let m_sched = Metrics.dcounter Metrics.default ("backend." ^ name ^ ".scheduled")
+  let m_cancel = Metrics.dcounter Metrics.default ("backend." ^ name ^ ".cancelled")
+  let m_fired = Metrics.dcounter Metrics.default ("backend." ^ name ^ ".fired")
 
   let create = B.create
 
   let schedule t ~at v =
-    Metrics.incr m_sched;
+    Metrics.dincr m_sched;
     B.schedule t ~at v
 
   let cancel t h =
-    Metrics.incr m_cancel;
+    Metrics.dincr m_cancel;
     B.cancel t h
 
   let pending = B.pending
   let resident = B.resident
   let next_deadline = B.next_deadline
 
-  let fire_due t ~now f =
-    let n = B.fire_due t ~now f in
-    Metrics.incr ~by:n m_fired;
-    n
+  let fire_due t ~now ~limit f =
+    let outcome = B.fire_due t ~now ~limit f in
+    Metrics.dincr ~by:(Fire_outcome.fired outcome) m_fired;
+    outcome
 end
 
 let all : (module S) list =

@@ -50,10 +50,12 @@ module type S = sig
 
   val next_deadline : 'a t -> Time_ns.t option
 
-  val fire_due : 'a t -> now:Time_ns.t -> (Time_ns.t -> 'a -> unit) -> int
-  (** [fire_due t ~now f] dispatches every entry due at or before [now]
-      and returns the number of callbacks actually invoked.  All
-      backends implement the same re-entrancy contract:
+  val fire_due :
+    'a t -> now:Time_ns.t -> limit:int -> (Time_ns.t -> 'a -> unit) -> Fire_outcome.t
+  (** [fire_due t ~now ~limit f] dispatches entries due at or before
+      [now] and returns the packed batch size and callback count
+      ({!Fire_outcome}).  All backends implement the same re-entrancy
+      contract:
 
       - The due batch is the set of pending entries with deadline
         [<= now] {e at call time}.  Entries scheduled by callbacks
@@ -63,6 +65,12 @@ module type S = sig
         entry's state is re-checked immediately before its callback
         runs: an entry cancelled by an earlier callback in the same
         batch is skipped, not fired.
+      - At most [limit] callbacks run (pass [max_int] for no budget);
+        entries beyond the budget are re-inserted with their deadline
+        and sequence number preserved, so the next call dispatches the
+        remainder in the same order.  Recheck-skips do not consume the
+        budget.  [Fire_outcome.scanned] counts the whole due batch,
+        withheld entries included.
       - [fire_due] must not be called from within a callback. *)
 end
 

@@ -147,18 +147,18 @@ let[@hot] next_deadline t =
    filter/sort/dispatch closures and tick boxes are proportional to the
    swept slots and fired batch; the nothing-due case exits after the
    O(1) next_deadline check. *)
-let[@hot] fire_due t ~now f =
+let[@hot] fire_due t ~now ~limit f =
   maybe_compact t;
   let now_tick = tick_of t now in
   match next_deadline t with
   | None ->
     t.last_tick <- Int64.max t.last_tick now_tick;
-    0
+    Fire_outcome.pack ~scanned:0 ~fired:0
   | Some m when Time_ns.(m > now) ->
     (* Nothing due: intermediate slots can hold no due entries, so the
        sweep horizon may jump ahead in O(1). *)
     t.last_tick <- Int64.max t.last_tick now_tick;
-    0
+    Fire_outcome.pack ~scanned:0 ~fired:0
   | Some _ ->
     let due = ref [] in
     let first = t.last_tick in
@@ -193,20 +193,30 @@ let[@hot] fire_due t ~now f =
       if c <> 0 then c else Int.compare a.seq b.seq) !due
     in
     t.min_valid <- false;
+    let scanned = List.length due in
     let fired = ref 0 in
     List.iter
       (fun e ->
         (* Re-check before dispatch: an earlier callback in this batch
            may have cancelled this entry after it left its bucket. *)
-        if e.h.hstate = Pending then begin
-          e.h.hstate <- Fired;
-          t.count <- t.count - 1;
-          incr fired;
-          f e.deadline e.value
-        end
+        if e.h.hstate = Pending then
+          if !fired < limit then begin
+            e.h.hstate <- Fired;
+            t.count <- t.count - 1;
+            incr fired;
+            f e.deadline e.value
+          end
+          else begin
+            (* Budget exhausted: the entry goes back into the wheel with
+               its deadline and sequence number intact, so the next check
+               dispatches the remainder in the same order.  [last_tick]
+               already advanced past its slot, hence the clamp. *)
+            let idx = slot_of t (Int64.max (tick_of t e.deadline) t.last_tick) in
+            t.buckets.(idx) <- e :: t.buckets.(idx)
+          end
         else if t.cancelled > 0 then t.cancelled <- t.cancelled - 1)
       due;
-    !fired
+    Fire_outcome.pack ~scanned ~fired:!fired
 [@@lint.allow "ALLOC001"] [@@lint.allow "ALLOC002"] [@@lint.allow "ALLOC003"]
 
 let iter_pending t f =

@@ -58,15 +58,19 @@ val next_deadline : 'a t -> Time_ns.t option
     state; it costs a cached read unless the cache was invalidated by an
     expiry, in which case the wheel is swept once. *)
 
-val fire_due : 'a t -> now:Time_ns.t -> (Time_ns.t -> 'a -> unit) -> int
-(** [fire_due t ~now f] removes every entry with deadline [<= now] and
-    calls [f deadline value] on each, in deadline order (ties broken by
-    scheduling order).  Returns the number of callbacks invoked.
-    Handlers may schedule new entries, including ones already due; those
-    fire on the next call.  Each entry's state is re-checked immediately
-    before its callback runs, so a handler that cancels a later
-    same-batch entry suppresses its dispatch (see the [fire_due]
-    contract in [Timer_backend.S]). *)
+val fire_due :
+  'a t -> now:Time_ns.t -> limit:int -> (Time_ns.t -> 'a -> unit) -> Fire_outcome.t
+(** [fire_due t ~now ~limit f] removes every entry with deadline
+    [<= now] and calls [f deadline value] on each, in deadline order
+    (ties broken by scheduling order), invoking at most [limit]
+    callbacks; entries beyond the budget are re-inserted with deadline
+    and sequence number preserved, so the next call dispatches them in
+    the same order.  Returns the packed batch size and callback count
+    ({!Fire_outcome}).  Handlers may schedule new entries, including
+    ones already due; those fire on the next call.  Each entry's state
+    is re-checked immediately before its callback runs, so a handler
+    that cancels a later same-batch entry suppresses its dispatch (see
+    the [fire_due] contract in [Timer_backend.S]). *)
 
 val iter_pending : 'a t -> (Time_ns.t -> 'a -> unit) -> unit
 (** Visit every pending entry in unspecified order (for tests). *)

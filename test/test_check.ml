@@ -10,7 +10,7 @@ let test_early_fire_caught () =
   let s = Sanitizer.create () in
   (* A soft timer firing 3us *before* its deadline — the injected bug. *)
   let due = us 10.0 and at = us 7.0 in
-  Sanitizer.observe s ~at (Trace.Soft_fire { due; delay = Time_ns.(at - due) });
+  Sanitizer.observe s ~at (Trace.Soft_fire { id = 0; due; delay = Time_ns.(at - due) });
   Alcotest.(check int) "one violation" 1 (Sanitizer.violation_count s);
   match Sanitizer.violations s with
   | [ v ] ->
@@ -22,7 +22,7 @@ let test_early_fire_fail_fast_raises () =
   let due = us 10.0 and at = us 7.0 in
   Alcotest.(check bool) "raises" true
     (try
-       Sanitizer.observe s ~at (Trace.Soft_fire { due; delay = Time_ns.(at - due) });
+       Sanitizer.observe s ~at (Trace.Soft_fire { id = 0; due; delay = Time_ns.(at - due) });
        false
      with Sanitizer.Violation _ -> true)
 
@@ -30,9 +30,9 @@ let test_on_time_fire_ok () =
   let s = Sanitizer.create () in
   (* Exactly on time, and overdue but within the backup-clock bound
      (default: 2 x 1ms periods). *)
-  Sanitizer.observe s ~at:(us 10.0) (Trace.Soft_fire { due = us 10.0; delay = 0L });
+  Sanitizer.observe s ~at:(us 10.0) (Trace.Soft_fire { id = 0; due = us 10.0; delay = 0L });
   Sanitizer.observe s ~at:(us 1800.0)
-    (Trace.Soft_fire { due = us 300.0; delay = Time_ns.(us 1800.0 - us 300.0) });
+    (Trace.Soft_fire { id = 0; due = us 300.0; delay = Time_ns.(us 1800.0 - us 300.0) });
   Alcotest.(check int) "no violations" 0 (Sanitizer.violation_count s)
 
 let test_overdue_caught () =
@@ -40,7 +40,7 @@ let test_overdue_caught () =
   (* Fired 3ms after its deadline: past the 2-period (2ms) bound. *)
   let due = us 100.0 in
   let at = Time_ns.(due + Time_ns.of_ms 3.0) in
-  Sanitizer.observe s ~at (Trace.Soft_fire { due; delay = Time_ns.(at - due) });
+  Sanitizer.observe s ~at (Trace.Soft_fire { id = 0; due; delay = Time_ns.(at - due) });
   Alcotest.(check int) "one violation" 1 (Sanitizer.violation_count s);
   match Sanitizer.violations s with
   | [ v ] -> Alcotest.(check string) "rule" "OVERDUE" (Sanitizer.rule_name v.Sanitizer.rule)
@@ -53,7 +53,7 @@ let test_overdue_bound_stretches_with_irq () =
     (Trace.Irq { line = "slow"; cpu = 0; dur = Time_ns.of_ms 5.0 });
   let due = us 100.0 in
   let at = Time_ns.(due + Time_ns.of_ms 6.0) in
-  Sanitizer.observe s ~at (Trace.Soft_fire { due; delay = Time_ns.(at - due) });
+  Sanitizer.observe s ~at (Trace.Soft_fire { id = 0; due; delay = Time_ns.(at - due) });
   Alcotest.(check int) "within stretched bound" 0 (Sanitizer.violation_count s)
 
 let test_causality_caught () =
@@ -109,7 +109,7 @@ let contains ~needle hay =
 let test_report_mentions_rule () =
   let s = Sanitizer.create () in
   let due = us 10.0 and at = us 7.0 in
-  Sanitizer.observe s ~at (Trace.Soft_fire { due; delay = Time_ns.(at - due) });
+  Sanitizer.observe s ~at (Trace.Soft_fire { id = 0; due; delay = Time_ns.(at - due) });
   let r = Sanitizer.report s in
   Alcotest.(check bool) "report names the rule" true (contains ~needle:"EARLY_FIRE" r)
 
@@ -122,7 +122,7 @@ let test_tap_sees_events_without_ring_buffer () =
   Alcotest.(check bool) "tap installed" true (Trace.tap_installed ());
   Alcotest.(check bool) "no ring buffer" false (Trace.enabled ());
   Trace.trigger ~at:(us 1.0) "syscall";
-  Trace.soft_sched ~at:(us 1.0) ~due:(us 2.0);
+  Trace.soft_sched ~at:(us 1.0) ~id:0 ~due:(us 2.0);
   Trace.set_tap None;
   Trace.trigger ~at:(us 3.0) "syscall";
   Alcotest.(check int) "two events seen while tapped" 2 !seen;

@@ -262,8 +262,8 @@ let test_timeseries_windows () =
   let ts = Timeseries.create ~window:(us 10.0) () in
   let ev at e = Timeseries.on_event ts ~at e in
   (* Window 0: [0, 10us). *)
-  ev (us 1.0) (Trace.Soft_sched { due = us 5.0 });
-  ev (us 5.5) (Trace.Soft_fire { due = us 5.0; delay = us 0.5 });
+  ev (us 1.0) (Trace.Soft_sched { id = 0; due = us 5.0 });
+  ev (us 5.5) (Trace.Soft_fire { id = 0; due = us 5.0; delay = us 0.5 });
   ev (us 7.0) (Trace.Poll { found = 3 });
   (* Window 2: [20, 30us) — window 1 is simply absent (no events). *)
   ev (us 21.0) (Trace.Pkt_enqueue { nic = "nic0"; qlen = 4 });
@@ -317,7 +317,7 @@ let test_timeseries_bounded_ring () =
 
 let test_timeseries_csv_json_shape () =
   let ts = Timeseries.create ~window:(us 10.0) () in
-  Timeseries.on_event ts ~at:(us 1.0) (Trace.Soft_fire { due = us 1.0; delay = Time_ns.zero });
+  Timeseries.on_event ts ~at:(us 1.0) (Trace.Soft_fire { id = 0; due = us 1.0; delay = Time_ns.zero });
   Timeseries.close ts;
   let csv = Timeseries.to_csv ts in
   (match String.split_on_char '\n' (String.trim csv) with
@@ -337,12 +337,12 @@ let test_timeseries_csv_json_shape () =
 
 let test_span_timers_and_packets () =
   with_trace (fun tr ->
-      Trace.soft_sched ~at:(us 1.0) ~due:(us 5.0);
-      Trace.soft_sched ~at:(us 2.0) ~due:(us 5.0);
-      Trace.soft_sched ~at:(us 3.0) ~due:(us 9.0);
+      Trace.soft_sched ~at:(us 1.0) ~id:0 ~due:(us 5.0);
+      Trace.soft_sched ~at:(us 2.0) ~id:1 ~due:(us 5.0);
+      Trace.soft_sched ~at:(us 3.0) ~id:2 ~due:(us 9.0);
       (* FIFO per due time: the fire at due=5 closes the span opened at 1us. *)
-      Trace.soft_fire ~at:(us 6.0) ~due:(us 5.0);
-      Trace.soft_cancel ~at:(us 7.0) ~due:(us 5.0);
+      Trace.soft_fire ~at:(us 6.0) ~id:0 ~due:(us 5.0);
+      Trace.soft_cancel ~at:(us 7.0) ~id:1 ~due:(us 5.0);
       Trace.pkt_enqueue ~at:(us 1.0) ~nic:"nic0" ~qlen:1;
       Trace.pkt_enqueue ~at:(us 2.0) ~nic:"nic0" ~qlen:2;
       Trace.pkt_drop ~at:(us 2.5) ~nic:"nic0";
@@ -365,13 +365,158 @@ let test_span_timers_and_packets () =
 
 let test_span_epoch_reset () =
   with_trace (fun tr ->
-      Trace.soft_sched ~at:(us 1.0) ~due:(us 5.0);
+      Trace.soft_sched ~at:(us 1.0) ~id:0 ~due:(us 5.0);
       (* A fresh simulation begins: the old open span must stay open. *)
       Trace.sim_start ~at:Time_ns.zero;
-      Trace.soft_fire ~at:(us 5.0) ~due:(us 5.0);
+      Trace.soft_fire ~at:(us 5.0) ~id:0 ~due:(us 5.0);
       let sp = Span.collect tr in
       Alcotest.(check int) "old span stays open" 1 (Span.timers_open sp);
       Alcotest.(check int) "new run's fire closes nothing" 0 (Span.timers_fired sp))
+
+(* Regression for the documented tie-break rule (span.mli): two timers
+   scheduled for the *same* due time are closed in schedule order —
+   the FIFO tie-break is the dispatch tie-break.  Referenced from
+   span.mli as [test/test_obs.ml:span_fifo_tie]. *)
+let test_span_fifo_tie () =
+  with_trace (fun tr ->
+      Trace.soft_sched ~at:(us 1.0) ~id:10 ~due:(us 5.0);
+      Trace.soft_sched ~at:(us 2.0) ~id:11 ~due:(us 5.0);
+      (* The stores dispatch equal deadlines in schedule order, so the
+         first fire is timer 10 — it must close the span opened at 1us,
+         and the second the span opened at 2us. *)
+      Trace.soft_fire ~at:(us 6.0) ~id:10 ~due:(us 5.0);
+      Trace.soft_fire ~at:(us 6.5) ~id:11 ~due:(us 5.0);
+      let sp = Span.collect tr in
+      match Span.spans sp with
+      | [ s0; s1 ] ->
+        Alcotest.(check int64) "first span opened at 1us" (us 1.0) s0.Span.start;
+        Alcotest.(check (option int64)) "first span closed by first fire" (Some (us 6.0))
+          s0.Span.finish;
+        Alcotest.(check int64) "second span opened at 2us" (us 2.0) s1.Span.start;
+        Alcotest.(check (option int64)) "second span closed by second fire" (Some (us 6.5))
+          s1.Span.finish;
+        Alcotest.(check int) "both fired" 2 (Span.timers_fired sp)
+      | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l))
+
+(* ------------------------------------------------------------------ *)
+(* Delay_audit: fire-delay attribution. *)
+
+(* Golden partition on a hand-built stream: a timer due at 10us is held
+   off by user work until a check at 25us scans-but-skips it (budget),
+   then kernel work runs and a syscall check fires it at 30us.  The
+   20us delay must split exactly into 15us gap.user + 5us
+   check-skipped. *)
+let test_delay_audit_partition () =
+  let da = Delay_audit.create ~worst:5 () in
+  let ev at e = Delay_audit.on_event da ~at e in
+  ev (us 0.0) (Trace.Soft_sched { id = 0; due = us 10.0 });
+  ev (us 25.0) (Trace.Cpu_run { cpu = 0; klass = 3; dur = us 20.0 });
+  ev (us 25.0) (Trace.Soft_check { src = "syscalls"; scanned = 1; fired = 0 });
+  ev (us 30.0) (Trace.Cpu_run { cpu = 0; klass = 2; dur = us 5.0 });
+  ev (us 30.0) (Trace.Trigger "syscalls");
+  ev (us 30.0) (Trace.Soft_fire { id = 0; due = us 10.0; delay = us 20.0 });
+  ev (us 30.0) (Trace.Soft_check { src = "syscalls"; scanned = 1; fired = 1 });
+  Alcotest.(check int) "one late fire" 1 (Delay_audit.late da);
+  Alcotest.(check int) "no violations" 0 (Delay_audit.violations da);
+  Alcotest.(check int64) "gap.user 15us" (us 15.0) (Delay_audit.cause_ns da 3);
+  Alcotest.(check int64) "check-skipped 5us" (us 5.0)
+    (Delay_audit.cause_ns da Delay_audit.seg_check_skipped);
+  Alcotest.(check int64) "partition is total" (us 20.0) (Delay_audit.total_late_ns da);
+  match Delay_audit.exemplars da with
+  | [ x ] ->
+    Alcotest.(check int) "exemplar id" 0 x.Delay_audit.x_id;
+    Alcotest.(check int64) "exemplar delay" (us 20.0) x.Delay_audit.x_delay;
+    Alcotest.(check string) "ending trigger" "syscalls" x.Delay_audit.x_end_trigger;
+    Alcotest.(check int) "batch position" 1 x.Delay_audit.x_batch_pos;
+    Alcotest.(check int) "one skipping check" 1 x.Delay_audit.x_checks;
+    Alcotest.(check (option int64)) "first check at 25us" (Some (us 25.0))
+      x.Delay_audit.x_first_check;
+    Alcotest.(check int64) "segments sum to delay" x.Delay_audit.x_delay
+      (Array.fold_left Int64.add 0L x.Delay_audit.x_segs)
+  | l -> Alcotest.failf "expected 1 exemplar, got %d" (List.length l)
+
+(* Idle-before-wakeup: a timer that comes due while the CPU sleeps is
+   charged to seg_idle for the whole [due, wakeup) stretch. *)
+let test_delay_audit_idle () =
+  let da = Delay_audit.create () in
+  let ev at e = Delay_audit.on_event da ~at e in
+  ev (us 0.0) (Trace.Soft_sched { id = 7; due = us 10.0 });
+  ev (us 5.0) (Trace.Cpu_idle { cpu = 0 });
+  ev (us 30.0) (Trace.Cpu_busy { cpu = 0 });
+  ev (us 30.0) (Trace.Trigger "idle");
+  ev (us 30.0) (Trace.Soft_fire { id = 7; due = us 10.0; delay = us 20.0 });
+  ev (us 30.0) (Trace.Soft_check { src = "idle"; scanned = 1; fired = 1 });
+  Alcotest.(check int) "no violations" 0 (Delay_audit.violations da);
+  Alcotest.(check int64) "all idle" (us 20.0) (Delay_audit.cause_ns da Delay_audit.seg_idle);
+  Alcotest.(check int64) "nothing uncovered" 0L (Delay_audit.cause_ns da Delay_audit.seg_other)
+
+(* Golden text report on a pinned two-timer stream: the partition
+   stream above plus an idle-wakeup timer whose [due, idle-start) hole
+   has no CPU-0 coverage and must land in gap.other (conservation by
+   construction).  Pinning the full rendering keeps the report format,
+   column math (shares, averages, causal-chain ordering) and the
+   worst-ordering contract from drifting silently. *)
+let test_delay_audit_golden_text () =
+  let da = Delay_audit.create ~worst:5 () in
+  let ev at e = Delay_audit.on_event da ~at e in
+  ev (us 0.0) (Trace.Soft_sched { id = 0; due = us 10.0 });
+  ev (us 25.0) (Trace.Cpu_run { cpu = 0; klass = 3; dur = us 20.0 });
+  ev (us 25.0) (Trace.Soft_check { src = "syscalls"; scanned = 1; fired = 0 });
+  ev (us 30.0) (Trace.Cpu_run { cpu = 0; klass = 2; dur = us 5.0 });
+  ev (us 30.0) (Trace.Trigger "syscalls");
+  ev (us 30.0) (Trace.Soft_fire { id = 0; due = us 10.0; delay = us 20.0 });
+  ev (us 30.0) (Trace.Soft_check { src = "syscalls"; scanned = 1; fired = 1 });
+  ev (us 31.0) (Trace.Soft_sched { id = 1; due = us 40.0 });
+  ev (us 45.0) (Trace.Cpu_idle { cpu = 0 });
+  ev (us 50.0) (Trace.Cpu_busy { cpu = 0 });
+  ev (us 50.0) (Trace.Trigger "idle");
+  ev (us 50.0) (Trace.Soft_fire { id = 1; due = us 40.0; delay = us 10.0 });
+  ev (us 50.0) (Trace.Soft_check { src = "idle"; scanned = 1; fired = 1 });
+  let expected =
+    String.concat "\n"
+      [
+        "Why-late: fire-delay attribution";
+        "  fired 2 (on-time 0, late 2), untracked 0, pending at exit 0";
+        "  checks seen 3 (budget-limited 1), conservation violations 0";
+        "";
+        "Cause breakdown (2 late fires, 0.030 ms attributed)";
+        "  cause                  total_us   share     fires    p50_us    p99_us";
+        "  gap.user                   15.0   50.0%         1      15.0      15.0  (user-mode computation)";
+        "  gap.idle                    5.0   16.7%         1       5.0       5.0  (CPU idle before wakeup)";
+        "  gap.other                   5.0   16.7%         1       5.0       5.0  (uncovered (other CPU / truncated trace))";
+        "  check-skipped               5.0   16.7%         1       5.0       5.0  (check ran but dispatch budget skipped this timer)";
+        "";
+        "Ending trigger state (which check finally dispatched the late timer)";
+        "  trigger        fires     delay_us    avg_us  dominant cause";
+        "  idle               1         10.0      10.0  gap.idle";
+        "  syscalls           1         20.0      20.0  gap.user";
+        "";
+        "Worst 2 late fires";
+        "  timer          due_us   delay_us end_trigger   batch  skips   1st_chk_us  causal chain";
+        "  0                10.0       20.0 syscalls          1      1         25.0  gap.user=15.0us -> check-skipped=5.0us";
+        "  1                40.0       10.0 idle              1      0            -  gap.idle=5.0us -> gap.other=5.0us";
+        "";
+      ]
+  in
+  Alcotest.(check string) "pinned why-late report" expected (Delay_audit.to_text da)
+
+(* On-time fires attribute nothing; cancels drop tracking; a sim.start
+   reset counts survivors as pending_at_exit. *)
+let test_delay_audit_lifecycle () =
+  let da = Delay_audit.create () in
+  let ev at e = Delay_audit.on_event da ~at e in
+  ev (us 0.0) (Trace.Soft_sched { id = 0; due = us 10.0 });
+  ev (us 10.0) (Trace.Soft_fire { id = 0; due = us 10.0; delay = 0L });
+  ev (us 11.0) (Trace.Soft_sched { id = 1; due = us 20.0 });
+  ev (us 12.0) (Trace.Soft_cancel { id = 1; due = us 20.0 });
+  ev (us 13.0) (Trace.Soft_sched { id = 2; due = us 50.0 });
+  ev (us 14.0) (Trace.Soft_sched { id = 3; due = us 60.0 });
+  ev (us 15.0) (Trace.Mark Trace.sim_start_mark);
+  ev (us 1.0) (Trace.Soft_sched { id = 0; due = us 90.0 });
+  Alcotest.(check int) "one on-time fire" 1 (Delay_audit.ontime da);
+  Alcotest.(check int) "no late fires" 0 (Delay_audit.late da);
+  Alcotest.(check int) "abandoned + still pending" 3 (Delay_audit.pending_at_exit da);
+  Alcotest.(check int64) "nothing attributed" 0L (Delay_audit.total_late_ns da)
 
 (* ------------------------------------------------------------------ *)
 (* Exporters. *)
@@ -412,14 +557,14 @@ let test_export_chrome_json () =
 
 let test_export_csv () =
   with_trace (fun tr ->
-      Trace.soft_sched ~at:(us 1.0) ~due:(us 5.0);
-      Trace.soft_fire ~at:(us 6.0) ~due:(us 5.0);
+      Trace.soft_sched ~at:(us 1.0) ~id:0 ~due:(us 5.0);
+      Trace.soft_fire ~at:(us 6.0) ~id:0 ~due:(us 5.0);
       let csv = Trace_export.to_csv tr in
       let lines = String.split_on_char '\n' (String.trim csv) in
       Alcotest.(check int) "header + 2 rows" 3 (List.length lines);
       Alcotest.(check string) "header" "time_ns,event,detail" (List.hd lines);
-      Alcotest.(check string) "sched row" "1000,soft-sched,due_ns=5000" (List.nth lines 1);
-      Alcotest.(check string) "fire row carries delay" "6000,soft-fire,due_ns=5000;delay_ns=1000"
+      Alcotest.(check string) "sched row" "1000,soft-sched,timer=0;due_ns=5000" (List.nth lines 1);
+      Alcotest.(check string) "fire row carries delay" "6000,soft-fire,timer=0;due_ns=5000;delay_ns=1000"
         (List.nth lines 2))
 
 (* Golden shape test for the extended Chrome export: counter tracks
@@ -434,9 +579,9 @@ let test_export_chrome_extended () =
         ~finally:(fun () -> Trace.set_tap None)
         (fun () ->
           Trace.trigger ~at:(us 1.0) "syscall";
-          Trace.soft_sched ~at:(us 2.0) ~due:(us 8.0);
+          Trace.soft_sched ~at:(us 2.0) ~id:0 ~due:(us 8.0);
           Trace.irq ~at:(us 5.0) ~line:"nic0" ~cpu:0 ~dur:(us 1.0);
-          Trace.soft_fire ~at:(us 8.5) ~due:(us 8.0);
+          Trace.soft_fire ~at:(us 8.5) ~id:0 ~due:(us 8.0);
           Trace.pkt_enqueue ~at:(us 11.0) ~nic:"nic0" ~qlen:1;
           Trace.pkt_rx ~at:(us 13.0) ~nic:"nic0" ~batch:1);
       Timeseries.close ts;
@@ -476,7 +621,7 @@ let test_export_chrome_extended () =
 let test_export_chrome_dropped_banner () =
   with_trace ~capacity:4 (fun tr ->
       for i = 1 to 10 do
-        Trace.soft_sched ~at:(us (float_of_int i)) ~due:(us (float_of_int (i + 5)))
+        Trace.soft_sched ~at:(us (float_of_int i)) ~id:i ~due:(us (float_of_int (i + 5)))
       done;
       let sp = Span.collect tr in
       let json = Trace_export.to_chrome_json ~spans:sp tr in
@@ -528,6 +673,14 @@ let () =
         [
           Alcotest.test_case "timers and packets" `Quick test_span_timers_and_packets;
           Alcotest.test_case "epoch reset" `Quick test_span_epoch_reset;
+          Alcotest.test_case "span_fifo_tie" `Quick test_span_fifo_tie;
+        ] );
+      ( "delay_audit",
+        [
+          Alcotest.test_case "golden partition" `Quick test_delay_audit_partition;
+          Alcotest.test_case "golden text report" `Quick test_delay_audit_golden_text;
+          Alcotest.test_case "idle before wakeup" `Quick test_delay_audit_idle;
+          Alcotest.test_case "lifecycle accounting" `Quick test_delay_audit_lifecycle;
         ] );
       ( "export",
         [

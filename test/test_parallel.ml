@@ -107,6 +107,63 @@ let test_map_sim_tap_forces_sequential () =
       (* 3 jobs x (1 sim_start + 40 polls + 40 marks) *)
       Alcotest.(check int) "tap saw every event" (3 * 81) !seen)
 
+(* One traced mini-simulation whose soft-timer events carry full
+   attribution coverage: every fire's delay is covered by a cpu_run
+   quantum ending at the fire, so the delay audit of the merged stream
+   must be conservation-clean and byte-identical at any job count. *)
+let audit_job seed =
+  Trace.sim_start ~at:0L;
+  let rng = Prng.create ~seed in
+  for i = 1 to 30 do
+    let due = Int64.of_int (i * 1_000) in
+    Trace.soft_sched ~at:(Int64.sub due 500L) ~id:i ~due;
+    let late = Int64.of_int (Prng.int rng 400) in
+    let at = Int64.add due late in
+    if Int64.compare late 0L > 0 then
+      Trace.cpu_run ~at ~cpu:0 ~klass:(Prng.int rng 6) ~dur:late;
+    Trace.soft_fire ~at ~id:i ~due;
+    Trace.soft_check ~at ~src:"syscalls" ~scanned:1 ~fired:1
+  done;
+  seed
+
+let test_map_sim_audit_jobs_independent () =
+  let run jobs =
+    let ring = Trace.create ~capacity:16_384 () in
+    Trace.install ring;
+    Fun.protect ~finally:Trace.uninstall (fun () ->
+        ignore (Runner.map_sim ~jobs audit_job (List.init 6 Fun.id) : int list);
+        let da = Delay_audit.collect ring in
+        (Delay_audit.to_json da, Delay_audit.violations da, Delay_audit.late da))
+  in
+  let j1, v1, l1 = run 1 in
+  let j4, v4, _ = run 4 in
+  Alcotest.(check int) "no violations (jobs 1)" 0 v1;
+  Alcotest.(check int) "no violations (jobs 4)" 0 v4;
+  Alcotest.(check bool) "late fires exist" true (l1 > 0);
+  Alcotest.(check string) "audit identical at jobs 1 and 4" j1 j4
+
+(* Domain-local Metrics instruments: per-job Local contexts are
+   absorbed in input order, so totals are exact (not approximate) at
+   any job count. *)
+let test_map_metrics_deterministic () =
+  let c = Metrics.dcounter Metrics.default "test.parallel.count" in
+  let h = Metrics.dhistogram Metrics.default "test.parallel.lat" in
+  let job x =
+    Metrics.dincr ~by:(x + 1) c;
+    Metrics.drecord h (float_of_int (x + 1));
+    x
+  in
+  let run jobs =
+    let base = Metrics.dcounter_value c in
+    ignore (Runner.map ~jobs job (List.init 32 Fun.id) : int list);
+    Metrics.dcounter_value c - base
+  in
+  let d1 = run 1 in
+  let d4 = run 4 in
+  Alcotest.(check int) "exact counter total (jobs 1)" (32 * 33 / 2) d1;
+  Alcotest.(check int) "exact counter total (jobs 4)" d1 d4;
+  Alcotest.(check int) "histogram records all absorbed" 64 (Hdr.count (Metrics.dhistogram_hdr h))
+
 let () =
   Runner.set_default_jobs 1;
   Alcotest.run "parallel"
@@ -125,5 +182,9 @@ let () =
           Alcotest.test_case "trace merge matches sequential" `Quick test_map_sim_trace_merge;
           Alcotest.test_case "no parent ring" `Quick test_map_sim_no_parent_ring;
           Alcotest.test_case "tap forces sequential" `Quick test_map_sim_tap_forces_sequential;
+          Alcotest.test_case "delay audit independent of jobs" `Quick
+            test_map_sim_audit_jobs_independent;
+          Alcotest.test_case "domain-local metrics deterministic" `Quick
+            test_map_metrics_deterministic;
         ] );
     ]

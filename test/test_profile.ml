@@ -116,7 +116,7 @@ let test_conservation_property =
 let test_dispatch_breakdown () =
   with_profiler (fun p ->
       let before =
-        Metrics.counter_value (Metrics.counter Metrics.default "softtimer.fired")
+        Metrics.dcounter_value (Metrics.dcounter Metrics.default "softtimer.fired")
       in
       let e = Engine.create () in
       let m = Machine.create e in
@@ -130,7 +130,7 @@ let test_dispatch_breakdown () =
       done;
       Softtimer.detach st;
       let after =
-        Metrics.counter_value (Metrics.counter Metrics.default "softtimer.fired")
+        Metrics.dcounter_value (Metrics.dcounter Metrics.default "softtimer.fired")
       in
       Alcotest.(check bool) "something fired" true (Softtimer.fired st > 0);
       Alcotest.(check int) "fired_total = softtimer facility count" (Softtimer.fired st)

@@ -443,6 +443,55 @@ let test_event_delay_probe () =
     true
     (mean > 18.0 && mean < 38.0)
 
+(* ------------------------------------------------------------------ *)
+(* Delay-audit conservation: for random workloads, random check
+   budgets and EVERY registered timer store, the forensic attribution
+   must partition each fire's delay exactly — segments sum to
+   [fire_at - due] with zero violations, and the fire counts
+   reconcile.  This is the tentpole's conservation contract checked
+   end-to-end through the real machine, not a synthetic stream. *)
+let audit_one_store ~seed ~budget (module M : Timer_store.S) =
+  Softtimer.set_default_check_budget budget;
+  Fun.protect
+    ~finally:(fun () -> Softtimer.set_default_check_budget max_int)
+    (fun () ->
+      let e = Engine.create () in
+      let m = Machine.create e in
+      let st = Softtimer.attach ~store:(module M) m in
+      let tr = Trace.create ~capacity:262_144 () in
+      Trace.install tr;
+      Fun.protect ~finally:Trace.uninstall (fun () ->
+          start_triggers m seed;
+          let rng = Prng.create ~seed:(seed + 1) in
+          let rec client n _now =
+            if n < 80 then begin
+              let d = 20.0 +. Dist.draw (Dist.Exponential 80.0) rng in
+              let h = Softtimer.schedule_after st (us d) (fun _ -> ()) in
+              if Prng.int rng 4 = 0 then Softtimer.cancel st h;
+              ignore (Softtimer.schedule_after st (us 30.0) (client (n + 1)) : Softtimer.handle)
+            end
+          in
+          client 0 Time_ns.zero;
+          Engine.run_until e (Time_ns.of_ms 8.0);
+          Softtimer.detach st;
+          let da = Delay_audit.collect tr in
+          Trace.dropped tr = 0
+          && Delay_audit.violations da = 0
+          && Delay_audit.fired da
+             = Delay_audit.ontime da + Delay_audit.late da + Delay_audit.untracked da
+          && Delay_audit.untracked da = 0
+          && List.for_all
+               (fun x ->
+                 Int64.equal x.Delay_audit.x_delay
+                   (Array.fold_left Int64.add 0L x.Delay_audit.x_segs))
+               (Delay_audit.exemplars da)))
+
+let test_audit_conservation_property =
+  QCheck.Test.make ~name:"delay-audit conservation (all stores, random budgets)" ~count:15
+    QCheck.(pair (int_range 1 1_000) (int_range 1 4))
+    (fun (seed, budget) ->
+      List.for_all (audit_one_store ~seed ~budget) Store_registry.all)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "softtimer"
@@ -462,6 +511,7 @@ let () =
             test_idle_cpu_rescues_busy_machine;
           qc test_bounds_property;
         ] );
+      ("delay_audit", [ qc test_audit_conservation_property ]);
       ( "rate_clock",
         [
           Alcotest.test_case "converges to target rate" `Quick test_rate_clock_converges_to_target;

@@ -77,7 +77,7 @@ let run_store (module M : Timer_store.S) (ops : op list) : string =
         now := Time_ns.(!now + us (float_of_int d));
         Buffer.add_string buf (Printf.sprintf "A@%Ld[" !now);
         let n =
-          M.fire_due t ~now:!now (fun dl id ->
+          M.fire_due t ~now:!now ~limit:max_int (fun dl id ->
               Buffer.add_string buf (Printf.sprintf "%d@%Ld " id dl);
               match Hashtbl.find_opt actions id with
               | Some Cb_noop | None -> ()
@@ -88,7 +88,8 @@ let run_store (module M : Timer_store.S) (ops : op list) : string =
               | Some (Cb_cancel idx) -> Buffer.add_string buf (do_cancel idx ^ " ")
               | Some (Cb_rearm (idx, off)) -> Buffer.add_string buf (do_rearm idx off ^ " "))
         in
-        Buffer.add_string buf (Printf.sprintf "]=%d" n));
+        Buffer.add_string buf
+          (Printf.sprintf "]=%d/%d" (Fire_outcome.fired n) (Fire_outcome.scanned n)));
       obs ())
     ops;
   Buffer.contents buf
@@ -181,7 +182,7 @@ let residency_tests =
               end
               | Advance d ->
                 now := Time_ns.(!now + us (float_of_int d));
-                ignore (M.fire_due t ~now:!now (fun _ _ -> ()) : int));
+                ignore (M.fire_due t ~now:!now ~limit:max_int (fun _ _ -> ()) : Fire_outcome.t));
               check ())
             ops;
           !ok))
@@ -206,13 +207,14 @@ let test_in_batch_cancel_honored () =
       in
       victim := Some (M.schedule t ~at:(us 20.0) `Victim);
       let n =
-        M.fire_due t ~now:(us 30.0) (fun _ v ->
+        M.fire_due t ~now:(us 30.0) ~limit:max_int (fun _ v ->
             fired := v :: !fired;
             match (v, !victim) with
             | `Canceller, Some h -> M.cancel t h
             | _ -> ())
       in
-      Alcotest.(check int) (M.name ^ ": only the canceller fires") 1 n;
+      Alcotest.(check int) (M.name ^ ": only the canceller fires") 1 (Fire_outcome.fired n);
+      Alcotest.(check int) (M.name ^ ": both were scanned") 2 (Fire_outcome.scanned n);
       Alcotest.(check bool) (M.name ^ ": victim did not fire") false
         (List.exists (fun v -> v = `Victim) !fired);
       Alcotest.(check int) (M.name ^ ": nothing pending") 0 (M.pending t))
@@ -228,9 +230,9 @@ let test_rearm_semantics () =
       Alcotest.(check bool) (M.name ^ ": still pending after rearm") true (M.handle_pending t a);
       Alcotest.(check int64) (M.name ^ ": deadline updated") (us 50.0) (M.handle_deadline t a);
       let fired = ref [] in
-      ignore (M.fire_due t ~now:(us 35.0) (fun _ v -> fired := v :: !fired) : int);
+      ignore (M.fire_due t ~now:(us 35.0) ~limit:max_int (fun _ v -> fired := v :: !fired) : Fire_outcome.t);
       Alcotest.(check (list string)) (M.name ^ ": only b at 35") [ "b" ] (List.rev !fired);
-      ignore (M.fire_due t ~now:(us 60.0) (fun _ v -> fired := v :: !fired) : int);
+      ignore (M.fire_due t ~now:(us 60.0) ~limit:max_int (fun _ v -> fired := v :: !fired) : Fire_outcome.t);
       Alcotest.(check (list string)) (M.name ^ ": a after rearm") [ "b"; "a" ] (List.rev !fired);
       Alcotest.(check bool) (M.name ^ ": rearm after fire refused") false
         (M.rearm t a ~at:(us 99.0)))
@@ -243,8 +245,49 @@ let test_rearm_tie_position () =
       (* Re-arming x to the same deadline demotes it behind y. *)
       Alcotest.(check bool) (M.name ^ ": rearm ok") true (M.rearm t x ~at:(us 50.0));
       let fired = ref [] in
-      ignore (M.fire_due t ~now:(us 60.0) (fun _ v -> fired := v :: !fired) : int);
+      ignore (M.fire_due t ~now:(us 60.0) ~limit:max_int (fun _ v -> fired := v :: !fired) : Fire_outcome.t);
       Alcotest.(check (list string)) (M.name ^ ": fresh tie position") [ "y"; "x" ]
+        (List.rev !fired))
+
+(* The ~limit budget: at most [limit] callbacks per call; withheld
+   entries keep their deadline and tie position and fire, in order, on
+   a later call.  [scanned] always counts the whole due batch, so
+   [fired < scanned] is the observable "budget bit" signature. *)
+let test_fire_budget_withholds () =
+  all_stores (fun (module M : Timer_store.S) ->
+      let t = M.create ~tick:(us 10.0) () in
+      List.iteri
+        (fun i v ->
+          let _ = M.schedule t ~at:(us (10.0 *. float_of_int (i + 1))) v in
+          ())
+        [ "a"; "b"; "c"; "d"; "e" ];
+      let order = ref [] in
+      let o1 = M.fire_due t ~now:(us 100.0) ~limit:2 (fun _ v -> order := v :: !order) in
+      Alcotest.(check int) (M.name ^ ": budget fired 2") 2 (Fire_outcome.fired o1);
+      Alcotest.(check int) (M.name ^ ": scanned whole batch") 5 (Fire_outcome.scanned o1);
+      Alcotest.(check (list string)) (M.name ^ ": earliest two first") [ "a"; "b" ]
+        (List.rev !order);
+      Alcotest.(check int) (M.name ^ ": three withheld") 3 (M.pending t);
+      let o2 = M.fire_due t ~now:(us 100.0) ~limit:max_int (fun _ v -> order := v :: !order) in
+      Alcotest.(check int) (M.name ^ ": rest fired") 3 (Fire_outcome.fired o2);
+      Alcotest.(check int) (M.name ^ ": rest scanned") 3 (Fire_outcome.scanned o2);
+      Alcotest.(check (list string)) (M.name ^ ": order preserved across calls")
+        [ "a"; "b"; "c"; "d"; "e" ] (List.rev !order);
+      Alcotest.(check int) (M.name ^ ": drained") 0 (M.pending t))
+
+let test_fire_budget_tie_order () =
+  all_stores (fun (module M : Timer_store.S) ->
+      let t = M.create ~tick:(us 10.0) () in
+      let _ = M.schedule t ~at:(us 50.0) "x" in
+      let _ = M.schedule t ~at:(us 50.0) "y" in
+      let fired = ref [] in
+      ignore
+        (M.fire_due t ~now:(us 60.0) ~limit:1 (fun _ v -> fired := v :: !fired)
+          : Fire_outcome.t);
+      ignore
+        (M.fire_due t ~now:(us 60.0) ~limit:1 (fun _ v -> fired := v :: !fired)
+          : Fire_outcome.t);
+      Alcotest.(check (list string)) (M.name ^ ": tie order survives withholding") [ "x"; "y" ]
         (List.rev !fired))
 
 (* Regression (cancel-leak, store-wide): schedule/cancel churn of
@@ -286,7 +329,7 @@ let test_rearm_churn_bounded () =
         (!worst <= (2 * 512) + 2);
       Alcotest.(check int) (M.name ^ ": one pending") 1 (M.pending t);
       let fired = ref 0 in
-      ignore (M.fire_due t ~now:(us 1e9) (fun _ _ -> incr fired) : int);
+      ignore (M.fire_due t ~now:(us 1e9) ~limit:max_int (fun _ _ -> incr fired) : Fire_outcome.t);
       Alcotest.(check int) (M.name ^ ": fires exactly once") 1 !fired)
 
 (* Determinism: the facility's observable behaviour — the full trace of
@@ -345,6 +388,8 @@ let () =
           Alcotest.test_case "in-batch cancel honored" `Quick test_in_batch_cancel_honored;
           Alcotest.test_case "rearm semantics" `Quick test_rearm_semantics;
           Alcotest.test_case "rearm tie position" `Quick test_rearm_tie_position;
+          Alcotest.test_case "fire budget withholds" `Quick test_fire_budget_withholds;
+          Alcotest.test_case "fire budget tie order" `Quick test_fire_budget_tie_order;
           Alcotest.test_case "cancel churn bounded" `Quick test_cancel_churn_bounded;
           Alcotest.test_case "rearm churn bounded" `Quick test_rearm_churn_bounded;
           Alcotest.test_case "digest independent of store" `Quick test_digest_store_independent;

@@ -5,8 +5,8 @@ let us = Time_ns.of_us
 
 let collect_fired wheel ~now =
   let fired = ref [] in
-  let n = Timing_wheel.fire_due wheel ~now (fun due v -> fired := (due, v) :: !fired) in
-  (n, List.rev !fired)
+  let o = Timing_wheel.fire_due wheel ~now ~limit:max_int (fun due v -> fired := (due, v) :: !fired) in
+  (Fire_outcome.fired o, List.rev !fired)
 
 let test_basic_fire () =
   let w = Timing_wheel.create ~tick:(us 10.0) () in
@@ -71,13 +71,13 @@ let test_schedule_during_fire () =
   ignore (Timing_wheel.schedule w ~at:(us 20.0) "a" : Timing_wheel.handle);
   let rescheduled = ref false in
   let n =
-    Timing_wheel.fire_due w ~now:(us 30.0) (fun _ _ ->
+    Timing_wheel.fire_due w ~now:(us 30.0) ~limit:max_int (fun _ _ ->
         if not !rescheduled then begin
           rescheduled := true;
           ignore (Timing_wheel.schedule w ~at:(us 25.0) "b" : Timing_wheel.handle)
         end)
   in
-  Alcotest.(check int) "one fired this round" 1 n;
+  Alcotest.(check int) "one fired this round" 1 (Fire_outcome.fired n);
   Alcotest.(check int) "b pending" 1 (Timing_wheel.pending w);
   let n2, fired = collect_fired w ~now:(us 30.0) in
   Alcotest.(check int) "b fires next round" 1 n2;
@@ -185,8 +185,8 @@ let test_oracle_equivalence =
             now := Time_ns.(!now + us (float_of_int d));
             let fired = ref [] in
             ignore
-              (Timing_wheel.fire_due w ~now:!now (fun due v -> fired := (due, v) :: !fired)
-                : int);
+              (Timing_wheel.fire_due w ~now:!now ~limit:max_int (fun due v -> fired := (due, v) :: !fired)
+                : Fire_outcome.t);
             let fired = List.rev !fired in
             let expected =
               !oracle
@@ -258,7 +258,7 @@ let test_next_deadline_always_min =
           end
           | Advance d ->
             now := Time_ns.(!now + us (float_of_int d));
-            ignore (Timing_wheel.fire_due w ~now:!now (fun _ _ -> ()) : int);
+            ignore (Timing_wheel.fire_due w ~now:!now ~limit:max_int (fun _ _ -> ()) : Fire_outcome.t);
             List.iter
               (fun (at, _, alive) -> if !alive && Time_ns.(at <= !now) then alive := false)
               !entries);
@@ -297,7 +297,7 @@ let backend_oracle (module B : Timer_backend.S) ops =
       | Advance d ->
         now := Time_ns.(!now + us (float_of_int d));
         let fired = ref [] in
-        ignore (B.fire_due w ~now:!now (fun due v -> fired := (due, v) :: !fired) : int);
+        ignore (B.fire_due w ~now:!now ~limit:max_int (fun due v -> fired := (due, v) :: !fired) : Fire_outcome.t);
         let fired = List.rev !fired in
         let expected =
           !oracle
@@ -334,11 +334,11 @@ let test_hier_overflow_path () =
   ignore (H.schedule w ~at:(us 50.0) "near" : H.handle);
   Alcotest.(check (option int64)) "min is near" (Some (us 50.0)) (H.next_deadline w);
   let fired = ref [] in
-  ignore (H.fire_due w ~now:(Time_ns.of_sec 0.5) (fun _ v -> fired := v :: !fired) : int);
+  ignore (H.fire_due w ~now:(Time_ns.of_sec 0.5) ~limit:max_int (fun _ v -> fired := v :: !fired) : Fire_outcome.t);
   Alcotest.(check (list string)) "near fires, overflow waits" [ "near" ] (List.rev !fired);
   Alcotest.(check (option int64)) "overflow is the min now" (Some (Time_ns.of_sec 2.0))
     (H.next_deadline w);
-  ignore (H.fire_due w ~now:(Time_ns.of_sec 3.0) (fun _ v -> fired := v :: !fired) : int);
+  ignore (H.fire_due w ~now:(Time_ns.of_sec 3.0) ~limit:max_int (fun _ v -> fired := v :: !fired) : Fire_outcome.t);
   Alcotest.(check (list string)) "overflow fires after cascades" [ "near"; "overflow" ]
     (List.rev !fired);
   Alcotest.(check int) "drained" 0 (H.pending w)
@@ -360,12 +360,12 @@ let test_hier_long_gaps =
           ignore (H.schedule w ~at id : H.handle);
           scheduled := (at, id) :: !scheduled;
           now := Time_ns.(!now + us (float_of_int advance_us));
-          ignore (H.fire_due w ~now:!now (fun _ v -> fired := v :: !fired) : int))
+          ignore (H.fire_due w ~now:!now ~limit:max_int (fun _ v -> fired := v :: !fired) : Fire_outcome.t))
         ops;
       (* Drain everything far in the future; every entry must fire
          exactly once. *)
       now := Time_ns.(!now + Time_ns.of_sec 100_000.0);
-      ignore (H.fire_due w ~now:!now (fun _ v -> fired := v :: !fired) : int);
+      ignore (H.fire_due w ~now:!now ~limit:max_int (fun _ v -> fired := v :: !fired) : Fire_outcome.t);
       List.sort compare !fired = List.init (List.length !scheduled) Fun.id
       && H.pending w = 0)
 
@@ -389,9 +389,9 @@ let test_backends_basic () =
       Alcotest.(check (option int64)) (B.name ^ " earliest") (Some (us 25.0)) (B.next_deadline w);
       B.cancel w h;
       let fired = ref [] in
-      ignore (B.fire_due w ~now:(us 100.0) (fun _ v -> fired := v :: !fired) : int);
+      ignore (B.fire_due w ~now:(us 100.0) ~limit:max_int (fun _ v -> fired := v :: !fired) : Fire_outcome.t);
       Alcotest.(check (list string)) (B.name ^ " fires only a") [ "a" ] (List.rev !fired);
-      ignore (B.fire_due w ~now:(us 10_000.0) (fun _ v -> fired := v :: !fired) : int);
+      ignore (B.fire_due w ~now:(us 10_000.0) ~limit:max_int (fun _ v -> fired := v :: !fired) : Fire_outcome.t);
       Alcotest.(check (list string)) (B.name ^ " far fires later") [ "a"; "far" ] (List.rev !fired);
       Alcotest.(check int) (B.name ^ " drained") 0 (B.pending w))
     Timer_backend.all

@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-parallel microbench arena-bench profile-smoke bench-json benchdiff trace-smoke stats-smoke whylate-smoke lint lint-json lint-baseline sanitize-smoke determinism clean
+.PHONY: all build test bench bench-parallel microbench arena-bench pacer-smoke pacer-bench profile-smoke bench-json benchdiff trace-smoke stats-smoke whylate-smoke lint lint-json lint-baseline sanitize-smoke determinism clean
 
 all: build
 
@@ -32,6 +32,20 @@ ARENA_OPS ?= 100000
 ARENA_OUT ?= /tmp/softtimers-arena.md
 arena-bench: build
 	dune exec bench/store_arena.exe -- --n $(ARENA_N) --ops $(ARENA_OPS) --out $(ARENA_OUT)
+
+# Million-flow pacing smoke: the deterministic pacer-scale experiment
+# at reduced fleet sizes — per-store send counts must agree (they are
+# asserted identical in test/test_experiments.ml; here we just run it).
+pacer-smoke: build
+	dune exec bin/softtimers_cli.exe -- pacer-scale --quick
+
+# Wall-clock fleet-pacing sweep (the O(1)-per-tick acceptance story):
+# ns/flow/tick across stores and fleet sizes up to PACER_FLOWS, JSON to
+# PACER_OUT.  Committed reference: bench/PACER_bench.json.
+PACER_OUT ?= /tmp/softtimers-pacer.json
+PACER_REPEAT ?= 3
+pacer-bench: build
+	dune exec bench/pacer_bench.exe -- --repeat $(PACER_REPEAT) --json $(PACER_OUT)
 
 # Cycle-attribution profiler smoke: run table3 under the profiler and
 # export both the text report and a collapsed-stack flamegraph.
@@ -129,6 +143,7 @@ determinism: build
 	dune exec bin/softtimers_cli.exe -- verify-determinism livelock --quick
 	dune exec bin/softtimers_cli.exe -- verify-determinism sensitivity --quick
 	dune exec bin/softtimers_cli.exe -- verify-determinism sensitivity --quick --jobs 4
+	dune exec bin/softtimers_cli.exe -- verify-determinism pacer-scale --quick
 
 clean:
 	dune clean

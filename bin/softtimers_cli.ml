@@ -18,6 +18,9 @@ let experiments =
     ( "sensitivity",
       "Extension: sensitivity of the headline results to the cost model",
       Exp_sensitivity.run );
+    ( "pacer-scale",
+      "Extension: million-flow rate-based clocking across timer stores",
+      Exp_pacer_scale.run );
   ]
 
 let unknown_experiment id =
@@ -486,8 +489,10 @@ let store_arg =
   let doc =
     Printf.sprintf
       "Timer store backing the soft-timer facility for this run: one of %s.  Every \
-       experiment produces the same tables and trace digests under every store (only \
-       internal bookkeeping differs); see the arena bench for the performance comparison."
+       experiment produces the same tables and trace digests under every exact store \
+       (only internal bookkeeping differs); the approximate pacing-wheel rounds \
+       deadlines up to the tick, so firing times — and hence digests — legitimately \
+       shift under it.  See the arena bench for the performance comparison."
       (String.concat ", " Store_registry.names)
   in
   Arg.(value & opt (some string) None & info [ "store" ] ~doc ~docv:"NAME")

@@ -10,11 +10,24 @@
     speed) until the average catches up.
 
     Only one transmission event is outstanding at any time, so a long
-    trigger-state gap produces one late packet, not a burst. *)
+    trigger-state gap produces one late packet, not a burst.
+
+    Two shapes are provided: the single-flow {!t} (one closure-driven
+    clock per sender, right for a handful of flows and for tests that
+    inspect one clock in isolation), and the flow-id-indexed {!Pool}
+    (struct-of-arrays state over one shared timer store, right for the
+    million-flow pacing experiment). *)
 
 type t
 
+val cohort_intervals : Hdr.t
+(** The interval histogram shared by every clock and pool that does not
+    opt into a private one.  An [Hdr.t] costs on the order of a
+    kilobyte; at a million flows a per-flow copy is gigabytes of bucket
+    arrays, so sharing is the default and isolation is the opt-in. *)
+
 val create :
+  ?intervals:Hdr.t ->
   Softtimer.t ->
   target_interval:Time_ns.span ->
   min_interval:Time_ns.span ->
@@ -24,6 +37,10 @@ val create :
 (** [send now] must transmit one packet and return [true], or return
     [false] when nothing is pending — which ends the current train (the
     clock goes idle until {!kick}).
+
+    [intervals] defaults to {!cohort_intervals}; pass
+    [~intervals:(Hdr.create ~lowest:0.01 ())] to give this clock a
+    private histogram whose statistics can be read in isolation.
     @raise Invalid_argument unless [0 < min_interval <= target_interval]. *)
 
 val start : t -> unit
@@ -44,4 +61,86 @@ val intervals : t -> Hdr.t
 (** Inter-transmission gaps within trains, in microseconds — the
     statistic of the paper's Tables 4 and 5.  A constant-memory
     histogram: memory is bounded by the number of distinct buckets, not
-    by the number of sends, so a long-lived clock never grows. *)
+    by the number of sends, so a long-lived clock never grows.  Shared
+    with the cohort unless the clock was created with a private one. *)
+
+(** Flow-id-indexed rate clocks over one shared timer store.
+
+    All per-flow state lives in parallel unboxed [int] arrays
+    (nanoseconds as native ints) — no record, closure, handle box or
+    histogram per flow — and the flow id itself is the timer payload,
+    so the steady send → reschedule cycle allocates only the one boxed
+    deadline handed to the store API.  Interval and fire-delay
+    statistics go to cohort histograms, sampled every [stat_every]-th
+    send. *)
+module Pool (M : Timer_store.S) : sig
+  type t
+
+  val create :
+    ?stat_every:int ->
+    ?intervals:Hdr.t ->
+    ?delays:Hdr.t ->
+    tick:Time_ns.span ->
+    send:(int -> bool) ->
+    unit ->
+    t
+  (** [send fid] transmits one packet for flow [fid] and returns [true],
+      or [false] to end that flow's train (idle until {!kick}).
+      [stat_every] (default 1) samples every n-th fire into the
+      histograms; [intervals] defaults to {!cohort_intervals}; [delays]
+      defaults to a fresh pool-private histogram.
+      @raise Invalid_argument if [stat_every < 1]. *)
+
+  val add : t -> target_interval:Time_ns.span -> min_interval:Time_ns.span -> int
+  (** Register a flow; returns its id.  The flow starts idle.
+      @raise Invalid_argument unless
+      [0 < min_interval <= target_interval]. *)
+
+  val start : t -> int -> now:Time_ns.t -> unit
+  (** Begin a train for the flow: its first transmission is due
+      immediately (it fires on the next {!check}).  No-op while
+      active. *)
+
+  val kick : t -> int -> now:Time_ns.t -> unit
+  (** Same as {!start}: restart an idle flow's train. *)
+
+  val stop : t -> int -> unit
+  (** Idle the flow and cancel its pending transmission. *)
+
+  val check : t -> now:Time_ns.t -> limit:int -> Fire_outcome.t
+  (** Dispatch due transmissions — the pool's trigger state.  [limit]
+      bounds the batch exactly as {!Timer_store.S.fire_due} does. *)
+
+  val flows : t -> int
+  val active : t -> int
+  val sends : t -> int
+
+  val catch_ups : t -> int
+  (** Sends whose next deadline was clamped to [now + min_interval]
+      because dispatch latency pushed the flow behind its ideal
+      schedule — the pool-level counterpart of the single-flow
+      [rate_clock/catch_up_send] profile event. *)
+
+  val flow_sends : t -> int -> int
+  val flow_active : t -> int -> bool
+
+  val user : t -> int -> int
+  (** Per-flow caller scratch word, initially 0.  It lives in the
+      flow's packed state row, so reading or writing it from inside the
+      [send] callback touches a cache line the fire path has already
+      pulled — per-send caller state with no extra memory traffic.
+      {!Paced_sender.Fleet} keeps its remaining-segment count here. *)
+
+  val set_user : t -> int -> int -> unit
+
+  val intervals : t -> Hdr.t
+  (** Sampled inter-transmission gaps across the whole cohort, µs. *)
+
+  val delays : t -> Hdr.t
+  (** Sampled fire delay vs the {e requested} (unquantized) deadline,
+      µs — for an approximate store this includes the quantization
+      error, which is the point of measuring it. *)
+
+  val store_pending : t -> int
+  val store_name : string
+end

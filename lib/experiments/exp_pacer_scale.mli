@@ -1,0 +1,27 @@
+(** Extension experiment: million-flow rate-based clocking.
+
+    Sweeps a {!Paced_sender.Fleet} of rate-clocked flows from 10^3 to
+    10^6 (10^4 under [--quick]) over the approximate pacing wheel and
+    the eventq / lawn exact baselines, reporting sends, catch-up
+    fraction, fire-delay quantiles and resident bytes per flow.
+
+    Runs entirely on simulated time with seeded randomness — the
+    [--store] flag does not affect it (the sweep instantiates its own
+    stores, that comparison being the experiment).  Wall-clock ns per
+    flow per tick is measured separately by [bench/pacer_bench.exe]. *)
+
+type cell = {
+  store : string;
+  flows : int;
+  sends : int;
+  catch_up_pct : float;
+  d50_us : float;
+  d99_us : float;
+  dmax_us : float;
+  kb_per_flow : float;
+}
+
+val compute : Exp_config.t -> cell list
+(** One cell per (store variant, fleet size), in sweep order. *)
+
+val run : Exp_config.t -> string

@@ -31,7 +31,10 @@ let soft_cell (cfg : Exp_config.t) ~target_us ~min_us =
   let st = match Webserver.facility t with Some s -> s | None -> assert false in
   let machine = Webserver.machine t in
   let clock =
+    (* Each table cell reads its own clock's mean/stddev, so the clock
+       opts out of the shared cohort histogram. *)
     Rate_clock.create st
+      ~intervals:(Hdr.create ~lowest:0.01 ())
       ~target_interval:(Time_ns.of_us target_us)
       ~min_interval:(Time_ns.of_us min_us)
       ~send:(send_cost machine)

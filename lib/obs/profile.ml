@@ -30,8 +30,13 @@
 
 type info = { name : string; parent : int; full : string }
 
-let reg : info array ref = ref [||]
-let reg_n = ref 0
+(* RACE002: the interning registry grows only during module
+   initialization and sequential experiment setup ([intern] on toplevel
+   bindings); parallel jobs read interned ids but never intern — same
+   single-domain contract as [Metrics.default], revisited with the
+   planned SMP work (ROADMAP item 2). *)
+let reg : info array ref = ref [||] [@@lint.allow "RACE002"]
+let reg_n = ref 0 [@@lint.allow "RACE002"]
 let index : (string, int) Hashtbl.t = Hashtbl.create 64
 
 let add_info info =

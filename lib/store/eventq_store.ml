@@ -92,6 +92,8 @@ let schedule t ~at v =
   t.live <- t.live + 1;
   { hidx = idx; hseq = seq; hat = at }
 
+let schedule_i t ~at_i v = schedule t ~at:(Int64.of_int at_i) v
+
 let cancel t h =
   if valid t h then begin
     free_slot t h.hidx;
@@ -144,7 +146,7 @@ let next_deadline t =
    the collect/dispatch closures, the re-boxed deadline) is
    proportional to the fired batch, never to a trigger-state check that
    finds nothing due. *)
-let[@hot] fire_due t ~now ~limit f =
+let[@hot] fire_due t ?prefetch:_ ~now ~limit f =
   let now_i = Int64.to_int now in
   (* Pop the whole due prefix before running any callback: the popped
      list is the snapshot, already in (deadline, tie) order; entries

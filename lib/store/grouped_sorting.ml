@@ -188,6 +188,8 @@ let schedule t ~at v =
   t.count <- t.count + 1;
   n
 
+let schedule_i t ~at_i v = schedule t ~at:(Int64.of_int at_i) v
+
 let cancel t n =
   match n.gstate with
   | Done -> ()
@@ -270,7 +272,7 @@ let next_deadline t =
    extracts due nodes into a list before any callback runs; the cons
    cells, the sweep/extract closures and the replacement group for a
    drained range are per-batch work, not per trigger-state check. *)
-let[@hot] fire_due t ~now ~limit f =
+let[@hot] fire_due t ?prefetch:_ ~now ~limit f =
   let batch = ref [] in
   let extract n =
     n.ggroup <- None;

@@ -121,6 +121,8 @@ let schedule t ~at v =
   t.count <- t.count + 1;
   n
 
+let schedule_i t ~at_i v = schedule t ~at:(Int64.of_int at_i) v
+
 let cancel t n =
   match n.nstate with
   | Done -> ()
@@ -204,7 +206,7 @@ let next_deadline t =
    and local walk/pop/extract closures are per-batch work amortized
    over the fired timers; a check that fires nothing allocates nothing
    (the buckets are walked in place). *)
-let[@hot] fire_due t ~now ~limit f =
+let[@hot] fire_due t ?prefetch:_ ~now ~limit f =
   t.last_now <- Time_ns.max t.last_now now;
   (* Collect the due snapshot: pop each positive-duration bucket from the
      head while due (FIFO order = deadline order within a bucket), walk

@@ -1,0 +1,934 @@
+(* An Eiffel/Carousel-style pacing wheel: an approximate-time bucketed
+   priority queue for million-flow rate-based clocking.
+
+   Deadlines are rounded UP to the store's tick granularity [gns] and
+   bucketed by tick.  Two levels of circular bucket arrays, each with a
+   find-first-set occupancy bitmap, give O(1) schedule / cancel / re-arm
+   and O(due) dispatch regardless of population:
+
+   - level 1: one bucket per tick over the current epoch of [n1] ticks
+     ([epoch_base, epoch_base + n1)); bucket index = tick mod n1.  Each
+     bucket holds exactly one tick and is an append-only (slot, seq)
+     pair vector, so it is (deadline, tie)-sorted for free and dispatch
+     reads it sequentially instead of pointer-chasing a chain.
+   - level 2: one bucket per [n1]-tick span over the current level-2
+     epoch of [n2] spans; when the level-1 epoch advances, the matching
+     level-2 bucket cascades into level 1 (each entry moves at most
+     once per level — amortised O(1)).
+   - far list: beyond the level-2 horizon (default 4096 × 4096 ticks ≈
+     167 s at 10 µs); FIFO with a cached minimum, cascaded into level 2
+     when the level-2 epoch advances.
+   - past list: entries whose quantized deadline fell below [cur_tick]
+     at link time.  They are already due (the wheel only advances past
+     a tick once [now] reaches it), strictly earlier than anything in
+     the wheel, and dispatched first, sorted by (deadline, tie).
+
+   Entries live in a packed struct-of-arrays slot arena: one flat int
+   slab, stride 8, holding deadline / tie / prev / next / location /
+   generation per slot — a whole entry in one cache line, which is what
+   keeps dispatch flat when a million-slot arena no longer fits in
+   cache — plus one value array.  A handle is an immediate int —
+   (generation << 24) | slot — so steady-state schedule / fire / re-arm
+   allocates nothing but the one boxed [Time_ns.t] handed to the fire
+   callback.
+
+   Semantics: exactly [Timer_store.Quantize] applied to the reference
+   store — the §7.1 contract with every deadline rounded up to the tick
+   granularity (never early).  The cross-store suite checks this by
+   string-equality against the quantized oracle. *)
+
+let name = "pacing-wheel"
+
+(* The empty vector is OCaml's static atom — installing it allocates
+   nothing; buckets hold it whenever their buffer is parked or dropped. *)
+let empty_vec : int array = [||]
+
+let default_buckets = 4096
+
+(* Location codes for a slot's loc field: a level-1 bucket index in
+   [0, n1), a level-2 bucket index offset by [n1], or one of the
+   sentinels. *)
+let loc_free = -1
+let loc_past = -2
+let loc_far = -3
+
+(* Slot index lives in the low 24 bits of a handle, the slot generation
+   above it.  The generation is bumped on every free, so a stale handle
+   never validates; 2^38 generations per slot outlast any realistic
+   run.  2^24 slots bounds one store at ~16.7M concurrent timers. *)
+let max_slots = 1 lsl 24
+
+type 'a t = {
+  gns : int;  (* bucket granularity, ns per tick *)
+  n1 : int;  (* level-1 buckets (power of two) *)
+  n2 : int;  (* level-2 buckets (power of two) *)
+  v1 : int array array;  (* level-1 (slot, seq) pair vectors, see below *)
+  f1 : int array;  (* level-1 vector fill, in pairs (live + dead) *)
+  h2 : int array;  (* level-2 chain heads, -1 empty *)
+  t2 : int array;
+  c1 : int array;  (* per-bucket live counts: O(1) due-counting *)
+  c2 : int array;
+  occ1 : int array;  (* occupancy bitmaps, 32 bits per word *)
+  occ2 : int array;
+  mutable cur_tick : int;  (* lowest tick that may still hold wheel entries *)
+  mutable past_h : int;
+  mutable past_t : int;
+  mutable past_n : int;
+  mutable far_h : int;
+  mutable far_t : int;
+  mutable far_n : int;
+  mutable far_min : int;  (* cached min deadline of the far list *)
+  mutable far_min_ok : bool;
+  mutable n1_count : int;  (* entries linked in level 1 *)
+  mutable n2_count : int;
+  mutable count : int;  (* all pending entries *)
+  mutable next_seq : int;
+  (* slot arena: stride-8 rows of [slab] (fields below) + values *)
+  mutable cap : int;
+  mutable slab : int array;
+  mutable s_val : 'a array;  (* length 0 until the first schedule *)
+  mutable free_top : int;
+  mutable free_stk : int array;
+  mutable scratch : int array;  (* slot snapshot for past-list retirement *)
+  spares : int array array;  (* parked level-1 vector buffers, see [link1_tail] *)
+  mutable spare_n : int;
+  mutable dispatching : int;  (* bucket being dispatched (-1 none): see [unlink] *)
+}
+
+type 'a handle = int
+
+let idx_of h = h land (max_slots - 1)
+let gen_of h = h lsr 24
+let pack gen idx = (gen lsl 24) lor idx
+
+(* ---- slot fields ---------------------------------------------------
+   One stride-8 slab row per slot: quantized deadline (ns), tie, prev,
+   next, location, generation, level-1 vector position (+1 pad word to
+   keep rows line-aligned).  prev/next serve the level-2/past/far
+   chains; pos serves the level-1 pair vectors — a slot is only ever in
+   one of the two structures. *)
+
+let[@inline] s_at t i = t.slab.(i lsl 3)
+let[@inline] set_at t i v = t.slab.(i lsl 3) <- v
+let[@inline] s_seq t i = t.slab.((i lsl 3) + 1)
+let[@inline] set_seq t i v = t.slab.((i lsl 3) + 1) <- v
+let[@inline] s_prev t i = t.slab.((i lsl 3) + 2)
+let[@inline] set_prev t i v = t.slab.((i lsl 3) + 2) <- v
+let[@inline] s_next t i = t.slab.((i lsl 3) + 3)
+let[@inline] set_next t i v = t.slab.((i lsl 3) + 3) <- v
+let[@inline] s_loc t i = t.slab.((i lsl 3) + 4)
+let[@inline] set_loc t i v = t.slab.((i lsl 3) + 4) <- v
+let[@inline] s_gen t i = t.slab.((i lsl 3) + 5)
+let[@inline] set_gen t i v = t.slab.((i lsl 3) + 5) <- v
+let[@inline] s_pos t i = t.slab.((i lsl 3) + 6)
+let[@inline] set_pos t i v = t.slab.((i lsl 3) + 6) <- v
+
+(* ---- occupancy bitmaps -------------------------------------------- *)
+
+let set_bit occ i = occ.(i lsr 5) <- occ.(i lsr 5) lor (1 lsl (i land 31))
+let clear_bit occ i = occ.(i lsr 5) <- occ.(i lsr 5) land lnot (1 lsl (i land 31))
+
+(* Index of the lowest set bit of a nonzero 32-bit word. *)
+let lsb w =
+  let x = ref (w land (-w)) in
+  let n = ref 0 in
+  if !x land 0xFFFF = 0 then begin
+    n := 16;
+    x := !x lsr 16
+  end;
+  if !x land 0xFF = 0 then begin
+    n := !n + 8;
+    x := !x lsr 8
+  end;
+  if !x land 0xF = 0 then begin
+    n := !n + 4;
+    x := !x lsr 4
+  end;
+  if !x land 0x3 = 0 then begin
+    n := !n + 2;
+    x := !x lsr 2
+  end;
+  if !x land 0x1 = 0 then incr n;
+  !n
+
+(* First occupied bucket in the inclusive index range [from, upto], or
+   -1.  Epochs are aligned, so a scan never wraps: it masks the first
+   word below [from] and walks whole words up to [upto]'s word. *)
+let ffs_in_range occ ~from ~upto =
+  if from > upto then -1
+  else begin
+    let res = ref (-1) in
+    let iw = ref (from lsr 5) in
+    let last_w = upto lsr 5 in
+    let first = occ.(!iw) land ((-1) lsl (from land 31)) in
+    if first <> 0 then res := (!iw lsl 5) + lsb first
+    else begin
+      incr iw;
+      while !res < 0 && !iw <= last_w do
+        let w = occ.(!iw) in
+        if w <> 0 then res := (!iw lsl 5) + lsb w;
+        incr iw
+      done
+    end;
+    if !res >= 0 && !res <= upto then !res else -1
+  end
+
+(* ---- construction -------------------------------------------------- *)
+
+let rec pow2_at_least k n = if k >= n then k else pow2_at_least (k * 2) n
+
+let create_sized ~buckets ~tick () =
+  let n = pow2_at_least 4 (if buckets < 4 then 4 else buckets) in
+  let g =
+    let g = Int64.to_int tick in
+    if g <= 0 then 1 else g
+  in
+  {
+    gns = g;
+    n1 = n;
+    n2 = n;
+    v1 = Array.make n [||];
+    f1 = Array.make n 0;
+    h2 = Array.make n (-1);
+    t2 = Array.make n (-1);
+    c1 = Array.make n 0;
+    c2 = Array.make n 0;
+    occ1 = Array.make ((n + 31) lsr 5) 0;
+    occ2 = Array.make ((n + 31) lsr 5) 0;
+    cur_tick = 0;
+    past_h = -1;
+    past_t = -1;
+    past_n = 0;
+    far_h = -1;
+    far_t = -1;
+    far_n = 0;
+    far_min = 0;
+    far_min_ok = true;
+    n1_count = 0;
+    n2_count = 0;
+    count = 0;
+    next_seq = 0;
+    cap = 0;
+    slab = [||];
+    s_val = [||];
+    free_top = 0;
+    free_stk = [||];
+    scratch = [||];
+    spares = Array.make 64 [||];
+    spare_n = 0;
+    dispatching = -1;
+  }
+
+let create ~tick () = create_sized ~buckets:default_buckets ~tick ()
+
+(* ---- slot arena ---------------------------------------------------- *)
+
+let grow t v =
+  let newcap = if t.cap = 0 then 16 else t.cap * 2 in
+  if newcap > max_slots then failwith "Pacing_wheel: slot arena exceeds 2^24 entries";
+  let slab = Array.make (newcap * 8) 0 in
+  Array.blit t.slab 0 slab 0 (t.cap * 8);
+  t.slab <- slab;
+  for i = t.cap to newcap - 1 do
+    let b = i lsl 3 in
+    slab.(b + 2) <- -1;  (* prev *)
+    slab.(b + 3) <- -1;  (* next *)
+    slab.(b + 4) <- loc_free
+  done;
+  (* Freed slots keep their last value alive until reuse — bounded by
+     the arena capacity, the price of a non-optional value array. *)
+  let vals = Array.make newcap v in
+  Array.blit t.s_val 0 vals 0 (Array.length t.s_val);
+  t.s_val <- vals;
+  let stk = Array.make newcap 0 in
+  Array.blit t.free_stk 0 stk 0 t.free_top;
+  for i = newcap - 1 downto t.cap do
+    stk.(t.free_top + (newcap - 1 - i)) <- i
+  done;
+  t.free_stk <- stk;
+  t.free_top <- t.free_top + (newcap - t.cap);
+  t.cap <- newcap
+
+let alloc_slot t v =
+  if t.free_top = 0 then grow t v;
+  t.free_top <- t.free_top - 1;
+  let i = t.free_stk.(t.free_top) in
+  t.s_val.(i) <- v;
+  i
+
+let free_slot t i =
+  set_gen t i (s_gen t i + 1);
+  set_loc t i loc_free;
+  t.free_stk.(t.free_top) <- i;
+  t.free_top <- t.free_top + 1
+
+let valid t h =
+  let i = idx_of h in
+  i < t.cap && s_gen t i = gen_of h && s_loc t i <> loc_free
+
+(* ---- intrusive chains ---------------------------------------------- *)
+
+(* Level-1 buckets are (slot, seq) pair vectors, not chains: dispatch
+   iterates them sequentially (index arithmetic the prefetcher can run
+   ahead of) instead of pointer-chasing one cold slab row to find the
+   next — at a million slots, the difference between one overlapped and
+   one serial DRAM round-trip per due entry.  Appends keep seq
+   ascending (every append carries a fresh, globally increasing tie),
+   removal marks the pair dead in place (slot := -1, O(1), order
+   preserved), and a bucket compacts when dead pairs outnumber live
+   ones — amortized against the cancels that created them. *)
+let link1_tail t b i =
+  let pos = t.f1.(b) in
+  (if Array.length t.v1.(b) < (pos + 1) * 2 then begin
+     let vec = t.v1.(b) in
+     let need = (pos + 1) * 2 in
+     (* Prefer a parked buffer from a retired bucket: buckets retire at
+        one per tick and start growing at about the same rate (each rate
+        class appends to a new target bucket every tick), so a small
+        ring of full-lap-sized spares keeps the steady state free of
+        fresh vector allocations, doubling blits, and the major-GC churn
+        of discarded ladders — at a million flows that churn is ~0.5 MB
+        of array traffic per tick.  A growing bucket takes a spare at
+        its first growth step and never doubles again this lap. *)
+     let nv =
+       if t.spare_n > 0 && Array.length t.spares.(t.spare_n - 1) >= need then begin
+         t.spare_n <- t.spare_n - 1;
+         let s = t.spares.(t.spare_n) in
+         t.spares.(t.spare_n) <- empty_vec;
+         s
+       end
+       else Array.make (Int.max 16 (Int.max need (Array.length vec * 2))) 0
+     in
+     Array.blit vec 0 nv 0 (pos * 2);
+     t.v1.(b) <- nv
+   end);
+  let vec = t.v1.(b) in
+  vec.(pos * 2) <- i;
+  vec.((pos * 2) + 1) <- s_seq t i;
+  set_loc t i b;
+  set_pos t i pos;
+  t.f1.(b) <- pos + 1;
+  if t.c1.(b) = 0 then set_bit t.occ1 b;
+  t.c1.(b) <- t.c1.(b) + 1;
+  t.n1_count <- t.n1_count + 1
+
+(* Drop the dead pairs of bucket [b], preserving (ascending-seq) order. *)
+let compact_bucket t b =
+  let vec = t.v1.(b) in
+  let w = ref 0 in
+  for q = 0 to t.f1.(b) - 1 do
+    let s = vec.(q * 2) in
+    if s >= 0 then begin
+      vec.(!w * 2) <- s;
+      vec.((!w * 2) + 1) <- vec.((q * 2) + 1);
+      set_pos t s !w;
+      incr w
+    end
+  done;
+  t.f1.(b) <- !w
+
+let link2_tail t b i =
+  set_prev t i t.t2.(b);
+  set_next t i (-1);
+  if t.t2.(b) >= 0 then set_next t t.t2.(b) i
+  else begin
+    t.h2.(b) <- i;
+    set_bit t.occ2 b
+  end;
+  t.t2.(b) <- i;
+  set_loc t i (t.n1 + b);
+  t.c2.(b) <- t.c2.(b) + 1;
+  t.n2_count <- t.n2_count + 1
+
+let link_past_tail t i =
+  set_prev t i t.past_t;
+  set_next t i (-1);
+  if t.past_t >= 0 then set_next t t.past_t i else t.past_h <- i;
+  t.past_t <- i;
+  set_loc t i loc_past;
+  t.past_n <- t.past_n + 1
+
+let link_far_tail t i =
+  set_prev t i t.far_t;
+  set_next t i (-1);
+  if t.far_t >= 0 then set_next t t.far_t i else t.far_h <- i;
+  t.far_t <- i;
+  set_loc t i loc_far;
+  let at = s_at t i in
+  if t.far_n = 0 then begin
+    t.far_min <- at;
+    t.far_min_ok <- true
+  end
+  else if t.far_min_ok && at < t.far_min then t.far_min <- at;
+  t.far_n <- t.far_n + 1
+
+let unlink t i =
+  let loc = s_loc t i in
+  if loc >= 0 && loc < t.n1 then begin
+    (* Level-1: mark the pair dead in place. *)
+    t.v1.(loc).(s_pos t i * 2) <- -1;
+    t.c1.(loc) <- t.c1.(loc) - 1;
+    t.n1_count <- t.n1_count - 1;
+    (* Never restructure the bucket [fire_due] is iterating: compaction
+       moves pairs and the reset swaps the buffer out from under the
+       dispatch cursor.  The dispatch loop does its own cleanup. *)
+    if loc <> t.dispatching then begin
+      if t.c1.(loc) = 0 then begin
+        t.f1.(loc) <- 0;
+        clear_bit t.occ1 loc;
+        (* Retire the buffer: a bucket drains once per lap, and holding
+           its peak capacity for the next 4096 ticks would retain a
+           whole lap's worth of dead vectors.  Park it in the spare ring
+           for the buckets currently growing; small ones stay put, and
+           overflow beyond the ring goes to the GC. *)
+        let vec = t.v1.(loc) in
+        if Array.length vec > 64 then begin
+          if t.spare_n < Array.length t.spares then begin
+            t.spares.(t.spare_n) <- vec;
+            t.spare_n <- t.spare_n + 1
+          end;
+          t.v1.(loc) <- empty_vec
+        end
+      end
+      else if t.f1.(loc) >= 8 && t.f1.(loc) > 2 * t.c1.(loc) then compact_bucket t loc
+    end
+  end
+  else begin
+    let p = s_prev t i and n = s_next t i in
+    if p >= 0 then set_next t p n;
+    if n >= 0 then set_prev t n p;
+    if loc >= t.n1 then begin
+      let b = loc - t.n1 in
+      if p < 0 then t.h2.(b) <- n;
+      if n < 0 then t.t2.(b) <- p;
+      if t.h2.(b) < 0 then clear_bit t.occ2 b;
+      t.c2.(b) <- t.c2.(b) - 1;
+      t.n2_count <- t.n2_count - 1
+    end
+    else if loc = loc_past then begin
+      if p < 0 then t.past_h <- n;
+      if n < 0 then t.past_t <- p;
+      t.past_n <- t.past_n - 1
+    end
+    else begin
+      (* far *)
+      if p < 0 then t.far_h <- n;
+      if n < 0 then t.far_t <- p;
+      t.far_n <- t.far_n - 1;
+      if t.far_min_ok && t.far_n > 0 && s_at t i <= t.far_min then t.far_min_ok <- false
+    end;
+    set_prev t i (-1);
+    set_next t i (-1)
+  end
+
+let ensure_far_min t =
+  if (not t.far_min_ok) && t.far_n > 0 then begin
+    let m = ref max_int in
+    let i = ref t.far_h in
+    while !i >= 0 do
+      if s_at t !i < !m then m := s_at t !i;
+      i := s_next t !i
+    done;
+    t.far_min <- !m;
+    t.far_min_ok <- true
+  end
+
+(* ---- routing ------------------------------------------------------- *)
+
+(* Epoch bounds, derived from [cur_tick].  Level 1 holds ticks in
+   [epoch1_base, epoch1_base + n1); level 2 holds spans ([tick / n1])
+   strictly above the current one and below [epoch2_end]. *)
+let epoch1_base t = t.cur_tick - (t.cur_tick land (t.n1 - 1))
+
+let route t i =
+  let tick = s_at t i / t.gns in
+  if tick < t.cur_tick then link_past_tail t i
+  else begin
+    let e1 = epoch1_base t + t.n1 in
+    if tick < e1 then link1_tail t (tick land (t.n1 - 1)) i
+    else begin
+      let tick2 = tick / t.n1 in
+      let cur2 = t.cur_tick / t.n1 in
+      let e2 = cur2 - (cur2 land (t.n2 - 1)) + t.n2 in
+      if tick2 < e2 then link2_tail t (tick2 land (t.n2 - 1)) i
+      else link_far_tail t i
+    end
+  end
+
+(* ---- the public surface -------------------------------------------- *)
+
+let quantize t ati = (ati + t.gns - 1) / t.gns * t.gns
+
+(* The native entry point: deadline as integer nanoseconds, no box in
+   or out — with the wheel's int handles, a schedule allocates nothing
+   (arena growth amortized aside). *)
+let schedule_i t ~at_i v =
+  let i = alloc_slot t v in
+  set_at t i (quantize t at_i);
+  set_seq t i t.next_seq;
+  t.next_seq <- t.next_seq + 1;
+  route t i;
+  t.count <- t.count + 1;
+  pack (s_gen t i) i
+
+let schedule t ~at v = schedule_i t ~at_i:(Int64.to_int at) v
+
+let cancel t h =
+  if valid t h then begin
+    let i = idx_of h in
+    unlink t i;
+    free_slot t i;
+    t.count <- t.count - 1
+  end
+
+let rearm t h ~at =
+  if not (valid t h) then false
+  else begin
+    let i = idx_of h in
+    unlink t i;
+    set_at t i (quantize t (Int64.to_int at));
+    set_seq t i t.next_seq;
+    t.next_seq <- t.next_seq + 1;
+    route t i;
+    true
+  end
+
+let pending t = t.count
+let resident t = t.count (* cancellation unlinks and frees: no corpses *)
+let handle_pending t h = valid t h
+let handle_deadline t h = if valid t h then Int64.of_int (s_at t (idx_of h)) else Time_ns.zero
+
+let next_deadline t =
+  if t.count = 0 then None
+  else begin
+    let best = ref max_int in
+    (* past: unsorted, walk in full (short-lived: drained every fire) *)
+    let i = ref t.past_h in
+    while !i >= 0 do
+      if s_at t !i < !best then best := s_at t !i;
+      i := s_next t !i
+    done;
+    (* level 1: buckets are single-tick, so the first occupied bucket is
+       the level minimum *)
+    let base = epoch1_base t in
+    let idx = ffs_in_range t.occ1 ~from:(t.cur_tick - base) ~upto:(t.n1 - 1) in
+    if idx >= 0 then begin
+      let cand = (base + idx) * t.gns in
+      if cand < !best then best := cand
+    end;
+    (* level 2: the first occupied bucket spans n1 ticks, unsorted —
+       walk that one chain *)
+    let cur2 = t.cur_tick / t.n1 in
+    let idx2 = ffs_in_range t.occ2 ~from:((cur2 land (t.n2 - 1)) + 1) ~upto:(t.n2 - 1) in
+    if idx2 >= 0 then begin
+      let j = ref t.h2.(idx2) in
+      while !j >= 0 do
+        if s_at t !j < !best then best := s_at t !j;
+        j := s_next t !j
+      done
+    end;
+    if t.far_n > 0 then begin
+      ensure_far_min t;
+      if t.far_min < !best then best := t.far_min
+    end;
+    Some (Int64.of_int !best)
+  end
+
+(* ---- cascades ------------------------------------------------------ *)
+
+(* The level-1 epoch just advanced to [cur_tick] (a multiple of n1):
+   spill the matching level-2 bucket into level 1.  The chain is walked
+   head-to-tail, so FIFO (= tie) order is preserved, and every target
+   level-1 bucket is empty (ticks of the new epoch could not be
+   scheduled into level 1 before now), so each bucket ends up
+   tie-sorted. *)
+let cascade_bucket t idx2 =
+  let h = ref t.h2.(idx2) in
+  t.h2.(idx2) <- -1;
+  t.t2.(idx2) <- -1;
+  t.c2.(idx2) <- 0;
+  clear_bit t.occ2 idx2;
+  while !h >= 0 do
+    let i = !h in
+    h := s_next t i;
+    t.n2_count <- t.n2_count - 1;
+    let tick = s_at t i / t.gns in
+    link1_tail t (tick land (t.n1 - 1)) i
+  done
+
+(* The level-2 epoch just advanced to span [tick2_new] (a multiple of
+   n2): move far entries now inside the level-2 horizon into their
+   bucket.  Far entries always predate any direct level-2 schedule for
+   the same span (a span inside the horizon is never routed to far, and
+   the horizon only ever grows at these cascade points), so the target
+   buckets are empty and tie order is preserved. *)
+let cascade_far t tick2_new =
+  let e2 = tick2_new + t.n2 in
+  let i = ref t.far_h in
+  while !i >= 0 do
+    let j = !i in
+    i := s_next t j;
+    let tk2 = s_at t j / t.gns / t.n1 in
+    if tk2 < e2 then begin
+      unlink t j;
+      link2_tail t (tk2 land (t.n2 - 1)) j
+    end
+  done
+
+(* Fast-forward used when both wheel levels are empty: re-route the far
+   list against the advanced [cur_tick] instead of walking epochs one
+   by one.  Walk order is FIFO, so entries landing in the same (empty)
+   bucket keep tie order; entries still beyond the horizon re-append to
+   far in their original order. *)
+let reroute_far t =
+  (* Detach the whole chain first: [route] may re-append an entry that
+     is still beyond the horizon to the (fresh) far list, and walking a
+     list that grows at the tail would never terminate. *)
+  let h = ref t.far_h in
+  t.far_h <- -1;
+  t.far_t <- -1;
+  t.far_n <- 0;
+  t.far_min_ok <- true;
+  while !h >= 0 do
+    let j = !h in
+    h := s_next t j;
+    set_prev t j (-1);
+    set_next t j (-1);
+    route t j
+  done
+
+(* ---- fire ---------------------------------------------------------- *)
+
+(* Entries whose bucket is being retired but whose tie position is at or
+   past this call's snapshot boundary (scheduled by a callback during
+   the call): move them to the past list so advancing [cur_tick] cannot
+   strand them.  They are due, so the next call dispatches them from
+   the past list, sorted — exactly the reference behaviour. *)
+let retire_bucket_to_past t b =
+  (* Snapshot the live slots first: [unlink] mutates the vector (dead
+     marks, compaction, fill reset) under an in-place walk. *)
+  let fill = t.f1.(b) in
+  if Array.length t.scratch < fill then t.scratch <- Array.make (Int.max 64 (fill * 2)) 0;
+  let vec = t.v1.(b) in
+  let m = ref 0 in
+  for q = 0 to fill - 1 do
+    let s = vec.(q * 2) in
+    if s >= 0 then begin
+      t.scratch.(!m) <- s;
+      incr m
+    end
+  done;
+  for k = 0 to !m - 1 do
+    let i = t.scratch.(k) in
+    unlink t i;
+    link_past_tail t i
+  done
+
+(* Count the due batch before any callback runs ([Fire_outcome.scanned]
+   counts entries cancelled mid-batch too, so counting after dispatch
+   would undercount).  Level-1 buckets are single-tick, so a bucket at
+   or below [target] is due in full and its maintained count is the
+   answer — no chain walk, which matters because walking the chain here
+   would be a second cold pointer-chase over every due row before
+   dispatch does the same. *)
+let count_due t ~now_i ~target =
+  let scanned = ref t.past_n in
+  let base = epoch1_base t in
+  if target >= t.cur_tick && t.n1_count > 0 then begin
+    let upto =
+      let lap = base + t.n1 - 1 in
+      if target < lap then target - base else t.n1 - 1
+    in
+    let idx = ref (ffs_in_range t.occ1 ~from:(t.cur_tick - base) ~upto) in
+    while !idx >= 0 do
+      scanned := !scanned + t.c1.(!idx);
+      idx := if !idx + 1 > upto then -1 else ffs_in_range t.occ1 ~from:(!idx + 1) ~upto
+    done
+  end;
+  if target >= base + t.n1 && t.n2_count > 0 then begin
+    let target2 = target / t.n1 in
+    let cur2 = t.cur_tick / t.n1 in
+    let base2 = cur2 - (cur2 land (t.n2 - 1)) in
+    let from2 = (cur2 land (t.n2 - 1)) + 1 in
+    let idx2 = ref (ffs_in_range t.occ2 ~from:from2 ~upto:(t.n2 - 1)) in
+    let stop = ref false in
+    while (not !stop) && !idx2 >= 0 do
+      let tick2 = base2 + !idx2 in
+      if tick2 > target2 then stop := true
+      else begin
+        (* A bucket strictly below the target span is due in full; only
+           the bucket containing the target tick needs a walk. *)
+        if tick2 < target2 then scanned := !scanned + t.c2.(!idx2)
+        else begin
+          let j = ref t.h2.(!idx2) in
+          while !j >= 0 do
+            if s_at t !j <= now_i then incr scanned;
+            j := s_next t !j
+          done
+        end;
+        idx2 :=
+          if !idx2 + 1 > t.n2 - 1 then -1
+          else ffs_in_range t.occ2 ~from:(!idx2 + 1) ~upto:(t.n2 - 1)
+      end
+    done
+  end;
+  if t.far_n > 0 then begin
+    ensure_far_min t;
+    if t.far_min <= now_i then begin
+      let j = ref t.far_h in
+      while !j >= 0 do
+        if s_at t !j <= now_i then incr scanned;
+        j := s_next t !j
+      done
+    end
+  end;
+  !scanned
+
+(* Dispatch the past list, sorted by (deadline, tie).  Only reached
+   when a deadline was quantized below an already-retired tick or a
+   budget stop left due work behind — never the steady pacing path. *)
+let dispatch_past t ~seq_limit ~limit ~fired f =
+  let n = t.past_n in
+  let arr = Array.make n 0 in
+  let i = ref t.past_h and k = ref 0 in
+  while !i >= 0 do
+    arr.(!k) <- !i;
+    incr k;
+    i := s_next t !i
+  done;
+  Array.sort
+    (fun a b ->
+      let c = Int.compare (s_at t a) (s_at t b) in
+      if c <> 0 then c else Int.compare (s_seq t a) (s_seq t b))
+    arr;
+  let k = ref 0 in
+  while !k < n && !fired < limit do
+    let h = arr.(!k) in
+    (* Re-check: an earlier callback may have cancelled or re-armed the
+       entry (the slot is then free, or reused with seq >= seq_limit). *)
+    if s_loc t h = loc_past && s_seq t h < seq_limit then begin
+      unlink t h;
+      let at = s_at t h and v = t.s_val.(h) in
+      free_slot t h;
+      t.count <- t.count - 1;
+      incr fired;
+      f (Int64.of_int at) v
+    end;
+    incr k
+  done
+(* ALLOC001/2/3: the snapshot array, the (at, tie) comparator closure
+   and the re-boxed deadline — per-batch work on the slow past-list
+   path only (deadlines quantized below an already-retired tick, or a
+   budget stop), never the steady in-horizon pacing path. *)
+[@@lint.allow "ALLOC001"] [@@lint.allow "ALLOC002"] [@@lint.allow "ALLOC003"]
+
+(* ALLOC001/2/3: the slow past-list path snapshots and sorts slot
+   indices (array + comparator closure), each dispatched deadline is
+   re-boxed once at the callback boundary (Int64.of_int), and the
+   retirement scratch array doubles amortized (it grows to the largest
+   mid-call-append batch ever seen, then is reused forever) — the
+   steady in-horizon pacing path touches only int arrays. *)
+let[@hot] fire_due t ?prefetch ~now ~limit f =
+  let pf = match prefetch with Some g -> g | None -> ignore in
+  let seq_limit = t.next_seq in
+  let now_i = Int64.to_int now in
+  let target = now_i / t.gns in
+  if t.count = 0 then begin
+    (* Nothing anywhere: retire the whole range in O(1).  The wheel and
+       far list are empty, so no cascade state is skipped. *)
+    if target >= t.cur_tick then t.cur_tick <- target + 1;
+    Fire_outcome.pack ~scanned:0 ~fired:0
+  end
+  else begin
+    let scanned = count_due t ~now_i ~target in
+    let fired = ref 0 in
+    if t.past_n > 0 then dispatch_past t ~seq_limit ~limit ~fired f;
+    let break_ = ref false in
+    if !fired >= limit && scanned > !fired then break_ := true;
+    while (not !break_) && t.cur_tick <= target do
+      if t.n1_count = 0 && t.n2_count = 0 then begin
+        (* Both wheel levels empty: fast-forward to the earliest far
+           entry (or past the whole range) instead of walking epochs. *)
+        let jump =
+          if t.far_n = 0 then target + 1
+          else begin
+            ensure_far_min t;
+            let fmt = t.far_min / t.gns in
+            if fmt > target then target + 1 else if fmt > t.cur_tick then fmt else t.cur_tick
+          end
+        in
+        t.cur_tick <- jump;
+        if t.far_n > 0 then reroute_far t;
+        if t.cur_tick > target then break_ := true
+      end
+      else begin
+        let base = epoch1_base t in
+        let lap_end = if target < base + t.n1 - 1 then target else base + t.n1 - 1 in
+        let scanning = ref true in
+        while !scanning do
+          let idx = ffs_in_range t.occ1 ~from:(t.cur_tick - base) ~upto:(lap_end - base) in
+          if idx < 0 then begin
+            t.cur_tick <- lap_end + 1;
+            scanning := false
+          end
+          else begin
+            let tick = base + idx in
+            t.cur_tick <- tick;
+            (* Dispatch straight off the pair vector — no snapshot, and
+               no slab reads at all on this path.  The vector is ground
+               truth: [unlink] marks a cancelled or re-armed pair dead
+               in place, so re-reading the pair just before firing IS
+               the validity check; the deadline is [tick * gns] by
+               construction (a single-tick bucket holds exactly the
+               entries quantized to it); and the seq rides in the pair,
+               ascending, so the scan stops at the first entry
+               scheduled during this call.  Mid-dispatch appends land
+               at fill positions past the cut (fresh seq >= seq_limit)
+               and are retired to the past list below; restructuring
+               (compaction, buffer reset) is suppressed for this one
+               bucket via [dispatching], so positions stay stable.  The
+               slab row is only written, once, when the fired slot's
+               generation is bumped — stores do not stall retirement
+               the way demand loads do.
+
+               The scan runs in chunks of 64, each chunk in two phases.
+               The warm phase touches every entry's cold lines back to
+               back — the payload, then (through the caller's
+               [?prefetch] hint) whatever the callback will chase,
+               e.g. the pool's flow row — so the touches' cache misses
+               overlap up to the core's memory-level parallelism
+               instead of serializing one per callback; the dispatch
+               phase then runs on warm lines.  Two sweeps, not one:
+               [pf]'s target address depends on the payload load, so
+               fusing them would serialize each pair.  A touch may hit
+               an entry a callback later in the chunk cancels — the
+               hint contract allows it. *)
+            let fired_here = ref 0 in
+            (* One boxed deadline per bucket, not per fire: every entry
+               in a single-tick bucket fires at the same quantized time.
+               [opaque_identity] pins the box — without it the compiler
+               unboxes the let and re-boxes at every [f at64 v] call,
+               which is 3 minor words per fire back. *)
+            let at64 = Sys.opaque_identity (Int64.of_int (tick * t.gns)) in
+            t.dispatching <- idx;
+            let stop = ref t.f1.(idx) in
+            let q = ref 0 in
+            while !q < !stop && not !break_ do
+              let chunk_end = if !q + 64 < !stop then !q + 64 else !stop in
+              let vec = t.v1.(idx) in
+              let a = ref !q in
+              while !a < chunk_end && !a < !stop do
+                let s = vec.(!a * 2) in
+                if s >= 0 then begin
+                  if vec.((!a * 2) + 1) >= seq_limit then stop := !a
+                  else begin
+                    (* Load the slab row too: [free_slot] is about to
+                       store to it, and a warmed line turns that RFO
+                       miss (which would pile up in the store buffer)
+                       into an ownership upgrade. *)
+                    ignore (Sys.opaque_identity (s_gen t s));
+                    ignore (Sys.opaque_identity t.s_val.(s))
+                  end
+                end;
+                incr a
+              done;
+              let hi = if chunk_end < !stop then chunk_end else !stop in
+              for a = !q to hi - 1 do
+                let s = vec.(a * 2) in
+                if s >= 0 then pf t.s_val.(s)
+              done;
+              while !q < hi && not !break_ do
+                if !fired >= limit then begin
+                  (* Budget stop: withheld entries stay linked with
+                     their deadline and tie intact; cur_tick rests on
+                     this tick so the next call resumes here. *)
+                  scanning := false;
+                  break_ := true
+                end
+                else begin
+                  (* Re-read through [t.v1]: a callback's schedule may
+                     have grown (replaced) the vector, and a callback's
+                     cancel may have killed this pair since the warm
+                     sweep. *)
+                  let vec = t.v1.(idx) in
+                  let s = vec.(!q * 2) in
+                  if s >= 0 then begin
+                    vec.(!q * 2) <- -1;
+                    let v = t.s_val.(s) in
+                    free_slot t s;
+                    t.count <- t.count - 1;
+                    incr fired;
+                    incr fired_here;
+                    f at64 v
+                  end;
+                  incr q
+                end
+              done
+            done;
+            t.dispatching <- -1;
+            (* Bulk accounting for the fired entries (their pairs were
+               marked dead above without going through [unlink]). *)
+            t.c1.(idx) <- t.c1.(idx) - !fired_here;
+            t.n1_count <- t.n1_count - !fired_here;
+            if t.c1.(idx) = 0 then begin
+              t.f1.(idx) <- 0;
+              clear_bit t.occ1 idx;
+              let vec = t.v1.(idx) in
+              if Array.length vec > 64 then begin
+                if t.spare_n < Array.length t.spares then begin
+                  t.spares.(t.spare_n) <- vec;
+                  t.spare_n <- t.spare_n + 1
+                end;
+                t.v1.(idx) <- empty_vec
+              end
+            end;
+            if not !break_ then begin
+              (* Anything still linked was scheduled or re-armed during
+                 this call (tie at or past the snapshot boundary): move
+                 it to the past list so advancing cur_tick cannot strand
+                 it.  It is due, and the next call dispatches it from
+                 there, sorted — exactly the reference behaviour. *)
+              if t.c1.(idx) > 0 then retire_bucket_to_past t idx;
+              t.cur_tick <- tick + 1
+            end
+          end
+        done;
+        if (not !break_) && t.cur_tick = base + t.n1 then begin
+          (* Epoch advance.  Far cascades first: a far entry for the
+             incoming span must reach its level-2 bucket before that
+             bucket spills into level 1. *)
+          let tick2 = t.cur_tick / t.n1 in
+          if tick2 land (t.n2 - 1) = 0 && t.far_n > 0 then cascade_far t tick2;
+          let idx2 = tick2 land (t.n2 - 1) in
+          if t.h2.(idx2) >= 0 then cascade_bucket t idx2
+        end
+      end
+    done;
+    Fire_outcome.pack ~scanned ~fired:!fired
+  end
+[@@lint.allow "ALLOC001"] [@@lint.allow "ALLOC002"] [@@lint.allow "ALLOC003"]
+
+(* ---- sized instances for the test suite ---------------------------- *)
+
+module type SIZE = sig
+  val buckets : int
+end
+
+module Sized (B : SIZE) = struct
+  let name = name
+
+  type nonrec 'a t = 'a t
+  type nonrec 'a handle = 'a handle
+
+  let create ~tick () = create_sized ~buckets:B.buckets ~tick ()
+  let schedule = schedule
+  let schedule_i = schedule_i
+  let cancel = cancel
+  let rearm = rearm
+  let pending = pending
+  let resident = resident
+  let next_deadline = next_deadline
+  let handle_pending = handle_pending
+  let handle_deadline = handle_deadline
+  let fire_due = fire_due
+end

@@ -1,0 +1,26 @@
+(** An Eiffel/Carousel-style pacing wheel: the approximate-time store
+    for million-flow rate-based clocking (DESIGN.md §7.2).
+
+    Two levels of circular bucket arrays over the [tick] granularity,
+    each with a find-first-set occupancy bitmap, plus a far list beyond
+    the level-2 horizon and a past list for deadlines quantized below
+    the already-retired range.  Entries live in a struct-of-arrays slot
+    arena and a handle is an immediate int, so schedule / cancel /
+    re-arm are O(1) and allocation-free, and dispatch is O(due).
+
+    Semantics: exactly [Timer_store.Quantize] applied to the reference
+    store — the full §7.1 contract with every deadline rounded up to
+    the tick granularity (never early).  The default geometry is
+    4096 × 4096 buckets: at a 10 µs tick, a 41 ms level-1 horizon and a
+    ~167 s level-2 horizon. *)
+
+include Timer_store.S
+
+module type SIZE = sig
+  val buckets : int
+end
+
+module Sized (_ : SIZE) : Timer_store.S
+(** Same store with [buckets] buckets per level (rounded up to a power
+    of two, minimum 4).  Small instances force epoch turnover, cascades
+    and far-list traffic at test scale. *)

@@ -7,6 +7,7 @@ module type S = sig
 
   val create : tick:Time_ns.span -> unit -> 'a t
   val schedule : 'a t -> at:Time_ns.t -> 'a -> 'a handle
+  val schedule_i : 'a t -> at_i:int -> 'a -> 'a handle
   val cancel : 'a t -> 'a handle -> unit
   val rearm : 'a t -> 'a handle -> at:Time_ns.t -> bool
   val pending : 'a t -> int
@@ -16,7 +17,12 @@ module type S = sig
   val handle_deadline : 'a t -> 'a handle -> Time_ns.t
 
   val fire_due :
-    'a t -> now:Time_ns.t -> limit:int -> (Time_ns.t -> 'a -> unit) -> Fire_outcome.t
+    'a t ->
+    ?prefetch:('a -> unit) ->
+    now:Time_ns.t ->
+    limit:int ->
+    (Time_ns.t -> 'a -> unit) ->
+    Fire_outcome.t
 end
 
 (* ------------------------------------------------------------------ *)
@@ -53,6 +59,8 @@ module Reference : S = struct
     t.entries <- h :: t.entries;
     h
 
+  let schedule_i t ~at_i v = schedule t ~at:(Int64.of_int at_i) v
+
   let cancel t h =
     if h.rstate = Pending then begin
       h.rstate <- Cancelled;
@@ -83,7 +91,7 @@ module Reference : S = struct
   let handle_pending _t h = h.rstate = Pending
   let handle_deadline _t h = h.rat
 
-  let fire_due t ~now ~limit f =
+  let fire_due t ?prefetch:_ ~now ~limit f =
     (* Snapshot: only entries that existed (and were due) at call time
        are candidates; [seq_limit] excludes anything scheduled or
        re-armed by a callback during this call. *)
@@ -145,6 +153,9 @@ module Of_base (B : Timer_backend.S) : S = struct
     t.live <- t.live + 1;
     cell
 
+  (* The cell boxes the deadline anyway; nothing to save here. *)
+  let schedule_i t ~at_i v = schedule t ~at:(Int64.of_int at_i) v
+
   let cancel_base t cell =
     match cell.cbh with Some bh -> B.cancel t.b bh | None -> ()
 
@@ -180,7 +191,7 @@ module Of_base (B : Timer_backend.S) : S = struct
      sync with the cell states, so every base-level fire of a current
      generation is a store-level fire: the base's outcome (scanned and
      fired counts, budget accounting) is ours verbatim. *)
-  let[@hot] fire_due t ~now ~limit f =
+  let[@hot] fire_due t ?prefetch:_ ~now ~limit f =
     B.fire_due t.b ~now ~limit (fun d (cell, gen) ->
         if gen = cell.cgen && cell.cstate = Pending then begin
           cell.cstate <- Fired;
@@ -210,6 +221,43 @@ let wheel ?(slots = 512) () : (module S) =
     let fire_due t ~now ~limit f = Timing_wheel.fire_due t ~now ~limit f
   end in
   (module Of_base (W))
+
+(* ------------------------------------------------------------------ *)
+(* Approximate-firing oracle: any store M with every deadline rounded
+   UP to the tick granularity at schedule/rearm time.  This is the
+   semantics contract of the approximate stores (Pacing_wheel): they
+   must behave exactly like [Quantize (Reference)] — same fire times,
+   same order, same counts — which the equivalence suite checks by
+   string equality.  Rounding up (never down) preserves the sanitizer's
+   never-early-fire invariant.                                         *)
+
+module Quantize (M : S) : S = struct
+  let name = "quantize-" ^ M.name
+
+  type 'a t = { q : int; inner : 'a M.t }
+
+  type 'a handle = 'a M.handle
+
+  let create ~tick () =
+    let q = Int64.to_int tick in
+    { q = (if q <= 0 then 1 else q); inner = M.create ~tick () }
+
+  let quant t at = Int64.of_int ((Int64.to_int at + t.q - 1) / t.q * t.q)
+
+  let schedule t ~at v = M.schedule t.inner ~at:(quant t at) v
+  let schedule_i t ~at_i v = M.schedule_i t.inner ~at_i:((at_i + t.q - 1) / t.q * t.q) v
+  let cancel t h = M.cancel t.inner h
+  let rearm t h ~at = M.rearm t.inner h ~at:(quant t at)
+  let pending t = M.pending t.inner
+  let resident t = M.resident t.inner
+  let next_deadline t = M.next_deadline t.inner
+  let handle_pending t h = M.handle_pending t.inner h
+  let handle_deadline t h = M.handle_deadline t.inner h
+
+  (* [now] is not quantized: an entry fires once its rounded-up
+     deadline has arrived, reported at that rounded deadline. *)
+  let fire_due t ?prefetch ~now ~limit f = M.fire_due t.inner ?prefetch ~now ~limit f
+end
 
 (* ------------------------------------------------------------------ *)
 (* Closure-based instances: let a consumer hold one store of each kind

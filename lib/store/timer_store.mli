@@ -55,6 +55,14 @@ module type S = sig
 
   val schedule : 'a t -> at:Time_ns.t -> 'a -> 'a handle
 
+  val schedule_i : 'a t -> at_i:int -> 'a -> 'a handle
+  (** [schedule] with the deadline already in integer nanoseconds —
+      semantically identical ([schedule_i t ~at_i] = [schedule t
+      ~at:(Int64.of_int at_i)]), but the caller skips boxing the
+      deadline.  For pools that keep time as native ints
+      ({!Rate_clock.Pool}), this is what makes the steady reschedule
+      path allocation-free end to end. *)
+
   val cancel : 'a t -> 'a handle -> unit
   (** No-op on an already-cancelled or fired entry. *)
 
@@ -75,7 +83,20 @@ module type S = sig
   val handle_deadline : 'a t -> 'a handle -> Time_ns.t
 
   val fire_due :
-    'a t -> now:Time_ns.t -> limit:int -> (Time_ns.t -> 'a -> unit) -> Fire_outcome.t
+    'a t ->
+    ?prefetch:('a -> unit) ->
+    now:Time_ns.t ->
+    limit:int ->
+    (Time_ns.t -> 'a -> unit) ->
+    Fire_outcome.t
+  (** [?prefetch] is a memory-warming hint, not a semantic hook: a store
+      {e may} call it with the payload of an entry it expects to dispatch
+      a few iterations from now, so the callback's state (e.g. a
+      flow-id-indexed row in {!Rate_clock.Pool}) is in cache by the time
+      the real callback runs.  It may be called with payloads of entries
+      that turn out to be cancelled, re-armed, or budget-withheld — it
+      must be a pure touch with no observable effect.  Stores are free to
+      ignore it; only batch-shaped dispatchers (the pacing wheel) use it. *)
 end
 
 module Reference : S
@@ -91,6 +112,15 @@ module Of_base (_ : Timer_backend.S) : S
 val wheel : ?slots:int -> unit -> (module S)
 (** The production {!Timing_wheel} with [slots] slots (default 512),
     lifted via {!Of_base}. *)
+
+module Quantize (_ : S) : S
+(** The approximate-firing contract extension (§7.2): the wrapped store
+    with every deadline rounded {e up} to the [tick] granularity at
+    schedule / re-arm time.  All other contract clauses are unchanged —
+    tie positions, snapshot batches, budgets, residency.  An
+    approximate store such as {!Pacing_wheel} must be observationally
+    identical to [Quantize (Reference)]; rounding up means entries
+    never fire before their requested deadline. *)
 
 (** {2 Closure-based instances}
 

@@ -43,3 +43,71 @@ val create_with_rate_clock :
     the pacing events; transmission order and count are identical, the
     timing reflects the machine's trigger-state process.  Call
     {!Rate_clock.start} on the returned clock to begin. *)
+
+(** Fleet pacing: many transfers over one {!Rate_clock.Pool}.
+
+    The single-sender shapes above box a record and closures per
+    connection; the fleet names flows by dense integer id and keeps all
+    state in pooled struct-of-arrays structures — rate state in
+    {!Rate_clock.Pool}, transfer progress in {!Session_arena}, wire
+    packets in {!Packet.Pool} — so the steady send path allocates only
+    the boxed deadline each reschedule hands the timer store. *)
+module Fleet (M : Timer_store.S) : sig
+  type t
+
+  val create :
+    ?stat_every:int ->
+    ?intervals:Hdr.t ->
+    ?delays:Hdr.t ->
+    ?params:Tcp_types.params ->
+    tick:Time_ns.span ->
+    transmit:(int -> int Packet.Pool.cell -> unit) ->
+    unit ->
+    t
+  (** [transmit fid cell] hands one full-size segment of flow [fid] to
+      the wire; [cell.meta] is the segment's sequence number and the
+      cell is released (and recycled) as soon as [transmit] returns, so
+      it must not be retained.  [stat_every], [intervals] and [delays]
+      are passed to the underlying {!Rate_clock.Pool}. *)
+
+  val add :
+    t -> total_segments:int -> target_interval:Time_ns.span -> min_interval:Time_ns.span -> int
+  (** Open a flow; returns its id.  Pass [max_int] segments for an
+      unbounded pacing flow.  Flows are never removed — {!stop} idles
+      one — so ids stay dense. *)
+
+  val start : t -> int -> now:Time_ns.t -> unit
+  (** Begin the flow's train: first segment due immediately, sent on
+      the next {!check}. *)
+
+  val stop : t -> int -> unit
+
+  val check : t -> now:Time_ns.t -> limit:int -> Fire_outcome.t
+  (** Dispatch due transmissions across all flows — the fleet's trigger
+      state.  A flow's train ends by itself when its transfer
+      completes. *)
+
+  val flows : t -> int
+  val active : t -> int
+  val sends : t -> int
+  val catch_ups : t -> int
+  val sent : t -> int -> int
+  val complete : t -> int -> bool
+  val completed : t -> int
+
+  val intervals : t -> Hdr.t
+  (** Cohort inter-send gaps, µs (sampled; see {!Rate_clock.Pool}). *)
+
+  val delays : t -> Hdr.t
+  (** Cohort fire delay vs requested deadline, µs — for an approximate
+      store this includes the quantization error. *)
+
+  val store_pending : t -> int
+
+  val packet_cells_created : t -> int
+  (** Packet cells ever boxed; constant once the pool is warm (the
+      allocation-free steady-state witness). *)
+
+  val packet_reuses : t -> int
+  val store_name : string
+end

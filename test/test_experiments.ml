@@ -233,6 +233,53 @@ let test_sensitivity_shape () =
   Alcotest.(check bool) "win grows with sensitivity" true
     (List.nth ratios (List.length ratios - 1) > List.hd ratios)
 
+let test_pacer_scale_shape () =
+  let cells = Exp_pacer_scale.compute cfg in
+  Alcotest.(check bool) "has cells" true (List.length cells >= 6);
+  (* Rate-based clocking compensates for store quantization as long as
+     the bucket is finer than the target interval: every store variant
+     must transmit the identical segment count per fleet size. *)
+  let sizes =
+    List.sort_uniq compare (List.map (fun c -> c.Exp_pacer_scale.flows) cells)
+  in
+  List.iter
+    (fun flows ->
+      let sends =
+        List.filter_map
+          (fun c ->
+            if c.Exp_pacer_scale.flows = flows then Some c.Exp_pacer_scale.sends else None)
+          cells
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "sends agree across stores at %d flows" flows)
+        true
+        (List.length (List.sort_uniq compare sends) = 1);
+      Alcotest.(check bool) "sends positive" true (List.hd sends > 0))
+    sizes;
+  List.iter
+    (fun c ->
+      let open Exp_pacer_scale in
+      if c.store = "pacing-wheel/100us" then
+        (* 100 us buckets under 103+ us targets: the round-up
+           quantization must dominate the fire delay — the row that
+           prices approximation. *)
+        Alcotest.(check bool)
+          (Printf.sprintf "coarse wheel delay visible (p50 %.1f)" c.d50_us)
+          true (c.d50_us > 30.0)
+      else
+        (* Fine stores: a fire lands at the first 10 us check at or
+           after its deadline, so delay never exceeds one tick. *)
+        Alcotest.(check bool)
+          (Printf.sprintf "%s max delay within a tick (%.1f)" c.store c.dmax_us)
+          true
+          (c.dmax_us <= 11.0);
+      if c.store = "pacing-wheel" && c.flows >= 10_000 then
+        Alcotest.(check bool)
+          (Printf.sprintf "wheel memory per flow (%.2f KB)" c.kb_per_flow)
+          true
+          (c.kb_per_flow < 0.5))
+    cells
+
 let test_renders_do_not_raise () =
   (* Rendering smoke tests over tiny computations. *)
   let s = Exp_rbc_wan.render cfg (Exp_rbc_wan.compute cfg) in
@@ -257,6 +304,7 @@ let () =
           Alcotest.test_case "table8 polling wins" `Slow test_polling_improvements;
           Alcotest.test_case "livelock extension shape" `Slow test_livelock_shape;
           Alcotest.test_case "sensitivity extension shape" `Slow test_sensitivity_shape;
+          Alcotest.test_case "pacer-scale extension shape" `Slow test_pacer_scale_shape;
           Alcotest.test_case "renders" `Slow test_renders_do_not_raise;
         ] );
     ]

@@ -183,7 +183,9 @@ let test_rate_clock_converges_to_target () =
   start_triggers ~gap_us:8.0 m 5;
   let sends = ref 0 in
   let clock =
-    Rate_clock.create st ~target_interval:(us 50.0) ~min_interval:(us 12.0)
+    Rate_clock.create st
+      ~intervals:(Hdr.create ~lowest:0.01 ())
+      ~target_interval:(us 50.0) ~min_interval:(us 12.0)
       ~send:(fun _ -> incr sends; true)
       ()
   in
@@ -203,7 +205,9 @@ let test_rate_clock_respects_min_interval () =
   let e, m, st = fresh () in
   start_triggers ~gap_us:2.0 m 6;
   let clock =
-    Rate_clock.create st ~target_interval:(us 50.0) ~min_interval:(us 10.0)
+    Rate_clock.create st
+      ~intervals:(Hdr.create ~lowest:0.01 ())
+      ~target_interval:(us 50.0) ~min_interval:(us 10.0)
       ~send:(fun _ -> true)
       ()
   in
@@ -287,7 +291,11 @@ let test_rate_clock_memory_bounded () =
   let e, m, st = fresh () in
   start_triggers ~gap_us:4.0 m 9;
   let clock =
-    Rate_clock.create st ~target_interval:(us 12.0) ~min_interval:(us 12.0)
+    (* Private histogram: this test counts exactly the gaps of this one
+       clock, which the shared cohort default would fold together. *)
+    Rate_clock.create st
+      ~intervals:(Hdr.create ~lowest:0.01 ())
+      ~target_interval:(us 12.0) ~min_interval:(us 12.0)
       ~send:(fun _ -> true)
       ()
   in

@@ -145,7 +145,44 @@ let equivalence_tests =
           if String.equal got want then true
           else QCheck.Test.fail_reportf "%s diverged:\n--- %s\n%s\n--- reference\n%s" M.name
               M.name got want))
-    Store_registry.all
+    Store_registry.exact
+
+(* The approximate store fires at bucket-rounded deadlines, so its
+   oracle is the reference model behind the same quantization
+   ([Timer_store.Quantize]): trace equality then checks the full §7.1
+   contract plus the rounding clause in one shot.  The granularity is
+   the 10 µs tick [run_store] creates every store with; the generator's
+   whole-µs offsets make most deadlines land off-grid, so rounding is
+   genuinely exercised.  Small sized instances force level-1 epoch
+   turnover, level-2 cascades, bucket-index reuse and far-list
+   re-routing inside the generator's 2 ms deadline range. *)
+module Quantized_reference = Timer_store.Quantize (Timer_store.Reference)
+
+module Pacing_wheel_8 = Pacing_wheel.Sized (struct
+  let buckets = 8
+end)
+
+module Pacing_wheel_32 = Pacing_wheel.Sized (struct
+  let buckets = 32
+end)
+
+let approx_equivalence_tests =
+  List.map
+    (fun (label, (module M : Timer_store.S)) ->
+      QCheck.Test.make
+        ~name:(Printf.sprintf "%s = quantized reference" label)
+        ~count:200 ops_arbitrary
+        (fun ops ->
+          let got = run_store (module M) ops in
+          let want = run_store (module Quantized_reference) ops in
+          if String.equal got want then true
+          else QCheck.Test.fail_reportf "%s diverged:\n--- %s\n%s\n--- quantized reference\n%s"
+              label label got want))
+    [
+      ("pacing-wheel", (module Pacing_wheel : Timer_store.S));
+      ("pacing-wheel[8]", (module Pacing_wheel_8));
+      ("pacing-wheel[32]", (module Pacing_wheel_32));
+    ]
 
 (* Residency must stay O(live) for every store under every random
    workload — the generalisation of the cancel-leak regression. *)
@@ -332,6 +369,112 @@ let test_rearm_churn_bounded () =
       ignore (M.fire_due t ~now:(us 1e9) ~limit:max_int (fun _ _ -> incr fired) : Fire_outcome.t);
       Alcotest.(check int) (M.name ^ ": fires exactly once") 1 !fired)
 
+(* ------------------------------------------------------------------ *)
+(* Pacing-wheel contract tests: the approximate-firing clauses that the
+   quantized qcheck oracle covers statistically, pinned down
+   deterministically on a tiny 8-bucket geometry (level-1 horizon
+   80 µs, level-2 horizon 640 µs at the 10 µs tick). *)
+
+(* Never-early quantization: deadlines round up to the tick. *)
+let test_pw_quantization () =
+  let module M = Pacing_wheel in
+  let t = M.create ~tick:(us 10.0) () in
+  let h = M.schedule t ~at:(us 15.0) "x" in
+  Alcotest.(check int64) "deadline rounded up" (us 20.0) (M.handle_deadline t h);
+  Alcotest.(check (option int64)) "next_deadline rounded up" (Some (us 20.0))
+    (M.next_deadline t);
+  let fired = ref [] in
+  ignore
+    (M.fire_due t ~now:(us 19.9) ~limit:max_int (fun dl v -> fired := (dl, v) :: !fired)
+      : Fire_outcome.t);
+  Alcotest.(check int) "nothing before the bucket boundary" 0 (List.length !fired);
+  ignore
+    (M.fire_due t ~now:(us 20.0) ~limit:max_int (fun dl v -> fired := (dl, v) :: !fired)
+      : Fire_outcome.t);
+  Alcotest.(check (list (pair int64 string))) "fires at the rounded deadline"
+    [ (us 20.0, "x") ] !fired
+
+(* Bucket-index reuse across epochs: ticks 3 and 11 share level-1
+   bucket 3 on an 8-bucket wheel; tick 11 must wait in level 2 until
+   the epoch advances, and the FFS scan of the reused index must not
+   resurrect the drained lap.  The far entry crosses both cascade
+   levels before firing. *)
+let test_pw_epoch_wraparound () =
+  let module M = Pacing_wheel_8 in
+  let t = M.create ~tick:(us 10.0) () in
+  let fired = ref [] in
+  let fire now =
+    fired := [];
+    ignore
+      (M.fire_due t ~now ~limit:max_int (fun dl v -> fired := (dl, v) :: !fired)
+        : Fire_outcome.t);
+    List.rev !fired
+  in
+  let _a = M.schedule t ~at:(us 30.0) "a" in
+  let _b = M.schedule t ~at:(us 110.0) "b" in
+  let _c = M.schedule t ~at:(us 700.0) "c" in
+  Alcotest.(check (list (pair int64 string))) "tick 3 fires alone" [ (us 30.0, "a") ]
+    (fire (us 30.0));
+  (* Same level-1 index as b (11 mod 8 = 3), scheduled after the epoch
+     holding tick 3 was partially drained. *)
+  let _d = M.schedule t ~at:(us 110.0) "d" in
+  Alcotest.(check (list (pair int64 string))) "reused index drains in tie order"
+    [ (us 110.0, "b"); (us 110.0, "d") ]
+    (fire (us 200.0));
+  Alcotest.(check (list (pair int64 string))) "far entry cascades through both levels"
+    [ (us 700.0, "c") ]
+    (fire (us 1000.0));
+  Alcotest.(check int) "drained" 0 (M.pending t)
+
+(* In-callback re-arm, both directions: re-armed into the future the
+   entry leaves the batch; re-armed to an already-due deadline it still
+   must not fire in the same call (fresh tie position = not in the
+   snapshot), and the next call dispatches it at the re-armed, rounded
+   deadline even though the wheel has retired past that tick. *)
+let test_pw_in_callback_rearm () =
+  let module M = Pacing_wheel_8 in
+  (* Future re-arm. *)
+  let t = M.create ~tick:(us 10.0) () in
+  let b = ref None in
+  let _a =
+    M.schedule t ~at:(us 10.0) `Rearmer
+  in
+  b := Some (M.schedule t ~at:(us 20.0) `Victim);
+  let fired = ref 0 in
+  let o1 =
+    M.fire_due t ~now:(us 50.0) ~limit:max_int (fun _ v ->
+        incr fired;
+        match (v, !b) with
+        | `Rearmer, Some h -> ignore (M.rearm t h ~at:(us 100.0) : bool)
+        | _ -> ())
+  in
+  Alcotest.(check int) "only the rearmer fires" 1 (Fire_outcome.fired o1);
+  Alcotest.(check int) "victim still scanned" 2 (Fire_outcome.scanned o1);
+  let o2 = M.fire_due t ~now:(us 100.0) ~limit:max_int (fun _ _ -> incr fired) in
+  Alcotest.(check int) "victim fires at the re-armed deadline" 1 (Fire_outcome.fired o2);
+  Alcotest.(check int) "two callbacks total" 2 !fired;
+  (* Already-due re-arm: lands below the retired range (the past list). *)
+  let t = M.create ~tick:(us 10.0) () in
+  let b = ref None in
+  let _a =
+    M.schedule t ~at:(us 10.0) `Rearmer
+  in
+  b := Some (M.schedule t ~at:(us 20.0) `Victim);
+  let seen = ref [] in
+  let o3 =
+    M.fire_due t ~now:(us 50.0) ~limit:max_int (fun dl v ->
+        seen := (dl, v) :: !seen;
+        match (v, !b) with
+        | `Rearmer, Some h -> ignore (M.rearm t h ~at:(us 30.0) : bool)
+        | _ -> ())
+  in
+  Alcotest.(check int) "due re-arm leaves the snapshot" 1 (Fire_outcome.fired o3);
+  let o4 = M.fire_due t ~now:(us 50.0) ~limit:max_int (fun dl v -> seen := (dl, v) :: !seen) in
+  Alcotest.(check int) "due re-arm fires next call" 1 (Fire_outcome.fired o4);
+  Alcotest.(check bool) "at the re-armed deadline" true
+    (match !seen with (dl, `Victim) :: _ -> Time_ns.(dl = us 30.0) | _ -> false);
+  Alcotest.(check int) "nothing left" 0 (M.pending t)
+
 (* Determinism: the facility's observable behaviour — the full trace of
    soft_sched/soft_cancel/soft_fire events, digested — must not depend
    on which store backs it.  Runs a trigger-driven machine with a
@@ -365,8 +508,11 @@ let digest_with (module M : Timer_store.S) =
   Trace.uninstall ();
   (Trace_digest.digest tr, Trace.total tr, Softtimer.fired st, Softtimer.store_name st)
 
+(* Exact stores only: the approximate store legitimately shifts fire
+   times to bucket boundaries, so its trace digest differs by design
+   (its own oracle is the quantized-equivalence suite above). *)
 let test_digest_store_independent () =
-  match Store_registry.all with
+  match Store_registry.exact with
   | [] -> Alcotest.fail "empty store registry"
   | first :: rest ->
     let d0, n0, f0, name0 = digest_with first in
@@ -394,6 +540,13 @@ let () =
           Alcotest.test_case "rearm churn bounded" `Quick test_rearm_churn_bounded;
           Alcotest.test_case "digest independent of store" `Quick test_digest_store_independent;
         ] );
+      ( "pacing-wheel",
+        [
+          Alcotest.test_case "never-early quantization" `Quick test_pw_quantization;
+          Alcotest.test_case "FFS epoch wraparound" `Quick test_pw_epoch_wraparound;
+          Alcotest.test_case "in-callback rearm" `Quick test_pw_in_callback_rearm;
+        ] );
       ("equivalence", List.map qc equivalence_tests);
+      ("approx-equivalence", List.map qc approx_equivalence_tests);
       ("residency", List.map qc residency_tests);
     ]

@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-parallel microbench arena-bench pacer-smoke pacer-bench profile-smoke bench-json benchdiff trace-smoke stats-smoke whylate-smoke lint lint-json lint-baseline sanitize-smoke determinism clean
+.PHONY: all build test bench bench-parallel microbench arena-bench pacer-smoke pacer-bench profile-smoke bench-json benchdiff mem-smoke mem-bench trace-smoke stats-smoke whylate-smoke lint lint-json lint-baseline sanitize-smoke determinism clean
 
 all: build
 
@@ -67,7 +67,31 @@ bench-json: build
 # behaviour change — regenerate bench/BENCH_baseline.json deliberately
 # when one is intended.
 benchdiff: bench-json
-	dune exec tools/benchdiff/benchdiff.exe -- --strict --threshold 0 bench/BENCH_baseline.json $(BENCH_JSON)
+	dune exec tools/benchdiff/benchdiff.exe -- --strict --threshold 0 --mem-threshold 0 bench/BENCH_baseline.json $(BENCH_JSON)
+
+# Memory-observatory smoke: run the mem report over fig1 and the
+# pacer-scale sweep (quick sizes) and validate the JSON shape — schema
+# marker, census sources with live flags, the conservation verdict
+# (the subcommand itself exits nonzero on a violation), and per-store
+# store/pool words for at least two stores.
+mem-smoke: build
+	dune exec bin/softtimers_cli.exe -- mem fig1 --quick --json --out /tmp/softtimers-fig1-mem.json
+	dune exec bin/softtimers_cli.exe -- mem pacer-scale --quick --json --out /tmp/softtimers-pacer-mem.json
+	python3 -c "import json; d = json.load(open('/tmp/softtimers-pacer-mem.json')); \
+	assert d['schema'] == 'softtimers-mem/1', d['schema']; \
+	ms = d['memstats']; assert ms['conservation_ok'], 'conservation violated'; \
+	stores = {s['path'].split(';')[2] for s in ms['sources'] if s['path'].startswith('mem;pacer;')}; \
+	assert len(stores) >= 2, stores; \
+	assert all(s['words'] > 0 for s in ms['sources'] if s['path'].endswith(';store')), 'empty store source'; \
+	print('mem-smoke: %d sources over %d stores, conservation ok' % (len(ms['sources']), len(stores)))"
+
+# Full-size memory sweep: per-store words/flow at 10^3..10^6 flows
+# (the EXPERIMENTS.md memory-gap table).  Writes MEM_OUT; CI uploads
+# the quick variant as an artifact.
+MEM_OUT ?= /tmp/softtimers-pacer-mem.json
+mem-bench: build
+	dune exec bin/softtimers_cli.exe -- mem pacer-scale --json --out $(MEM_OUT)
+	@echo "mem-bench: wrote $(MEM_OUT)"
 
 # Export a quick fig1 trace and check the Chrome trace_event JSON is
 # well-formed (Perfetto/chrome://tracing will accept what json.tool
@@ -107,9 +131,11 @@ whylate-smoke: build
 	print('whylate-smoke: %d late fires, %d causes, worst %d' % (d['late'], len(d['causes']), len(d['worst'])))"
 
 # Static-analysis suite (tools/lint): determinism (DET001..DET004,
-# MLI001), domain races (RACE001..RACE004) and hot-path allocations
-# (ALLOC001..ALLOC003) over lib/ bin/ examples/ bench/ tools/, with
-# file:line:RULE diagnostics, ratcheted against tools/lint/BASELINE.json.
+# MLI001), Gc.Memprof confinement (MEM001), domain races
+# (RACE001..RACE004) and hot-path allocations (ALLOC001..ALLOC003) over
+# lib/ bin/ examples/ bench/ tools/, with file:line:RULE diagnostics,
+# ratcheted against tools/lint/BASELINE.json (empty since the RACE002
+# burn-down — any finding is fresh debt).
 lint:
 	dune build @lint
 

@@ -296,16 +296,34 @@ let stores_json cfg =
       let r = M.resident t in
       if r > !max_resident then max_resident := r
     done;
-    jobj
-      [
-        ("store", jstr M.name);
-        ("fired", string_of_int !fired);
-        ("rearms", string_of_int !rearms);
-        ("max_resident", string_of_int !max_resident);
-        ("final_pending", string_of_int (M.pending t));
-      ]
+    (* Analytic words are a pure function of the store's final state —
+       no GC involvement — so the mem cells gate under benchdiff
+       --strict (and its memory thresholds) like any table cell. *)
+    let words = M.words t in
+    let pending = M.pending t in
+    let row =
+      jobj
+        [
+          ("store", jstr M.name);
+          ("fired", string_of_int !fired);
+          ("rearms", string_of_int !rearms);
+          ("max_resident", string_of_int !max_resident);
+          ("final_pending", string_of_int pending);
+        ]
+    in
+    let mem =
+      jobj
+        [
+          ("store", jstr M.name);
+          ("words", string_of_int words);
+          ("pending", string_of_int pending);
+          ("words_per_timer", jnum (float_of_int words /. float_of_int (max 1 pending)));
+        ]
+    in
+    (row, mem)
   in
-  jlist (List.map run Store_registry.all)
+  let cells = List.map run Store_registry.all in
+  (jlist (List.map fst cells), jobj [ ("stores", jlist (List.map snd cells)) ])
 
 let emit_json ~path ~cfg ~quick ~timings ~profile =
   (* The structured computes replay deterministically from the same
@@ -323,6 +341,7 @@ let emit_json ~path ~cfg ~quick ~timings ~profile =
   in
   let t8 = Exp_polling.compute cfg in
   let t2 = Exp_trigger_sources.compute cfg in
+  let stores_cells, mem_section = stores_json cfg in
   let doc =
     jobj
       [
@@ -338,7 +357,8 @@ let emit_json ~path ~cfg ~quick ~timings ~profile =
         ("table3", table3_json t3);
         ("table8", table8_json t8);
         ("table2_sources", table2_json t2);
-        ("stores", stores_json cfg);
+        ("stores", stores_cells);
+        ("mem", mem_section);
         ("whylate", whylate_json da);
         ("attribution", attribution_json profile);
       ]

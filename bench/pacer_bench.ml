@@ -32,7 +32,12 @@ type cell = {
   ns_per_flow_tick : float;
   ns_per_send : float;
   minor_words_per_send : float;
+  major_words_per_send : float;
+  store_words : int;  (* analytic store footprint after the timed section *)
+  pool_words : int;  (* fleet pool arrays (flow state, handles) *)
 }
+
+let words_per_flow c = float_of_int (c.store_words + c.pool_words) /. float_of_int c.flows
 
 let run_cell (module M : Timer_store.S) ~flows ~ticks ~seed =
   let module F = Paced_sender.Fleet (M) in
@@ -67,14 +72,15 @@ let run_cell (module M : Timer_store.S) ~flows ~ticks ~seed =
             : Fire_outcome.t)
   done;
   let sends0 = F.sends fleet in
-  let minor0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
-  for s = warm + 1 to warm + ticks do
-    ignore (F.check fleet ~now:(Time_ns.mul (Time_ns.of_us tick_us) s) ~limit:max_int
-            : Fire_outcome.t)
-  done;
+  let (), gc =
+    Bench_mem.measure (fun () ->
+        for s = warm + 1 to warm + ticks do
+          ignore (F.check fleet ~now:(Time_ns.mul (Time_ns.of_us tick_us) s) ~limit:max_int
+                  : Fire_outcome.t)
+        done)
+  in
   let dt = Unix.gettimeofday () -. t0 in
-  let minor = Gc.minor_words () -. minor0 in
   let sends = F.sends fleet - sends0 in
   {
     store = M.name;
@@ -83,7 +89,10 @@ let run_cell (module M : Timer_store.S) ~flows ~ticks ~seed =
     sends;
     ns_per_flow_tick = dt *. 1e9 /. float_of_int ticks /. float_of_int flows;
     ns_per_send = dt *. 1e9 /. float_of_int (max 1 sends);
-    minor_words_per_send = minor /. float_of_int (max 1 sends);
+    minor_words_per_send = gc.Bench_mem.d_minor_words /. float_of_int (max 1 sends);
+    major_words_per_send = Bench_mem.major_alloc gc /. float_of_int (max 1 sends);
+    store_words = F.store_words fleet;
+    pool_words = F.pool_words fleet;
   }
 
 (* Min-of-N: the counts are deterministic (seeded Prng), so repeats
@@ -167,12 +176,23 @@ let () =
       stores
   in
   Printf.printf "Fleet pacing cost: ns per flow per tick (wall-clock), seed %d\n\n" !seed;
-  Printf.printf "| store | flows | ticks | sends | ns/flow/tick | ns/send | minor words/send |\n";
-  Printf.printf "|---|---:|---:|---:|---:|---:|---:|\n";
+  Printf.printf
+    "| store | flows | ticks | sends | ns/flow/tick | ns/send | minor words/send | major \
+     words/send | words/flow |\n";
+  Printf.printf "|---|---:|---:|---:|---:|---:|---:|---:|---:|\n";
   List.iter
     (fun c ->
-      Printf.printf "| %s | %d | %d | %d | %.2f | %.0f | %.3f |\n" c.store c.flows c.ticks
-        c.sends c.ns_per_flow_tick c.ns_per_send c.minor_words_per_send)
+      Printf.printf "| %s | %d | %d | %d | %.2f | %.0f | %.3f | %.3f | %.1f |\n" c.store
+        c.flows c.ticks c.sends c.ns_per_flow_tick c.ns_per_send c.minor_words_per_send
+        c.major_words_per_send (words_per_flow c))
+    cells;
+  (* Retention census: note each cell's analytic store + pool footprint
+     under mem;pacer;<store>;<flows> so the JSON mem section attributes
+     retained words the same way `softtimers-cli mem` does. *)
+  List.iter
+    (fun c ->
+      Memstats.note ~path:[ "pacer"; c.store; string_of_int c.flows ]
+        (c.store_words + c.pool_words))
     cells;
   match !json with
   | None -> ()
@@ -186,11 +206,16 @@ let () =
         Buffer.add_string b
           (Printf.sprintf
              "{\"store\":\"%s\",\"flows\":%d,\"ticks\":%d,\"sends\":%d,\
-              \"ns_per_flow_tick\":%.3f,\"ns_per_send\":%.1f,\"minor_words_per_send\":%.3f}"
+              \"ns_per_flow_tick\":%.3f,\"ns_per_send\":%.1f,\"minor_words_per_send\":%.3f,\
+              \"major_words_per_send\":%.3f,\"store_words\":%d,\"pool_words\":%d,\
+              \"words_per_flow\":%.1f}"
              c.store c.flows c.ticks c.sends c.ns_per_flow_tick c.ns_per_send
-             c.minor_words_per_send))
+             c.minor_words_per_send c.major_words_per_send c.store_words c.pool_words
+             (words_per_flow c)))
       cells;
-    Buffer.add_string b "]}\n";
+    Buffer.add_string b "],\"mem\":";
+    Buffer.add_string b (Memstats.to_json ());
+    Buffer.add_string b "}\n";
     let oc = open_out path in
     Fun.protect
       ~finally:(fun () -> close_out oc)

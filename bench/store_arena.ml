@@ -51,6 +51,9 @@ type metrics = {
   rearms : int;
   max_resident : int;
   final_pending : int;
+  major_mb : float;  (* major-heap size after the workload, MiB *)
+  store_words : int;  (* analytic store footprint after the workload *)
+  words_per_timer : float;  (* store_words / final resident population *)
 }
 
 type workload = Schedule_fire | Rearm_churn | Cancel_churn
@@ -97,44 +100,52 @@ let run_cell (module M : Timer_store.S) ~which ~n ~ops ~seed =
      real elapsed time per operation; no simulated result depends on
      it. *)
   let t0 = Unix.gettimeofday () in
-  (match which with
-  | Schedule_fire ->
-    for k = 1 to ops do
-      fire_step (adv_us *. Prng.float_range rng 0.5 1.5);
-      if k land 1023 = 0 then note_resident ()
-    done
-  | Rearm_churn ->
-    for k = 1 to ops do
-      (if n > 0 then
-         let i = Prng.int rng n in
-         match handles.(i) with
-         | Some h ->
-           let at = Time_ns.(!now + pick_duration rng) in
-           if M.rearm t h ~at then incr rearms
-         | None -> ());
-      (* Let time move so re-arms race real expiries, not a frozen clock. *)
-      if k land 63 = 0 then fire_step (64.0 *. adv_us);
-      if k land 1023 = 0 then note_resident ()
-    done
-  | Cancel_churn ->
-    for k = 1 to ops do
-      (if n > 0 then begin
-         let i = Prng.int rng n in
-         (match handles.(i) with Some h -> M.cancel t h | None -> ());
-         let at = Time_ns.(!now + pick_duration rng) in
-         handles.(i) <- Some (M.schedule t ~at i)
-       end);
-      if k land 63 = 0 then fire_step (64.0 *. adv_us);
-      if k land 1023 = 0 then note_resident ()
-    done);
+  let (), gc =
+    Bench_mem.measure (fun () ->
+        match which with
+        | Schedule_fire ->
+          for k = 1 to ops do
+            fire_step (adv_us *. Prng.float_range rng 0.5 1.5);
+            if k land 1023 = 0 then note_resident ()
+          done
+        | Rearm_churn ->
+          for k = 1 to ops do
+            (if n > 0 then
+               let i = Prng.int rng n in
+               match handles.(i) with
+               | Some h ->
+                 let at = Time_ns.(!now + pick_duration rng) in
+                 if M.rearm t h ~at then incr rearms
+               | None -> ());
+            (* Let time move so re-arms race real expiries, not a frozen clock. *)
+            if k land 63 = 0 then fire_step (64.0 *. adv_us);
+            if k land 1023 = 0 then note_resident ()
+          done
+        | Cancel_churn ->
+          for k = 1 to ops do
+            (if n > 0 then begin
+               let i = Prng.int rng n in
+               (match handles.(i) with Some h -> M.cancel t h | None -> ());
+               let at = Time_ns.(!now + pick_duration rng) in
+               handles.(i) <- Some (M.schedule t ~at i)
+             end);
+            if k land 63 = 0 then fire_step (64.0 *. adv_us);
+            if k land 1023 = 0 then note_resident ()
+          done)
+  in
   let dt = Unix.gettimeofday () -. t0 in
   note_resident ();
+  let store_words = M.words t in
+  let resident = max 1 (M.resident t) in
   {
     ns_per_op = dt /. float_of_int (max 1 ops) *. 1e9;
     fired = !fired;
     rearms = !rearms;
     max_resident = !max_resident;
     final_pending = M.pending t;
+    major_mb = float_of_int gc.Bench_mem.d_heap_words *. 8.0 /. (1024.0 *. 1024.0);
+    store_words;
+    words_per_timer = float_of_int store_words /. float_of_int resident;
   }
 
 let run_store (module M : Timer_store.S) ~n ~ops ~seed =
@@ -175,8 +186,10 @@ let () =
   line "Timer-store arena: %d live timers, %d ops per workload, seed %d" !n !ops !seed;
   line "(ns/op is wall-clock; counts are deterministic per seed)";
   line "";
-  line "| store | workload | live N | ops | ns/op | fired | rearms | max resident | final pending |";
-  line "|---|---|---:|---:|---:|---:|---:|---:|---:|";
+  line
+    "| store | workload | live N | ops | ns/op | fired | rearms | max resident | final \
+     pending | major MiB | words/timer |";
+  line "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|";
   List.iter
     (fun (module M : Timer_store.S) ->
       if population_cap M.name < !n then
@@ -184,8 +197,9 @@ let () =
           (population_cap M.name);
       List.iter
         (fun (which, live, ops, m) ->
-          line "| %s | %s | %d | %d | %.0f | %d | %d | %d | %d |" M.name (workload_name which)
-            live ops m.ns_per_op m.fired m.rearms m.max_resident m.final_pending)
+          line "| %s | %s | %d | %d | %.0f | %d | %d | %d | %d | %.1f | %.1f |" M.name
+            (workload_name which) live ops m.ns_per_op m.fired m.rearms m.max_resident
+            m.final_pending m.major_mb m.words_per_timer)
         (run_store (module M) ~n:!n ~ops:!ops ~seed:!seed);
       (* One store's arena at a time: drop its millions of nodes before
          building the next store's. *)

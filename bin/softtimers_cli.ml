@@ -459,6 +459,110 @@ let run_whylate cfg id worst fmt out buf budget =
                 (Delay_audit.violations da) )
         else `Ok ())
 
+(* --- mem: memory observatory ---------------------------------------- *)
+
+(* Arm the memory observatory around [f]: register the observatory's
+   own self-census, start the statistical allocation profiler when the
+   runtime engine supports it (best-effort — on OCaml 5.0-5.2 the
+   status marker reports it unavailable and the site table stays
+   empty), and take GC samples at the run boundaries.  The report goes
+   to stderr: nothing here emits a trace event or touches
+   Metrics.default, so stdout, digests and tables are byte-identical
+   with or without --mem. *)
+let with_mem enabled f =
+  if not enabled then f ()
+  else begin
+    Memstats.reset_census ();
+    Memstats.reset_samples ();
+    Memprof.reset ();
+    (* The observatory accounts for itself: the interned category
+       registry is retained heap like any store's. *)
+    Memstats.register ~path:[ "obs"; "profile-registry" ] Profile.registry_words;
+    ignore (Memprof.start () : (unit, string) result);
+    Memstats.sample ~label:"start";
+    let finish () =
+      Memprof.stop ();
+      Memstats.sample ~label:"end"
+    in
+    let r =
+      try f ()
+      with e ->
+        finish ();
+        raise e
+    in
+    finish ();
+    prerr_newline ();
+    prerr_string (Memprof.table ~n:10);
+    prerr_newline ();
+    prerr_string (Memstats.report ());
+    r
+  end
+
+(* Run one experiment under the full observatory and print the memory
+   report instead of the experiment's table (mirroring `stats`): top-N
+   allocation sites, the per-subsystem live-word tree, the retention
+   table with its conservation verdict, GC samples and counters.
+   pacer-scale runs through its census entry point, which registers
+   every fleet as a live source — `mem pacer-scale` is the per-store
+   words/flow report at 10^3..10^6. *)
+let run_mem cfg id top fmt out =
+  match List.find_opt (fun (name, _, _) -> name = id) experiments with
+  | None -> unknown_experiment id
+  | Some _ when top <= 0 -> `Error (false, "--top must be positive")
+  | Some _
+    when match out with
+         | None -> false
+         | Some f -> ( try close_out (open_out f); false with Sys_error _ -> true) ->
+    `Error (false, Printf.sprintf "cannot write mem output %S" (Option.get out))
+  | Some (_, _, f) ->
+    Memstats.reset_census ();
+    Memstats.reset_samples ();
+    Memprof.reset ();
+    Memstats.register ~path:[ "obs"; "profile-registry" ] Profile.registry_words;
+    ignore (Memprof.start () : (unit, string) result);
+    Memstats.sample ~label:"start";
+    (if id = "pacer-scale" then
+       ignore
+         (Memprof.with_context [ "experiment"; id ] (fun () ->
+              Exp_pacer_scale.run_census cfg)
+           : Exp_pacer_scale.cell list)
+     else
+       ignore (Memprof.with_context [ "experiment"; id ] (fun () -> f cfg) : string));
+    Memprof.stop ();
+    Memstats.sample ~label:"end";
+    let body =
+      match fmt with
+      | `Json ->
+        Printf.sprintf
+          "{\"schema\":\"softtimers-mem/1\",\"experiment\":%s,\"seed\":%d,\"quick\":%b,\
+           \"memprof\":%s,\"memstats\":%s}"
+          (jstring id) cfg.Exp_config.seed cfg.Exp_config.quick
+          (Memprof.to_json ~n:top) (Memstats.to_json ())
+      | `Prom -> Memstats.to_prometheus ()
+      | `Human ->
+        Printf.sprintf "mem %s (seed %d%s) — memprof %s\n\n%s\n%s" id cfg.Exp_config.seed
+          (if cfg.Exp_config.quick then ", quick" else "")
+          (Memprof.status ())
+          (Memprof.table ~n:top) (Memstats.report ())
+    in
+    (match out with
+    | None -> print_string body
+    | Some file ->
+      let oc = open_out file in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc body);
+      Printf.printf "mem: %s report -> %s\n"
+        (match fmt with `Json -> "json" | `Prom -> "prometheus" | `Human -> "text")
+        file);
+    let ok = Memstats.conservation_ok () in
+    (* Drop the census (and with it the fleets the providers keep alive). *)
+    Memstats.reset_census ();
+    if ok then `Ok ()
+    else
+      `Error
+        ( false,
+          "mem: conservation violated — attributed live words exceed GC live words \
+           (double-counted or stale census provider)" )
+
 open Cmdliner
 
 let quick =
@@ -484,6 +588,15 @@ let sanitize =
      is printed after the run and violations exit nonzero."
   in
   Arg.(value & flag & info [ "sanitize" ] ~doc)
+
+let mem_flag =
+  let doc =
+    "Arm the memory observatory for the run: statistical allocation profiling (when the \
+     runtime engine supports it) plus the live-word census and GC samples, reported to \
+     stderr after the run.  stdout, tables and trace digests are byte-identical with or \
+     without this flag."
+  in
+  Arg.(value & flag & info [ "mem" ] ~doc)
 
 let store_arg =
   let doc =
@@ -764,6 +877,67 @@ let profile_cmd =
   in
   Cmd.v (Cmd.info "profile" ~doc ~man) term
 
+let mem_cmd =
+  let doc = "Run one experiment under the memory observatory and report where the words live" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Arms the memory observatory (lib/obs Memstats + Memprof), runs the given \
+         experiment, and prints the memory report instead of the experiment's table: the \
+         top-$(b,--top) statistical allocation sites (when the runtime's statmemprof \
+         engine is available — on OCaml 5.0-5.2 it is not, and the report says so), the \
+         per-subsystem live-word tree and retention table over the census of registered \
+         word providers, the GC sample track and the GC counter registry.  The retention \
+         numbers come from each subsystem's analytic $(b,words) accounting \
+         (cross-checked against Obj.reachable_words in the test suite), attributed to \
+         the same interned category tree the cycle profiler uses.";
+      `P
+        "$(b,mem pacer-scale) registers every fleet of the sweep as a live census \
+         source, making it the per-store memory-gap report: store and pool words per \
+         flow at 10^3..10^6 flows.  Conservation (attributed live words <= GC live \
+         words) is checked on every run; violations exit nonzero.";
+      `P
+        "The observatory emits no trace events and never touches the default metrics \
+         registry, so determinism digests, tables and stats reports are byte-identical \
+         whether or not it is armed.";
+    ]
+  in
+  let exp_id =
+    let doc = "Experiment id to observe (one id, not 'all')." in
+    Arg.(required & pos 0 (some string) None & info [] ~doc ~docv:"EXPERIMENT")
+  in
+  let top =
+    let doc = "Number of top allocation sites to report." in
+    Arg.(value & opt int 10 & info [ "top" ] ~doc ~docv:"N")
+  in
+  let json =
+    let doc = "Emit the JSON report (schema softtimers-mem/1)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let prom =
+    let doc = "Emit the observatory's GC registry as Prometheus text exposition." in
+    Arg.(value & flag & info [ "prom" ] ~doc)
+  in
+  let out =
+    let doc = "Write the report to this file instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~doc ~docv:"FILE")
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun quick seed jobs store id top json prom out ->
+             Runner.set_default_jobs jobs;
+             with_store store (fun () ->
+                 match (json, prom) with
+                 | true, false -> run_mem (cfg_of quick seed) id top `Json out
+                 | false, true -> run_mem (cfg_of quick seed) id top `Prom out
+                 | false, false -> run_mem (cfg_of quick seed) id top `Human out
+                 | true, true -> `Error (false, "--json and --prom are mutually exclusive")))
+        $ quick $ seed $ jobs $ store_arg $ exp_id $ top $ json $ prom $ out))
+  in
+  Cmd.v (Cmd.info "mem" ~doc ~man) term
+
 let verify_cmd =
   let doc = "Replay-diff: run an experiment twice with the same seed and diff the results" in
   let man =
@@ -812,17 +986,18 @@ let man =
 let default =
   Term.(
     ret
-      (const (fun quick seed jobs store sanitize id ->
+      (const (fun quick seed jobs store sanitize mem id ->
            Runner.set_default_jobs jobs;
            let cfg = cfg_of quick seed in
            with_store store (fun () ->
-               if id = "all" then run_all cfg sanitize else run_one cfg sanitize id))
-      $ quick $ seed $ jobs $ store_arg $ sanitize $ id))
+               with_mem mem (fun () ->
+                   if id = "all" then run_all cfg sanitize else run_one cfg sanitize id)))
+      $ quick $ seed $ jobs $ store_arg $ sanitize $ mem_flag $ id))
 
 let group_cmd =
   Cmd.group ~default
     (Cmd.info "softtimers-cli" ~version:"1.0.0" ~doc ~man)
-    [ trace_cmd; profile_cmd; verify_cmd; stats_cmd; whylate_cmd ]
+    [ trace_cmd; profile_cmd; verify_cmd; stats_cmd; whylate_cmd; mem_cmd ]
 
 (* [Cmd.group ~default] rejects any first positional that is not a
    subcommand name, which would break the documented
@@ -839,7 +1014,7 @@ let () =
   let value_flags =
     [
       "--seed"; "-s"; "--out"; "-o"; "--buf"; "--jobs"; "-j"; "--window"; "--max-windows";
-      "--store"; "--worst"; "--check-budget";
+      "--store"; "--worst"; "--check-budget"; "--top";
     ]
   in
   let first_positional =
@@ -853,7 +1028,7 @@ let () =
   in
   let is_subcommand =
     match first_positional with
-    | Some ("trace" | "profile" | "verify-determinism" | "stats" | "why-late") -> true
+    | Some ("trace" | "profile" | "verify-determinism" | "stats" | "why-late" | "mem") -> true
     | Some _ -> false
     | None -> false
   in

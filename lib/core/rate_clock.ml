@@ -326,4 +326,13 @@ module Pool (M : Timer_store.S) = struct
   let delays p = p.delays
   let store_pending p = M.pending p.store
   let store_name = M.name
+  let store_words p = M.words p.store
+
+  (* Pool-owned flow state, excluding the store: record (16) + the
+     stride-8 row array and handle array.  Handles are immediate ints
+     for the arena stores; boxed handles are charged to the store's own
+     accounting, not double-counted here. *)
+  let words p =
+    let arr n = if n = 0 then 0 else n + 1 in
+    16 + arr (Array.length p.f) + arr (Array.length p.handles)
 end

@@ -143,4 +143,12 @@ module Pool (M : Timer_store.S) : sig
 
   val store_pending : t -> int
   val store_name : string
+
+  val store_words : t -> int
+  (** The underlying store's analytic heap footprint
+      ([Timer_store.S.words]), 64-bit words. *)
+
+  val words : t -> int
+  (** The pool's own flow-state footprint (packed rows + handle array),
+      excluding the store — add {!store_words} for the total. *)
 end

@@ -35,11 +35,21 @@ type cell = {
   d99_us : float;
   dmax_us : float;
   kb_per_flow : float;
+  store_words : int;  (* analytic store footprint (Timer_store words) *)
+  pool_words : int;  (* fleet pool arrays: flow state + handles *)
 }
+
+let words_per_flow c = float_of_int (c.store_words + c.pool_words) /. float_of_int (max 1 c.flows)
 
 module type RUNNER = sig
   val max_flows : int
   val run : Exp_config.t -> flows:int -> window:Time_ns.span -> cell
+
+  val run_live : Exp_config.t -> flows:int -> window:Time_ns.span -> cell * (unit -> int) * (unit -> int)
+  (** Same sweep, but also returns live store/pool word providers whose
+      closures keep the fleet alive — for the memory-observatory census,
+      where conservation (attributed <= GC live) only makes sense over
+      memory that is actually retained. *)
 end
 
 (* [store_tick_us] is the granularity handed to the store — for the
@@ -58,7 +68,7 @@ module Make_runner (C : CONF) = struct
   let name = C.label
   let max_flows = max_int
 
-  let run (cfg : Exp_config.t) ~flows ~window =
+  let run_fleet (cfg : Exp_config.t) ~flows ~window =
     (* Per-cell stream: independent of sweep order, stable across
        quick/full size lists. *)
     let rng = Prng.create ~seed:(cfg.Exp_config.seed + (31 * flows)) in
@@ -89,7 +99,7 @@ module Make_runner (C : CONF) = struct
     let sends = F.sends fleet in
     let d = F.delays fleet in
     let words = Obj.reachable_words (Obj.repr fleet) in
-    {
+    ( {
       store = name;
       flows;
       sends;
@@ -98,7 +108,16 @@ module Make_runner (C : CONF) = struct
       d99_us = Hdr.percentile d 99.0;
       dmax_us = Hdr.max d;
       kb_per_flow = float_of_int (words * 8) /. 1024.0 /. float_of_int (max 1 flows);
-    }
+      store_words = F.store_words fleet;
+      pool_words = F.pool_words fleet;
+    },
+    fleet )
+
+  let run cfg ~flows ~window = fst (run_fleet cfg ~flows ~window)
+
+  let run_live cfg ~flows ~window =
+    let cell, fleet = run_fleet cfg ~flows ~window in
+    (cell, (fun () -> F.store_words fleet), (fun () -> F.pool_words fleet))
 end
 
 let runners : (module RUNNER) list =
@@ -169,6 +188,7 @@ let render cells =
           ("p99", Right);
           ("max", Right);
           ("KB/flow", Right);
+          ("words/flow", Right);
         ]
   in
   let last_store = ref "" in
@@ -186,11 +206,41 @@ let render cells =
           cell_f ~decimals:1 c.d99_us;
           cell_f ~decimals:1 c.dmax_us;
           cell_f ~decimals:2 c.kb_per_flow;
+          cell_f ~decimals:1 (words_per_flow c);
         ])
     cells;
   render t
   ^ "  pacing-wheel delays include deadline quantization to the 10 us tick;\n\
     \  exact stores pay instead in per-operation cost (see bench/pacer_bench.exe).\n"
+
+(* The sweep again, but with every fleet registered as a live
+   memory-observatory census source under mem;pacer;<store>;<flows>,
+   split store vs pool.  The registered provider closures keep the
+   fleets alive until [Memstats.reset_census], so the conservation
+   invariant (attributed live words <= GC live words) genuinely holds
+   over them — which is why this cannot just [Memstats.note] the cells
+   of [compute] (those fleets are garbage by the time anyone reads the
+   census).
+
+   Main-domain-only (census registration mutates the Profile category
+   registry): `softtimers-cli mem` calls it directly, never from a
+   Runner.map/map_sim job — which is why [run] does not. *)
+let run_census cfg =
+  List.concat_map
+    (fun (module R : RUNNER) ->
+      List.filter_map
+        (fun flows ->
+          if flows > R.max_flows then None
+          else begin
+            let cell, store_w, pool_w = R.run_live cfg ~flows ~window:(window cfg ~flows) in
+            let path = [ "pacer"; cell.store; string_of_int cell.flows ] in
+            Memstats.register ~path:(path @ [ "store" ]) store_w;
+            Memstats.register ~path:(path @ [ "pool" ]) pool_w;
+            Memstats.sample ~label:(Printf.sprintf "pacer %s %d" cell.store cell.flows);
+            Some cell
+          end)
+        (sizes cfg))
+    runners
 
 let run cfg =
   Exp_config.header "Extension: million-flow rate-based clocking across timer stores"

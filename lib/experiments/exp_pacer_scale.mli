@@ -19,9 +19,24 @@ type cell = {
   d99_us : float;
   dmax_us : float;
   kb_per_flow : float;
+  store_words : int;  (** analytic store footprint ({!Timer_store.S.words}) *)
+  pool_words : int;  (** fleet pool arrays: flow state + handles *)
 }
+
+val words_per_flow : cell -> float
+(** Analytic (store + pool) words per flow — the memory-gap number
+    tracked by EXPERIMENTS.md against ROADMAP item 4. *)
 
 val compute : Exp_config.t -> cell list
 (** One cell per (store variant, fleet size), in sweep order. *)
+
+val run_census : Exp_config.t -> cell list
+(** The same sweep as {!compute}, but each fleet is registered as a
+    live {!Memstats} census source under [mem;pacer;<store>;<flows>]
+    (split store vs pool) and kept alive by the provider closures until
+    [Memstats.reset_census] — so the conservation invariant holds over
+    the registered words.  Main-domain-only (census registration
+    mutates the Profile category registry): call it from the CLI [mem]
+    path, never inside a Runner job. *)
 
 val run : Exp_config.t -> string

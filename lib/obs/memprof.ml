@@ -1,0 +1,221 @@
+(* Statistical allocation profiler over [Gc.Memprof], attributing
+   sampled allocations and retained words to the interned Profile
+   category tree under ["mem"; "alloc"; ...].
+
+   Engine availability is a runtime property: statmemprof was removed
+   from the multicore runtime in OCaml 5.0 and restored in 5.3, so on
+   5.0-5.2 [Gc.Memprof.start] compiles but raises [Failure].  Every
+   entry point here is gated on a one-shot probe; when the engine is
+   unavailable the profiler degrades to an empty site table with an
+   explicit status marker, and the census/words half of the memory
+   observatory (Memstats) carries the report.
+
+   Attribution is by context, not callstack: the caller brackets a
+   phase with [with_context] and sampled allocations land on the
+   current context's site.  Decoding backtrace slots would tie output
+   to build layout; context paths are stable and deterministic.
+
+   Opt-in (the [--mem] flag) and off the hot path: when not [running],
+   the only residue is the [Gc.Memprof] tracker closures never being
+   installed.  No trace events are emitted, so determinism digests and
+   tables are byte-identical with the profiler on or off. *)
+
+(* Lint MEM001 confines [Gc.Memprof] to this module: the tracker
+   callbacks run at arbitrary allocation points, so any second user
+   would silently fight over the single runtime engine. *)
+
+type site = {
+  st_id : int;  (* Profile registry id *)
+  st_full : string;
+  mutable st_allocs : int;  (* sampled allocation events *)
+  mutable st_samples : int;  (* Poisson samples (>= allocs) *)
+  mutable st_alloc_words : int;  (* words of sampled blocks, cumulative *)
+  mutable st_live_words : int;  (* words of sampled blocks still live *)
+}
+
+(* All state below is main-domain-only by the same contract as the
+   Profile registry; tracker callbacks run on the allocating domain,
+   which is the main domain for every surface that enables [--mem]. *)
+let sites : site list ref = ref [] [@@lint.allow "RACE002"]
+let site_by_id : (int, site) Hashtbl.t = Hashtbl.create 16 [@@lint.allow "RACE002"]
+
+let default_context = [ "unattributed" ]
+
+let site_of path =
+  let id = Profile.intern_id ([ "mem"; "alloc" ] @ path) in
+  match Hashtbl.find_opt site_by_id id with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        st_id = id;
+        st_full = Profile.id_full id;
+        st_allocs = 0;
+        st_samples = 0;
+        st_alloc_words = 0;
+        st_live_words = 0;
+      }
+    in
+    Hashtbl.replace site_by_id id s;
+    sites := !sites @ [ s ];
+    s
+
+let context : site ref = ref (site_of default_context) [@@lint.allow "RACE002"]
+let set_context path = context := site_of path
+
+let with_context path f =
+  let old = !context in
+  context := site_of path;
+  Fun.protect ~finally:(fun () -> context := old) f
+
+(* ---- engine gate --------------------------------------------------- *)
+
+let unavailable_reason = ref None [@@lint.allow "RACE002"]
+let probed = ref false [@@lint.allow "RACE002"]
+
+let probe () =
+  if not !probed then begin
+    probed := true;
+    (try
+       Gc.Memprof.start ~sampling_rate:1e-9 Gc.Memprof.null_tracker;
+       Gc.Memprof.stop ()
+     with Failure msg -> unavailable_reason := Some msg)
+  end
+
+let available () =
+  probe ();
+  !unavailable_reason = None
+
+let status () =
+  probe ();
+  match !unavailable_reason with
+  | None -> "ok"
+  | Some msg -> "engine unavailable: " ^ msg
+
+(* ---- tracking ------------------------------------------------------ *)
+
+type tracked = { tr_site : site; tr_words : int }
+
+let running_flag = ref false [@@lint.allow "RACE002"]
+let rate = ref 0.0 [@@lint.allow "RACE002"]
+
+let track (a : Gc.Memprof.allocation) =
+  let s = !context in
+  s.st_allocs <- s.st_allocs + 1;
+  s.st_samples <- s.st_samples + a.Gc.Memprof.n_samples;
+  s.st_alloc_words <- s.st_alloc_words + a.Gc.Memprof.size;
+  s.st_live_words <- s.st_live_words + a.Gc.Memprof.size;
+  { tr_site = s; tr_words = a.Gc.Memprof.size }
+
+let untrack t = t.tr_site.st_live_words <- t.tr_site.st_live_words - t.tr_words
+
+let tracker : (tracked, tracked) Gc.Memprof.tracker =
+  {
+    Gc.Memprof.alloc_minor = (fun a -> Some (track a));
+    alloc_major = (fun a -> Some (track a));
+    promote = (fun t -> Some t);
+    dealloc_minor = untrack;
+    dealloc_major = untrack;
+  }
+
+let default_sampling_rate = 1e-3
+
+let start ?(sampling_rate = default_sampling_rate) () =
+  probe ();
+  match !unavailable_reason with
+  | Some msg -> Error ("engine unavailable: " ^ msg)
+  | None ->
+    if !running_flag then Error "already running"
+    else begin
+      rate := sampling_rate;
+      Gc.Memprof.start ~sampling_rate ~callstack_size:0 tracker;
+      running_flag := true;
+      Ok ()
+    end
+
+let stop () =
+  if !running_flag then begin
+    Gc.Memprof.stop ();
+    running_flag := false
+  end
+
+let running () = !running_flag
+let sampling_rate () = !rate
+
+let reset () =
+  sites := [];
+  Hashtbl.reset site_by_id;
+  context := site_of default_context
+
+(* ---- readers ------------------------------------------------------- *)
+
+type row = {
+  r_full : string;
+  r_allocs : int;
+  r_samples : int;
+  r_alloc_words : int;
+  r_live_words : int;
+}
+
+let rows () =
+  List.filter_map
+    (fun s ->
+      if s.st_allocs = 0 then None
+      else
+        Some
+          {
+            r_full = s.st_full;
+            r_allocs = s.st_allocs;
+            r_samples = s.st_samples;
+            r_alloc_words = s.st_alloc_words;
+            r_live_words = s.st_live_words;
+          })
+    !sites
+
+(* Largest cumulative sampled allocation first; ties by path so the
+   order is deterministic. *)
+let top ~n =
+  let sorted =
+    List.sort
+      (fun a b ->
+        let c = Int.compare b.r_alloc_words a.r_alloc_words in
+        if c <> 0 then c else String.compare a.r_full b.r_full)
+      (rows ())
+  in
+  List.filteri (fun i _ -> i < n) sorted
+
+let table ~n =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "allocation sites (top %d by sampled words, rate %g) — %s\n" n
+       !rate (status ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  %-44s %8s %10s %12s %12s\n" "site" "allocs" "samples"
+       "alloc_words" "live_words");
+  (match top ~n with
+  | [] -> Buffer.add_string buf "  (no sampled allocations)\n"
+  | rows ->
+    List.iter
+      (fun r ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-44s %8d %10d %12d %12d\n" r.r_full r.r_allocs
+             r.r_samples r.r_alloc_words r.r_live_words))
+      rows);
+  Buffer.contents buf
+
+let to_json ~n =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"status\":%S,\"sampling_rate\":%g,\"sites\":[" (status ())
+       !rate);
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"path\":%S,\"allocs\":%d,\"samples\":%d,\"alloc_words\":%d,\
+            \"live_words\":%d}"
+           r.r_full r.r_allocs r.r_samples r.r_alloc_words r.r_live_words))
+    (top ~n);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -1,0 +1,73 @@
+(** Statistical allocation profiler over [Gc.Memprof], attributing
+    sampled allocations and retained words to the interned {!Profile}
+    category tree under [["mem"; "alloc"; ...]].
+
+    {b Engine availability is a runtime property}: statmemprof was
+    removed from the multicore runtime in OCaml 5.0 and restored in
+    5.3, so on 5.0–5.2 [Gc.Memprof.start] compiles but raises.  Every
+    entry point is gated on a one-shot probe ({!available}/{!status});
+    when the engine is unavailable {!start} returns [Error] and the
+    site table stays empty with an explicit status marker — the
+    census/words half of the observatory ({!Memstats}) carries the
+    report.
+
+    Attribution is by {e context}, not callstack: bracket a phase with
+    {!with_context} and sampled allocations land on the current
+    context's site.  Context paths are stable and deterministic, unlike
+    backtrace slot names.
+
+    Opt-in (the [--mem] flag), main-domain-only, and emits no trace
+    events: determinism digests, tables and stats JSON are
+    byte-identical with the profiler on or off.
+
+    [Gc.Memprof] use is confined to this module by lint rule MEM001 —
+    the tracker callbacks run at arbitrary allocation points, so a
+    second user would silently fight over the single runtime engine. *)
+
+val available : unit -> bool
+(** Whether the runtime's statmemprof engine works (probed once). *)
+
+val status : unit -> string
+(** ["ok"], or ["engine unavailable: <reason>"]. *)
+
+val start : ?sampling_rate:float -> unit -> (unit, string) result
+(** Install the tracker ([sampling_rate] defaults to [1e-3] — one
+    sample per ~1000 allocated words).  [Error] when the engine is
+    unavailable or already running. *)
+
+val stop : unit -> unit
+(** Uninstall the tracker; accumulated sites are kept for reporting. *)
+
+val running : unit -> bool
+val sampling_rate : unit -> float
+
+val set_context : string list -> unit
+(** Route subsequent samples to [["mem"; "alloc"] @ path]. *)
+
+val with_context : string list -> (unit -> 'a) -> 'a
+(** Scoped {!set_context}; restores the previous context on exit. *)
+
+val reset : unit -> unit
+(** Drop all sites and reset the context. *)
+
+(** {1 Readers} *)
+
+type row = {
+  r_full : string;  (** full category path *)
+  r_allocs : int;  (** sampled allocation events *)
+  r_samples : int;  (** Poisson samples (>= allocs) *)
+  r_alloc_words : int;  (** words of sampled blocks, cumulative *)
+  r_live_words : int;  (** words of sampled blocks still live *)
+}
+
+val rows : unit -> row list
+(** Sites with at least one sample, registration order. *)
+
+val top : n:int -> row list
+(** Top [n] sites by cumulative sampled words (ties by path). *)
+
+val table : n:int -> string
+(** Human-readable top-[n] site table, status marker included. *)
+
+val to_json : n:int -> string
+(** JSON object with status, rate and the top-[n] sites. *)

@@ -37,7 +37,7 @@ type info = { name : string; parent : int; full : string }
    planned SMP work (ROADMAP item 2). *)
 let reg : info array ref = ref [||] [@@lint.allow "RACE002"]
 let reg_n = ref 0 [@@lint.allow "RACE002"]
-let index : (string, int) Hashtbl.t = Hashtbl.create 64
+let index : (string, int) Hashtbl.t = Hashtbl.create 64 [@@lint.allow "RACE002"]
 
 let add_info info =
   let cap = Array.length !reg in
@@ -488,3 +488,32 @@ let interrupt_table p =
 
 let report p =
   String.concat "\n" [ to_table p; interrupt_table p; trigger_table p ]
+
+(* ---- Category-registry readers ------------------------------------
+
+   The memory observatory (Memstats / Memprof) attributes words to the
+   same interned category tree the cycle profiler charges time to; it
+   keeps its own id-indexed side tables and renders by walking the
+   registry through these readers. *)
+
+let intern_id = intern_path
+let id_name id = !reg.(id).name
+let id_full id = !reg.(id).full
+let id_parent id = !reg.(id).parent
+let id_children = children_of
+let id_roots = roots
+let registry_size () = !reg_n
+
+(* Analytic footprint of the registry itself, in 64-bit words: the
+   backing array, one 4-word info record and two string blocks per
+   node, and a 4-word hashtable binding (the key shares the [full]
+   string).  The hashtable's record and bucket array are charged at
+   their initial size; resizes are ignored. *)
+let registry_words () =
+  let str s = 2 + (String.length s / 8) in
+  let acc = ref (Array.length !reg + 1 + 5 + 65) in
+  for i = 0 to !reg_n - 1 do
+    let info = !reg.(i) in
+    acc := !acc + 4 + 4 + str info.name + str info.full
+  done;
+  !acc

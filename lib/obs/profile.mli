@@ -121,3 +121,41 @@ val interrupt_table : t -> string
 
 val report : t -> string
 (** {!to_table}, {!interrupt_table} and {!trigger_table} concatenated. *)
+
+(** {1 Category-registry readers}
+
+    The interned category tree is shared infrastructure: the cycle
+    profiler charges nanoseconds to it, and the memory observatory
+    ([Memstats]/[Memprof]) attributes words to it.  These readers
+    expose the registry itself — node ids are dense ints, stable for
+    the process lifetime, and enumeration order is registration order
+    (deterministic). *)
+
+val intern_id : string list -> int
+(** Like {!intern} but returns the node's registry id.  Same
+    sanitization and creation semantics.
+    @raise Invalid_argument on an empty path. *)
+
+val id_of_path : string list -> int option
+(** Lookup without interning. *)
+
+val id_name : int -> string
+(** Leaf segment of the node's path. *)
+
+val id_full : int -> string
+(** Full path, [";"]-separated. *)
+
+val id_parent : int -> int
+(** Parent id, or [-1] for a root. *)
+
+val id_children : int -> int list
+(** Children in registration order. *)
+
+val id_roots : unit -> int list
+
+val registry_size : unit -> int
+(** Nodes interned so far. *)
+
+val registry_words : unit -> int
+(** Analytic estimate of the registry's own heap footprint in 64-bit
+    words — the obs subsystem's entry in the memory census. *)

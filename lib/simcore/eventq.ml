@@ -30,6 +30,7 @@ let create ?(capacity = 256) () =
 
 let length t = t.size
 let is_empty t = t.size = 0
+let capacity t = Array.length t.kt
 
 let grow t =
   let cap = Array.length t.kt in

@@ -31,6 +31,10 @@ val length : t -> int
 
 val is_empty : t -> bool
 
+val capacity : t -> int
+(** Length of each backing array (≥ {!length}); what the queue's
+    memory footprint is proportional to. *)
+
 val push : t -> time:int -> seq:int -> payload:int -> unit
 (** Insert an entry.  O(log4 n), allocation-free when within
     capacity. *)

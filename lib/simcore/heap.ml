@@ -7,6 +7,7 @@ type 'a t = {
 let create ~cmp = { cmp; data = [||]; size = 0 }
 let length t = t.size
 let is_empty t = t.size = 0
+let capacity t = Array.length t.data
 
 let grow t x =
   let cap = Array.length t.data in

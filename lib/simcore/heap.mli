@@ -16,6 +16,10 @@ val length : 'a t -> int
 
 val is_empty : 'a t -> bool
 
+val capacity : 'a t -> int
+(** Length of the backing array (≥ {!length}); what the heap's memory
+    footprint is proportional to, as opposed to its live size. *)
+
 val push : 'a t -> 'a -> unit
 (** [push h x] inserts [x].  O(log n). *)
 

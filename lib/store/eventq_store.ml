@@ -122,6 +122,20 @@ let rearm t h ~at =
 let pending t = t.live
 let resident t = Eventq.length t.q
 
+(* Record (8) + Eventq (record 5 + three int arrays of its capacity)
+   + slot array (cap + 1) + a 4-word record per allocated slot (all
+   created eagerly on growth) + per live slot a boxed deadline (3) and
+   a [Some] box (2) + a free-list cons (3) per recycled slot. *)
+let words t =
+  let qcap = Eventq.capacity t.q in
+  let scap = Array.length t.slots in
+  8 + 5
+  + (3 * (qcap + 1))
+  + (scap + 1)
+  + (4 * scap)
+  + (5 * t.live)
+  + (3 * (t.nslots - t.live))
+
 let handle_pending t h = valid t h
 let handle_deadline _t h = h.hat
 

@@ -234,6 +234,16 @@ let rearm t n ~at =
 let pending t = t.count
 let resident t = t.count  (* cancellation is a physical swap-pop *)
 
+(* Record (6) + boxed cached_min (3) + per group: record (7) + groups
+   cons (3) + range/first boxes (~6) + its item array (capacity + 1) +
+   per linked node: record (7) + boxed deadline (3) + [Some] item box
+   (2) + [Some] group box (2). *)
+let words t =
+  let groups =
+    List.fold_left (fun acc g -> acc + 17 + Array.length g.gitems) 0 t.groups
+  in
+  6 + 3 + groups + (14 * t.count)
+
 let handle_pending _t n = n.gstate <> Done
 let handle_deadline _t n = n.gat
 

@@ -161,6 +161,14 @@ let rearm t n ~at =
 let pending t = t.count
 let resident t = t.count  (* cancellation unlinks physically: no corpses *)
 
+(* Record (8) + hashtable (record 5 + 17-slot bucket array) + two boxed
+   int64 fields (6) + per duration bucket: hashtable binding (4) +
+   bucket record (4) + boxed duration key (3) + [buckets_rev] cons (3)
+   + per linked node: record (8) + boxed deadline (3) + on average two
+   [Some] link boxes pointing at it (4). *)
+let words t =
+  8 + 22 + 6 + (14 * List.length t.buckets_rev) + (15 * t.count)
+
 let handle_pending _t n = n.nstate <> Done
 let handle_deadline _t n = n.nat
 

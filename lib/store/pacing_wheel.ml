@@ -495,6 +495,26 @@ let rearm t h ~at =
 
 let pending t = t.count
 let resident t = t.count (* cancellation unlinks and frees: no corpses *)
+
+(* Analytic heap footprint, 64-bit words.  Everything is flat int
+   arrays, so this is exact up to a few shared empty-array atoms:
+   record (37) + the fixed per-level arrays + the slot arena
+   (stride-8 slab, value array, free stack) + the live level-1 pair
+   vectors and parked spare buffers. *)
+let words t =
+  let arr a = if Array.length a = 0 then 0 else Array.length a + 1 in
+  let vecs = Array.fold_left (fun acc v -> acc + arr v) 0 t.v1 in
+  let spare = Array.fold_left (fun acc v -> acc + arr v) 0 t.spares in
+  37
+  + (Array.length t.v1 + 1)
+  + arr t.f1 + arr t.h2 + arr t.t2 + arr t.c1 + arr t.c2
+  + arr t.occ1 + arr t.occ2
+  + arr t.slab
+  + (if Array.length t.s_val = 0 then 0 else Array.length t.s_val + 1)
+  + arr t.free_stk + arr t.scratch
+  + (Array.length t.spares + 1)
+  + vecs + spare
+
 let handle_pending t h = valid t h
 let handle_deadline t h = if valid t h then Int64.of_int (s_at t (idx_of h)) else Time_ns.zero
 
@@ -928,6 +948,7 @@ module Sized (B : SIZE) = struct
   let pending = pending
   let resident = resident
   let next_deadline = next_deadline
+  let words = words
   let handle_pending = handle_pending
   let handle_deadline = handle_deadline
   let fire_due = fire_due

@@ -13,6 +13,7 @@ module type S = sig
   val pending : 'a t -> int
   val resident : 'a t -> int
   val next_deadline : 'a t -> Time_ns.t option
+  val words : 'a t -> int
   val handle_pending : 'a t -> 'a handle -> bool
   val handle_deadline : 'a t -> 'a handle -> Time_ns.t
 
@@ -90,6 +91,9 @@ module Reference : S = struct
 
   let handle_pending _t h = h.rstate = Pending
   let handle_deadline _t h = h.rat
+
+  (* Record (3) + per entry: cons (3) + handle (5) + int64 box (3). *)
+  let words t = 3 + (11 * List.length t.entries)
 
   let fire_due t ?prefetch:_ ~now ~limit f =
     (* Snapshot: only entries that existed (and were due) at call time
@@ -186,6 +190,11 @@ module Of_base (B : Timer_backend.S) : S = struct
   let handle_pending _t cell = cell.cstate = Pending
   let handle_deadline _t cell = cell.cat
 
+  (* Base store + our record (3) + per base-resident payload tuple (3)
+     + per live cell: record (6) + [Some] box (2); the cell's boxed
+     deadline is the same box the base already counted. *)
+  let words t = B.words t.b + 3 + (3 * B.resident t.b) + (8 * t.live)
+
   (* ALLOC001: one dispatch-wrapper closure per fire_due call, shared
      by every timer in the batch.  [cancel_base] keeps the base store in
      sync with the cell states, so every base-level fire of a current
@@ -218,6 +227,7 @@ let wheel ?(slots = 512) () : (module S) =
     let pending = Timing_wheel.pending
     let resident = Timing_wheel.resident
     let next_deadline = Timing_wheel.next_deadline
+    let words = Timing_wheel.words
     let fire_due t ~now ~limit f = Timing_wheel.fire_due t ~now ~limit f
   end in
   (module Of_base (W))
@@ -251,6 +261,7 @@ module Quantize (M : S) : S = struct
   let pending t = M.pending t.inner
   let resident t = M.resident t.inner
   let next_deadline t = M.next_deadline t.inner
+  let words t = 3 + M.words t.inner
   let handle_pending t h = M.handle_pending t.inner h
   let handle_deadline t h = M.handle_deadline t.inner h
 
@@ -278,6 +289,7 @@ type 'a inst = {
     now:Time_ns.t -> limit:int -> (Time_ns.t -> 'a -> unit) -> Fire_outcome.t;
   i_pending : unit -> int;
   i_resident : unit -> int;
+  i_words : unit -> int;
 }
 
 let instantiate (type a) (module M : S) ~tick () : a inst =
@@ -297,4 +309,5 @@ let instantiate (type a) (module M : S) ~tick () : a inst =
     i_fire_due = (fun ~now ~limit f -> M.fire_due t ~now ~limit f);
     i_pending = (fun () -> M.pending t);
     i_resident = (fun () -> M.resident t);
+    i_words = (fun () -> M.words t);
   }

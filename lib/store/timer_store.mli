@@ -79,6 +79,15 @@ module type S = sig
   val next_deadline : 'a t -> Time_ns.t option
   (** Exact earliest pending deadline. *)
 
+  val words : 'a t -> int
+  (** Analytic estimate of the store's own heap footprint in 64-bit
+      words — records, handles, backing arrays, boxed deadlines — but
+      {e not} the payload values it borrows.  O(resident) worst case,
+      O(1) for the array-backed stores.  Cross-checked against
+      [Obj.reachable_words] (with immediate payloads) in
+      [test/test_mem.ml]; the memory observatory reports words/timer
+      and words/flow from it. *)
+
   val handle_pending : 'a t -> 'a handle -> bool
   val handle_deadline : 'a t -> 'a handle -> Time_ns.t
 
@@ -143,6 +152,7 @@ type 'a inst = {
     now:Time_ns.t -> limit:int -> (Time_ns.t -> 'a -> unit) -> Fire_outcome.t;
   i_pending : unit -> int;
   i_resident : unit -> int;
+  i_words : unit -> int;
 }
 
 val instantiate : (module S) -> tick:Time_ns.span -> unit -> 'a inst

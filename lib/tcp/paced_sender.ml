@@ -151,6 +151,8 @@ module Fleet (M : Timer_store.S) = struct
   let intervals t = P.intervals t.pool
   let delays t = P.delays t.pool
   let store_pending t = P.store_pending t.pool
+  let store_words t = P.store_words t.pool
+  let pool_words t = P.words t.pool
   let packet_cells_created t = Packet.Pool.created t.packets
   let packet_reuses t = Packet.Pool.reuses t.packets
   let store_name = M.name

@@ -104,6 +104,14 @@ module Fleet (M : Timer_store.S) : sig
 
   val store_pending : t -> int
 
+  val store_words : t -> int
+  (** The timer store's analytic heap footprint
+      ([Timer_store.S.words]), 64-bit words. *)
+
+  val pool_words : t -> int
+  (** The rate-clock pool's own flow-state footprint (packed rows +
+      handle array), excluding the store. *)
+
   val packet_cells_created : t -> int
   (** Packet cells ever boxed; constant once the pool is warm (the
       allocation-free steady-state witness). *)

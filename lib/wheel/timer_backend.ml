@@ -11,10 +11,18 @@ module type S = sig
   val pending : 'a t -> int
   val resident : 'a t -> int
   val next_deadline : 'a t -> Time_ns.t option
+  val words : 'a t -> int
 
   val fire_due :
     'a t -> now:Time_ns.t -> limit:int -> (Time_ns.t -> 'a -> unit) -> Fire_outcome.t
 end
+
+(* Analytic [words] accounting convention (64-bit): a record of [n]
+   fields costs [n + 1] words (header included), a cons cell 3, a boxed
+   int64 3.  Each backend counts its own records, handles, backing
+   arrays and boxed deadlines, but not the payload values it borrows
+   from the caller.  An entry's [deadline] and its handle's [cdeadline]
+   are the same boxed int64, so the box is counted once. *)
 
 (* Residency bound shared by the flag-cancelling backends below: once
    corpses (cancelled entries not yet physically removed) reach both
@@ -135,6 +143,9 @@ module Sorted_list : S = struct
   let pending t = t.count
   let resident t = t.count + t.cancelled
 
+  (* Record (5) + cons (3) + entry (5) + chandle (3) + int64 box (3). *)
+  let words t = 5 + (14 * resident t)
+
   let rec skip_dead t =
     match t.entries with
     | e :: rest when e.h.cstate <> Pending ->
@@ -233,6 +244,10 @@ module Binary_heap : S = struct
   let pending t = t.count
   let resident t = t.count + t.cancelled
 
+  (* Record (5) + Heap.t (4) + backing array (capacity + 1) + per
+     resident: entry (5) + chandle (3) + int64 box (3). *)
+  let words t = 5 + 4 + (Heap.capacity t.heap + 1) + (11 * resident t)
+
   let rec skip_dead t =
     match Heap.peek t.heap with
     | Some e when e.h.cstate <> Pending ->
@@ -288,6 +303,7 @@ module Hashed : S = struct
   let pending = Timing_wheel.pending
   let resident = Timing_wheel.resident
   let next_deadline = Timing_wheel.next_deadline
+  let words = Timing_wheel.words
   let fire_due t ~now ~limit f = Timing_wheel.fire_due t ~now ~limit f
 end
 
@@ -389,6 +405,12 @@ module Hier : S = struct
 
   let pending t = t.count
   let resident t = t.count + t.cancelled
+
+  (* Record (10) + level array (levels + 1) + per-level slot arrays
+     (levels * (slots + 1)) + three boxed int64 fields (9) + per
+     resident: cons (3) + entry (5) + chandle (3) + int64 box (3). *)
+  let words t =
+    10 + (levels + 1) + (levels * (slots + 1)) + 9 + (14 * resident t)
 
   (* Within one level, slots in time order cover disjoint, increasing
      deadline ranges, so the level's minimum lives in its first
@@ -611,6 +633,7 @@ module With_metrics (B : S) : S = struct
   let pending = B.pending
   let resident = B.resident
   let next_deadline = B.next_deadline
+  let words = B.words
 
   let fire_due t ~now ~limit f =
     let outcome = B.fire_due t ~now ~limit f in

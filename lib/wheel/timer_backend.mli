@@ -50,6 +50,13 @@ module type S = sig
 
   val next_deadline : 'a t -> Time_ns.t option
 
+  val words : 'a t -> int
+  (** Analytic estimate of the store's own heap footprint in 64-bit
+      words — records, handles, backing arrays and boxed deadlines, but
+      {e not} the payload values it borrows.  Cross-checked against
+      [Obj.reachable_words] (with immediate payloads) in tests; used by
+      the memory observatory to report words/timer per backend. *)
+
   val fire_due :
     'a t -> now:Time_ns.t -> limit:int -> (Time_ns.t -> 'a -> unit) -> Fire_outcome.t
   (** [fire_due t ~now ~limit f] dispatches entries due at or before

@@ -219,6 +219,12 @@ let[@hot] fire_due t ~now ~limit f =
     Fire_outcome.pack ~scanned ~fired:!fired
 [@@lint.allow "ALLOC001"] [@@lint.allow "ALLOC002"] [@@lint.allow "ALLOC003"]
 
+(* Analytic heap-footprint estimate, 64-bit words.  Per resident entry:
+   cons cell (3) + entry record (5) + handle (3) + one shared boxed
+   int64 deadline (3) = 14 words; the wheel itself is its record (10),
+   the bucket array (slots+1) and three boxed int64 fields (9). *)
+let words t = 19 + (t.slots_n + 1) + (14 * (t.count + t.cancelled))
+
 let iter_pending t f =
   Array.iter
     (fun bucket -> List.iter (fun e -> if e.h.hstate = Pending then f e.deadline e.value) bucket)

@@ -74,3 +74,8 @@ val fire_due :
 
 val iter_pending : 'a t -> (Time_ns.t -> 'a -> unit) -> unit
 (** Visit every pending entry in unspecified order (for tests). *)
+
+val words : 'a t -> int
+(** Analytic estimate of the wheel's heap footprint in 64-bit words
+    (excluding payloads): record + bucket array + 14 words per resident
+    entry.  Cross-checked against [Obj.reachable_words] in tests. *)

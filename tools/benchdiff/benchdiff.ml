@@ -11,7 +11,11 @@
    expected simulation changes; [--strict] turns drift or missing keys
    into exit 1.  Unreadable or malformed input always exits 2.
 
-   Usage: benchdiff.exe [--threshold PCT] [--strict] OLD.json NEW.json
+   Usage: benchdiff.exe [--threshold PCT] [--mem-threshold PCT] [--strict] OLD.json NEW.json
+
+   Memory-accounting leaves (the [mem] section and words/words_per_timer
+   columns) gate under [--mem-threshold] when given, so a footprint
+   regression can be held to its own bar.
 
    The parser below is a minimal recursive-descent JSON reader — just
    enough for the subset the bench harness emits (no scientific-string
@@ -203,22 +207,34 @@ let flatten root =
   go "" root;
   List.rev !acc
 
-(* Wall-clock leaves depend on the machine the baseline was taken on;
-   comparing them across hosts is pure noise. *)
-let machine_dependent path =
-  let needle = "wall_clock" in
+let contains path needle =
   let n = String.length needle and m = String.length path in
   let rec at i = i + n <= m && (String.sub path i n = needle || at (i + 1)) in
   at 0
+
+(* Wall-clock leaves depend on the machine the baseline was taken on;
+   comparing them across hosts is pure noise. *)
+let machine_dependent path = contains path "wall_clock"
+
+(* Memory-accounting leaves: the bench harness's [mem] section and any
+   words/words_per_timer column.  They gate under their own
+   [--mem-threshold] so a footprint regression can be held to a
+   different bar than timing-ish counts. *)
+let memory_key path =
+  contains path "words"
+  || (String.length path >= 4 && String.sub path 0 4 = "mem.")
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   let threshold = ref 5.0 in
+  let mem_threshold = ref None in
   let strict = ref false in
   let files = ref [] in
   let usage () =
-    prerr_endline "usage: benchdiff.exe [--threshold PCT] [--strict] OLD.json NEW.json";
+    prerr_endline
+      "usage: benchdiff.exe [--threshold PCT] [--mem-threshold PCT] [--strict] OLD.json \
+       NEW.json";
     exit 2
   in
   let rec parse_args = function
@@ -233,7 +249,14 @@ let () =
         Printf.eprintf "benchdiff: --threshold expects a percentage, got %S\n" v;
         usage ());
       parse_args rest
-    | [ "--threshold" ] -> usage ()
+    | "--mem-threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some t when t >= 0.0 -> mem_threshold := Some t
+      | _ ->
+        Printf.eprintf "benchdiff: --mem-threshold expects a percentage, got %S\n" v;
+        usage ());
+      parse_args rest
+    | [ "--threshold" ] | [ "--mem-threshold" ] -> usage ()
     | a :: rest ->
       files := a :: !files;
       parse_args rest
@@ -273,7 +296,12 @@ let () =
           | Lnum a, Lnum b ->
             let denom = Float.max (Float.abs a) (Float.abs b) in
             let drift_pct = if denom = 0.0 then 0.0 else Float.abs (b -. a) /. denom *. 100.0 in
-            if drift_pct > !threshold then begin
+            let gate =
+              match !mem_threshold with
+              | Some t when memory_key path -> t
+              | Some _ | None -> !threshold
+            in
+            if drift_pct > gate then begin
               incr drifted;
               Printf.printf "drift %6.1f%%  %-60s %g -> %g\n" drift_pct path a b
             end
@@ -298,6 +326,10 @@ let () =
       incr missing;
       Printf.printf "only in %s: %s\n" old_path path)
     stale;
-  Printf.printf "benchdiff: %d leaves compared, %d drifted >%g%%, %d missing\n" !compared
-    !drifted !threshold !missing;
+  Printf.printf "benchdiff: %d leaves compared, %d drifted >%g%%%s, %d missing\n" !compared
+    !drifted !threshold
+    (match !mem_threshold with
+    | None -> ""
+    | Some t -> Printf.sprintf " (mem keys >%g%%)" t)
+    !missing;
   if !strict && (!drifted > 0 || !missing > 0) then exit 1

@@ -1,0 +1,42 @@
+(* MEM001: Gc.Memprof confinement.
+
+   The statistical allocation profiler is wrapped once, in
+   lib/obs/memprof: that module owns the availability probe (on this
+   compiler [Gc.Memprof.start] raises "not implemented in multicore"),
+   the category attribution into the Profile registry, and the
+   determinism contract (--mem output goes to stderr so digests and
+   tables stay byte-identical).  A second call site would duplicate the
+   probe and could start a second sampler behind the wrapper's back, so
+   any alias-resolved identifier path through [Gc.Memprof] outside that
+   one module is a finding.  Deliberate exceptions carry
+   [@lint.allow "MEM001"] with a justification next to them. *)
+
+open Parsetree
+
+let owner_file = "lib/obs/memprof.ml"
+let is_memprof parts = match parts with "Gc" :: "Memprof" :: _ -> true | _ -> false
+
+let scan (f : Lint_source.file) =
+  let file = f.Lint_source.path in
+  if file <> owner_file then begin
+    let emit ~loc parts =
+      let line = Lint_source.line_of loc in
+      if not (Lint_source.allowed f ~rule:"MEM001" ~line) then
+        Lint_diag.report ~file ~line ~rule:"MEM001"
+          (Printf.sprintf
+             "%s outside lib/obs/memprof; route allocation profiling through the Memprof \
+              wrapper so the availability probe and category attribution stay in one place"
+             (String.concat "." parts))
+    in
+    let expr_iter self (ex : expression) =
+      (match ex.pexp_desc with
+      | Pexp_ident { txt; loc } -> (
+        match Lint_source.resolve_lid f txt with
+        | Some parts when is_memprof parts -> emit ~loc parts
+        | _ -> ())
+      | _ -> ());
+      Ast_iterator.default_iterator.expr self ex
+    in
+    let it = { Ast_iterator.default_iterator with expr = expr_iter } in
+    it.structure it f.Lint_source.str
+  end
